@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the JSQ usage-metric family, power-of-d sampling, consistent-hash
+//! virtual-node counts, keep-alive sensitivity, and the MWS shrink
+//! damping. Each bench times the full pipeline under one variant so
+//! regressions in either quality mechanisms or their cost show up.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use harvest_faas::experiment::{run_point, SweepConfig};
+use harvest_faas::hrv_lb::hashring::HashRing;
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_lb::view::InvokerId;
+use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_platform::world::ClusterSpec;
+use harvest_faas::hrv_trace::faas::{AppId, FunctionId};
+use harvest_faas::hrv_trace::harvest::heterogeneous_sizes;
+use harvest_faas::hrv_trace::time::SimDuration;
+
+fn tiny_cfg() -> SweepConfig {
+    SweepConfig {
+        n_functions: 40,
+        duration: SimDuration::from_mins(2),
+        warmup: SimDuration::from_secs(30),
+        ..SweepConfig::quick()
+    }
+}
+
+fn cluster(horizon: SimDuration) -> ClusterSpec {
+    let sizes = heterogeneous_sizes(6, 5, 20, 70);
+    ClusterSpec::from_sizes(&sizes, 16 * 1024, horizon)
+}
+
+fn jsq_metric_variants(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let cl = cluster(cfg.duration + SimDuration::from_mins(2));
+    for (name, policy) in [
+        ("utilization", PolicyKind::Jsq),
+        ("queue_length", PolicyKind::JsqQueueLength),
+        ("weighted_queue_length", PolicyKind::JsqWeightedQueueLength),
+    ] {
+        c.bench_function(&format!("ablation/jsq_metric_{name}"), |b| {
+            b.iter(|| black_box(run_point(&cl, policy, 3.0, &cfg)))
+        });
+    }
+}
+
+fn power_of_d(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let cl = cluster(cfg.duration + SimDuration::from_mins(2));
+    for d in [1usize, 2, 4] {
+        c.bench_function(&format!("ablation/jsq_power_of_{d}"), |b| {
+            b.iter(|| black_box(run_point(&cl, PolicyKind::JsqSampled(d), 3.0, &cfg)))
+        });
+    }
+}
+
+fn vnode_counts(c: &mut Criterion) {
+    for vnodes in [4u32, 64, 256] {
+        c.bench_function(&format!("ablation/ring_vnodes_{vnodes}"), |b| {
+            b.iter(|| {
+                let mut ring = HashRing::with_vnodes(vnodes);
+                for i in 0..20 {
+                    ring.add(InvokerId(i));
+                }
+                let mut acc = 0u32;
+                for app in 0..500u32 {
+                    if let Some(home) = ring.home(FunctionId {
+                        app: AppId(app),
+                        func: 0,
+                    }) {
+                        acc = acc.wrapping_add(home.0);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+fn keep_alive_sensitivity(c: &mut Criterion) {
+    let base = tiny_cfg();
+    let cl = cluster(base.duration + SimDuration::from_mins(2));
+    for (name, ka) in [
+        ("1m", SimDuration::from_mins(1)),
+        ("10m", SimDuration::from_mins(10)),
+        ("1h", SimDuration::from_hours(1)),
+    ] {
+        let cfg = SweepConfig {
+            platform: PlatformConfig {
+                keep_alive: ka,
+                ..PlatformConfig::default()
+            },
+            ..base.clone()
+        };
+        c.bench_function(&format!("ablation/keep_alive_{name}"), |b| {
+            b.iter(|| black_box(run_point(&cl, PolicyKind::Mws, 3.0, &cfg)))
+        });
+    }
+}
+
+fn admission_threshold(c: &mut Criterion) {
+    let base = tiny_cfg();
+    let cl = cluster(base.duration + SimDuration::from_mins(2));
+    for (name, threshold) in [("1_0", 1.0), ("2_0", 2.0), ("8_0", 8.0)] {
+        let cfg = SweepConfig {
+            platform: PlatformConfig {
+                admission_pressure: threshold,
+                ..PlatformConfig::default()
+            },
+            ..base.clone()
+        };
+        c.bench_function(&format!("ablation/admission_{name}"), |b| {
+            b.iter(|| black_box(run_point(&cl, PolicyKind::Mws, 5.0, &cfg)))
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = jsq_metric_variants, power_of_d, vnode_counts, keep_alive_sensitivity,
+        admission_threshold
+}
+criterion_main!(benches);

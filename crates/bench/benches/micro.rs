@@ -1,0 +1,125 @@
+//! Microbenchmarks of the core data structures: event calendar,
+//! processor-sharing queue, consistent-hash ring, and the statistics
+//! histograms. These are the hot paths of every simulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use harvest_faas::hrv_lb::estimate::SampleHistogram;
+use harvest_faas::hrv_lb::hashring::HashRing;
+use harvest_faas::hrv_lb::view::InvokerId;
+use harvest_faas::hrv_sim::calendar::Calendar;
+use harvest_faas::hrv_sim::ps::{JobId, PsQueue};
+use harvest_faas::hrv_trace::faas::{AppId, FunctionId};
+use harvest_faas::hrv_trace::time::SimTime;
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..1_000u64 {
+                cal.schedule(SimTime::from_micros(i * 37 % 50_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(ev) = cal.pop() {
+                acc = acc.wrapping_add(ev.event);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("calendar/cancel_heavy", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            let ids: Vec<_> = (0..1_000u64)
+                .map(|i| cal.schedule(SimTime::from_micros(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                cal.cancel(*id);
+            }
+            let mut n = 0;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_ps_queue(c: &mut Criterion) {
+    c.bench_function("ps/resize_storm_64_jobs", |b| {
+        b.iter(|| {
+            let mut q = PsQueue::new(16.0);
+            for i in 0..64 {
+                q.add(JobId(i), 10.0, 1.0);
+            }
+            for step in 1..100u64 {
+                q.advance(SimTime::from_micros(step * 10_000));
+                q.set_capacity((step % 32) as f64 + 1.0);
+                black_box(q.next_completion());
+            }
+            black_box(q.len())
+        })
+    });
+}
+
+fn bench_hash_ring(c: &mut Criterion) {
+    let mut ring = HashRing::new();
+    for i in 0..100 {
+        ring.add(InvokerId(i));
+    }
+    c.bench_function("ring/home_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(ring.home(FunctionId {
+                app: AppId(i),
+                func: 0,
+            }))
+        })
+    });
+    c.bench_function("ring/walk_5", |b| {
+        b.iter(|| {
+            let f = FunctionId {
+                app: AppId(7),
+                func: 0,
+            };
+            black_box(ring.walk(f).take(5).count())
+        })
+    });
+    c.bench_function("ring/member_churn", |b| {
+        b.iter(|| {
+            let mut r = ring.clone();
+            r.remove(InvokerId(50));
+            r.add(InvokerId(200));
+            black_box(r.members())
+        })
+    });
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    c.bench_function("histogram/record_and_percentile", |b| {
+        b.iter(|| {
+            let mut h = SampleHistogram::for_durations();
+            for i in 1..500u32 {
+                h.record(f64::from(i) * 0.01);
+            }
+            black_box(h.percentile(99.0))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_calendar, bench_ps_queue, bench_hash_ring, bench_histograms
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the paper's tables and figures as text reports.
+//!
+//! ```text
+//! experiments [--scale quick|full] [all | <name>...]
+//! ```
+//!
+//! Names: fig1..fig10, table1, strategy1, strategy3, fig12 (also renders
+//! figs 13–14), fig15 (fig 16 left), fig17 (table 3, fig 16 right),
+//! fig18, fig19 (figs 20–21, table 5).
+
+use hrv_bench::scale::Scale;
+use hrv_bench::{run, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use quick|full");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--scale quick|full] [all | <name>...]");
+                eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &names {
+        let started = std::time::Instant::now();
+        match run(name, scale) {
+            Some(report) => {
+                println!("{report}");
+                eprintln!("[{name}] done in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Regenerators for the characterization artifacts: Figures 1–9 and
+//! Table 1 (Section 3).
+
+use harvest_faas::hrv_trace::faas::{
+    self, Workload, WorkloadSpec, WorkloadStats,
+};
+use harvest_faas::hrv_trace::harvest::{CpuChangeModel, FleetConfig, FleetTrace, LifetimeModel};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::stats::Cdf;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+use harvest_faas::report::{pct, series_table, Table};
+
+use crate::scale::Scale;
+
+/// Root seed shared by the characterization artifacts.
+const SEED: u64 = 2021;
+
+fn seeds() -> SeedFactory {
+    SeedFactory::new(SEED)
+}
+
+/// Log-spaced probe points from `lo` to `hi` (inclusive-ish).
+fn log_points(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Figure 1: Harvest VM lifetime CDF.
+pub fn fig1(scale: Scale) -> String {
+    let n = scale.pick(20_000, 200_000);
+    let model = LifetimeModel::paper_calibrated();
+    let mut rng = seeds().stream("fig1");
+    let samples: Vec<f64> = (0..n)
+        .map(|_| model.sample(&mut rng).as_days_f64())
+        .collect();
+    let cdf = Cdf::from_samples(samples);
+    let mut out = series_table(
+        "Figure 1 — Harvest VM lifetime CDF (days)",
+        "lifetime_days",
+        "cdf",
+        &cdf.series(&log_points(1.0 / 1_440.0, 173.0, 16)),
+    );
+    out.push_str(&format!(
+        "mean = {:.1} days (paper: 61.5) | >1 day = {} (paper: >90%) | >1 month = {} (paper: >60%)\n",
+        cdf.mean(),
+        pct(cdf.fraction_above(1.0)),
+        pct(cdf.fraction_above(30.0)),
+    ));
+    out
+}
+
+/// Figure 2: CPU-change interval CDF.
+pub fn fig2(scale: Scale) -> String {
+    let n = scale.pick(20_000, 200_000);
+    let model = CpuChangeModel::paper_calibrated();
+    let mut rng = seeds().stream("fig2");
+    let samples: Vec<f64> = (0..n)
+        .map(|_| model.sample_interval(&mut rng).as_secs_f64())
+        .collect();
+    let cdf = Cdf::from_samples(samples);
+    let mut out = series_table(
+        "Figure 2 — Harvest VM CPU-change interval CDF (seconds)",
+        "interval_secs",
+        "cdf",
+        &cdf.series(&log_points(1.0, 2_592_000.0, 16)),
+    );
+    out.push_str(&format!(
+        "mean = {:.1} h (paper: 17.8) | >10 min = {} (paper: ~70%) | >1 h = {} (paper: ~35%)\n",
+        cdf.mean() / 3_600.0,
+        pct(cdf.fraction_above(600.0)),
+        pct(cdf.fraction_above(3_600.0)),
+    ));
+    out
+}
+
+/// Figure 3: CPU-change size histogram (expansion/shrink applied deltas).
+pub fn fig3(scale: Scale) -> String {
+    let n_vms = scale.pick(300, 3_000);
+    let model = CpuChangeModel::paper_calibrated();
+    let horizon = SimDuration::from_days(30);
+    let mut deltas: Vec<i64> = Vec::new();
+    let mut never = 0u32;
+    for i in 0..n_vms {
+        let mut rng = seeds().stream_indexed("fig3", i);
+        let events = model.generate(
+            &mut rng,
+            SimTime::ZERO,
+            SimTime::ZERO + horizon,
+            2,
+            32,
+            17,
+        );
+        if events.is_empty() {
+            never += 1;
+            continue;
+        }
+        let mut prev = 17i64;
+        for e in &events {
+            deltas.push(i64::from(e.cpus) - prev);
+            prev = i64::from(e.cpus);
+        }
+    }
+    let mut hist = std::collections::BTreeMap::new();
+    for &d in &deltas {
+        *hist.entry((d / 5) * 5).or_insert(0u64) += 1;
+    }
+    let mut t = Table::new(
+        "Figure 3 — CPU-change size distribution (bucketed by 5 CPUs)",
+        &["delta_bucket", "probability"],
+    );
+    for (bucket, count) in &hist {
+        t.row(vec![
+            format!("{bucket:+}"),
+            pct(*count as f64 / deltas.len() as f64),
+        ]);
+    }
+    let mean_mag =
+        deltas.iter().map(|d| d.unsigned_abs() as f64).sum::<f64>() / deltas.len() as f64;
+    let max_mag = deltas.iter().map(|d| d.unsigned_abs()).max().unwrap_or(0);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "mean |delta| = {:.1} (paper: 12) | max |delta| = {} (paper: 30) | VMs with no change = {} (paper: 35.1%)\n",
+        mean_mag,
+        max_mag,
+        pct(f64::from(never) / n_vms as f64),
+    ));
+    out
+}
+
+/// The two synthetic traces standing in for Table 1, at experiment scale.
+pub fn traces(scale: Scale) -> (Vec<faas::Invocation>, Workload) {
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, scale.pick(20.0, 60.0));
+    let horizon = scale.pick(SimDuration::from_hours(2), SimDuration::from_hours(10));
+    let wl = Workload::generate(&spec, &seeds());
+    let trace = wl.invocations(horizon, &seeds());
+    (trace, wl)
+}
+
+/// Table 1: details of the two (synthetic) traces.
+pub fn table1(scale: Scale) -> String {
+    let (small_trace, _) = traces(scale);
+    let large_spec = WorkloadSpec::paper_flarge_scaled(scale.pick(500, 2_000));
+    let large_wl = Workload::generate(&large_spec, &seeds().child("flarge"));
+    let large_trace =
+        large_wl.invocations(SimDuration::from_mins(30), &seeds().child("flarge"));
+    let mut t = Table::new(
+        "Table 1 — synthetic stand-ins for the two FaaS traces",
+        &["trace", "apps", "invocations", "notes"],
+    );
+    t.row(vec![
+        "F_large (synthetic)".into(),
+        format!("{}", large_spec.n_apps),
+        format!("{}", large_trace.len()),
+        "paper: 20,809 apps / 910M invocations, percentiles per app".into(),
+    ]);
+    t.row(vec![
+        "F_small (synthetic)".into(),
+        "119".into(),
+        format!("{}", small_trace.len()),
+        "paper: 119 apps / 2.2M invocations, per-invocation timings".into(),
+    ]);
+    t.render()
+}
+
+/// Figure 4: per-application duration percentile CDFs (F_large shape).
+pub fn fig4(scale: Scale) -> String {
+    let spec = WorkloadSpec::paper_flarge_scaled(scale.pick(400, 2_000));
+    let wl = Workload::generate(&spec, &seeds().child("fig4"));
+    let trace = wl.invocations(SimDuration::from_mins(40), &seeds().child("fig4"));
+    let probes = log_points(0.001, 3_600.0, 14);
+    let mut t = Table::new(
+        "Figure 4 — per-app invocation-duration percentile CDFs (F_large)",
+        &["duration_s", "Max", "P99", "P95", "P50", "Mean"],
+    );
+    let max_cdf = faas::per_app_percentile_cdf(&trace, 100.0);
+    let p99 = faas::per_app_percentile_cdf(&trace, 99.0);
+    let p95 = faas::per_app_percentile_cdf(&trace, 95.0);
+    let p50 = faas::per_app_percentile_cdf(&trace, 50.0);
+    // Mean-per-app CDF.
+    let mut per_app: std::collections::HashMap<_, (f64, u32)> = std::collections::HashMap::new();
+    for inv in &trace {
+        let e = per_app.entry(inv.function.app).or_insert((0.0, 0));
+        e.0 += inv.duration.as_secs_f64();
+        e.1 += 1;
+    }
+    let mean_cdf = Cdf::from_samples(
+        per_app
+            .values()
+            .map(|&(sum, n)| sum / f64::from(n))
+            .collect(),
+    );
+    for &x in &probes {
+        t.row(vec![
+            format!("{x:.4}"),
+            pct(max_cdf.fraction_at_or_below(x)),
+            pct(p99.fraction_at_or_below(x)),
+            pct(p95.fraction_at_or_below(x)),
+            pct(p50.fraction_at_or_below(x)),
+            pct(mean_cdf.fraction_at_or_below(x)),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "apps with max > 30 s: {} (paper: 20.6%)\n",
+        pct(max_cdf.fraction_above(30.0)),
+    ));
+    out
+}
+
+/// Figure 5: F_large vs F_small per-app tails.
+pub fn fig5(scale: Scale) -> String {
+    let (small_trace, _) = traces(scale);
+    let large_spec = WorkloadSpec::paper_flarge_scaled(scale.pick(400, 2_000));
+    let large_wl = Workload::generate(&large_spec, &seeds().child("fig5"));
+    let large_trace =
+        large_wl.invocations(SimDuration::from_mins(40), &seeds().child("fig5"));
+    let mut t = Table::new(
+        "Figure 5 — per-app duration tails: F_large vs F_small",
+        &["percentile", "F_large >30s", "F_small >30s"],
+    );
+    for p in [100.0, 99.9, 99.0, 95.0] {
+        let l = faas::per_app_percentile_cdf(&large_trace, p);
+        let s = faas::per_app_percentile_cdf(&small_trace, p);
+        t.row(vec![
+            format!("P{p}"),
+            pct(l.fraction_above(30.0)),
+            pct(s.fraction_above(30.0)),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("paper: F_small has the heavier per-app tails (more pessimistic)\n");
+    out
+}
+
+/// Figure 6: all-invocation duration CDF (F_small).
+pub fn fig6(scale: Scale) -> String {
+    let (trace, _) = traces(scale);
+    let cdf = faas::duration_cdf(&trace);
+    let mut out = series_table(
+        "Figure 6 — durations of all invocations (F_small)",
+        "duration_s",
+        "cdf",
+        &cdf.series(&log_points(0.001, 600.0, 16)),
+    );
+    out.push_str(&format!(
+        "<1 s = {} (paper: >85%) | <30 s = {} (paper: 96%) | max = {:.1} s (paper: 578.6)\n",
+        pct(cdf.fraction_at_or_below(1.0)),
+        pct(cdf.fraction_at_or_below(30.0)),
+        cdf.max(),
+    ));
+    out
+}
+
+/// Figure 7 + the Section 3.2 share statistics for long apps/invocations.
+pub fn fig7(scale: Scale) -> String {
+    let (trace, _) = traces(scale);
+    let stats = WorkloadStats::from_trace(&trace);
+    let mut t = Table::new(
+        "Figure 7 / Section 3.2 — long invocations and long applications",
+        &["metric", "measured", "paper"],
+    );
+    t.row(vec![
+        "long invocations (>30 s)".into(),
+        pct(stats.frac_long_invocations),
+        "4.1%".into(),
+    ]);
+    t.row(vec![
+        "exec time in long invocations".into(),
+        pct(stats.time_share_long_invocations),
+        "82.0%".into(),
+    ]);
+    t.row(vec![
+        "long applications".into(),
+        pct(stats.frac_long_apps),
+        "48.7%".into(),
+    ]);
+    t.row(vec![
+        "invocations in long apps".into(),
+        pct(stats.invocation_share_long_apps),
+        "67.5%".into(),
+    ]);
+    t.row(vec![
+        "exec time in long apps".into(),
+        pct(stats.time_share_long_apps),
+        "99.68%".into(),
+    ]);
+    t.row(vec![
+        "max invocation duration".into(),
+        format!("{:.1} s", stats.max_duration_secs),
+        "578.6 s".into(),
+    ]);
+    t.render()
+}
+
+/// Figure 8: fleet deployments/evictions and the Worst/Typical windows.
+pub fn fig8(scale: Scale) -> String {
+    let mut config = FleetConfig::default();
+    if scale == Scale::Quick {
+        config.initial_population = 120;
+        config.final_population = 180;
+        config.horizon = SimDuration::from_days(60);
+        config.forced_storms[0].at = SimTime::ZERO + SimDuration::from_days(35);
+    }
+    let fleet = FleetTrace::generate(&config, &seeds().child("fig8"));
+    let window = SimDuration::from_days(14);
+    let stride = SimDuration::from_days(1);
+    let windows = fleet.windows(window, stride);
+    let mut t = Table::new(
+        "Figure 8 — 14-day windows over the Harvest fleet trace",
+        &["start_day", "existing", "deploys", "evictions", "eviction_rate"],
+    );
+    for w in windows.iter().step_by(4) {
+        t.row(vec![
+            format!("{:.0}", w.start.as_secs_f64() / 86_400.0),
+            w.existing.to_string(),
+            w.deployments.to_string(),
+            w.evictions.to_string(),
+            pct(w.eviction_rate),
+        ]);
+    }
+    let worst = fleet.worst_window(window, stride);
+    let typical = fleet.typical_window(window, stride);
+    let mean_rate =
+        windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
+    let mut out = t.render();
+    out.push_str(&format!(
+        "mean window eviction rate = {} (paper: 13.1%)\nWorst window: day {:.0}, rate {} (paper: 86.4%)\nTypical window: day {:.0}, rate {} (paper: 8.4%)\n",
+        pct(mean_rate),
+        worst.start.as_secs_f64() / 86_400.0,
+        pct(worst.eviction_rate),
+        typical.start.as_secs_f64() / 86_400.0,
+        pct(typical.eviction_rate),
+    ));
+    out
+}
+
+/// Figure 9: inter-arrival time CDFs, short vs long apps.
+pub fn fig9(scale: Scale) -> String {
+    // Inter-arrival shape is rate-sensitive: probe near the paper's
+    // aggregate rate.
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, 4.0);
+    let wl = Workload::generate(&spec, &seeds().child("fig9"));
+    let horizon = scale.pick(SimDuration::from_hours(6), SimDuration::from_hours(48));
+    let trace = wl.invocations(horizon, &seeds().child("fig9"));
+    let (short, long) = faas::inter_arrival_cdfs(&trace, &wl);
+    let (short, long) = (
+        short.expect("short apps have arrivals"),
+        long.expect("long apps have arrivals"),
+    );
+    let probes = log_points(0.001, 86_400.0, 14);
+    let mut t = Table::new(
+        "Figure 9 — inter-arrival time CDFs, short vs long apps",
+        &["gap_s", "short_apps", "long_apps"],
+    );
+    for &x in &probes {
+        t.row(vec![
+            format!("{x:.3}"),
+            pct(short.fraction_at_or_below(x)),
+            pct(long.fraction_at_or_below(x)),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "<10 s gaps: short {} vs long {} (paper: short apps have more sub-10 s gaps)\n",
+        pct(short.fraction_at_or_below(10.0)),
+        pct(long.fraction_at_or_below(10.0)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_characterization_artifact_renders() {
+        for (name, text) in [
+            ("fig1", fig1(Scale::Quick)),
+            ("fig2", fig2(Scale::Quick)),
+            ("fig3", fig3(Scale::Quick)),
+            ("table1", table1(Scale::Quick)),
+            ("fig6", fig6(Scale::Quick)),
+            ("fig7", fig7(Scale::Quick)),
+            ("fig9", fig9(Scale::Quick)),
+        ] {
+            assert!(text.len() > 100, "{name} produced: {text}");
+            assert!(text.contains('|'), "{name} has no table");
+        }
+    }
+
+    #[test]
+    fn fleet_windows_render_with_storm() {
+        let text = fig8(Scale::Quick);
+        assert!(text.contains("Worst window"));
+        assert!(text.contains("Typical window"));
+    }
+
+    #[test]
+    fn per_app_percentile_tables_render() {
+        let a = fig4(Scale::Quick);
+        assert!(a.contains("P99"));
+        let b = fig5(Scale::Quick);
+        assert!(b.contains("F_small"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Regenerators for the eviction-handling experiments (Section 4):
+//! Strategy 1's capacity split, Figure 10's percentile sweep, and
+//! Strategy 3's trace-driven reliability numbers.
+
+use harvest_faas::experiment::{reliability, ReliabilityResult};
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_trace::faas::WorkloadSpec;
+use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace, Storm, VmTrace};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+use harvest_faas::provision::{capacity_split, strategy2_sweep, Assignment, Strategy};
+use harvest_faas::report::{pct, Table};
+
+use crate::characterization::traces;
+use crate::scale::Scale;
+
+/// Strategy 1 / Section 4.2: share of capacity that can move to Harvest
+/// VMs when every long app stays on regular VMs, with keep-alive
+/// sensitivity (1 minute – 24 hours).
+pub fn strategy1(scale: Scale) -> String {
+    let (trace, _) = traces(scale);
+    let assignment = Assignment::from_trace(&trace, Strategy::NoFailures);
+    let mut t = Table::new(
+        "Strategy 1 — capacity hosted on Harvest VMs vs keep-alive",
+        &["keep_alive", "harvest_capacity", "harvest_busy_share"],
+    );
+    for (label, ka) in [
+        ("1m", SimDuration::from_mins(1)),
+        ("10m", SimDuration::from_mins(10)),
+        ("1h", SimDuration::from_hours(1)),
+        ("24h", SimDuration::from_hours(24)),
+    ] {
+        let split = capacity_split(&trace, &assignment, ka);
+        let busy = split.harvest_busy_secs
+            / (split.harvest_busy_secs + split.regular_busy_secs);
+        t.row(vec![
+            label.into(),
+            pct(split.harvest_fraction()),
+            pct(busy),
+        ]);
+    }
+    let (regular_apps, harvest_apps) = assignment.counts();
+    let mut out = t.render();
+    out.push_str(&format!(
+        "apps: {regular_apps} regular / {harvest_apps} harvest | paper: 12.0% of capacity on harvest at 10-minute keep-alive, short apps are 0.32% of exec time but 32.5% of invocations\n",
+    ));
+    out
+}
+
+/// Figure 10: capacity on Harvest VMs vs the Strategy 2 decision
+/// percentile.
+pub fn fig10(scale: Scale) -> String {
+    let (trace, _) = traces(scale);
+    let percentiles: Vec<f64> = match scale {
+        Scale::Quick => vec![95.0, 96.0, 97.0, 98.0, 99.0, 99.5, 99.9],
+        Scale::Full => {
+            let mut p: Vec<f64> = (0..=49).map(|i| 95.0 + 0.1 * f64::from(i)).collect();
+            p.push(99.9);
+            p
+        }
+    };
+    let sweep = strategy2_sweep(&trace, SimDuration::from_mins(10), &percentiles);
+    let mut t = Table::new(
+        "Figure 10 — harvest capacity vs acceptable percentile of long invocations",
+        &["percentile", "capacity_on_harvest"],
+    );
+    for &(p, frac) in &sweep {
+        t.row(vec![format!("{p:.1}"), pct(frac)]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "paper: bounding failures at 0.1% (P99.9) hosts 28% on harvest; at 1% (P99) it is 45.7%\n",
+    );
+    out
+}
+
+/// The fleet and the two windows Strategy 3 is evaluated on.
+pub fn strategy3_windows(scale: Scale) -> (Vec<VmTrace>, Vec<VmTrace>, SimDuration) {
+    let mut config = FleetConfig::default();
+    let window_len = scale.pick(SimDuration::from_days(2), SimDuration::from_days(14));
+    match scale {
+        Scale::Quick => {
+            config.horizon = SimDuration::from_days(30);
+            config.initial_population = 60;
+            config.final_population = 90;
+            config.forced_storms = vec![Storm {
+                at: SimTime::ZERO + SimDuration::from_days(16),
+                fraction: 0.85,
+            }];
+        }
+        Scale::Full => {}
+    }
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(404));
+    let stride = SimDuration::from_days(1);
+    let worst = fleet.worst_window(window_len, stride);
+    let typical = fleet.typical_window(window_len, stride);
+    (
+        fleet.extract(worst.start, window_len),
+        fleet.extract(typical.start, window_len),
+        window_len,
+    )
+}
+
+fn reliability_platform() -> PlatformConfig {
+    PlatformConfig {
+        // Long windows with hundreds of VMs: coarser pings keep the event
+        // count tractable without affecting failure accounting.
+        ping_interval: SimDuration::from_secs(60),
+        ..PlatformConfig::default()
+    }
+}
+
+/// Runs Strategy 3 reliability over one extracted window.
+pub fn run_window(
+    vms: &[VmTrace],
+    window_len: SimDuration,
+    seeds: u32,
+    rps: f64,
+) -> ReliabilityResult {
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, rps);
+    // The paper's Section 4.1 simulation reuses warm containers from a
+    // *global* pool; our platform reproduces that locality with MWS (the
+    // production policy), which keeps cold starts in the same low band.
+    reliability(
+        vms,
+        &spec,
+        window_len,
+        seeds,
+        PolicyKind::Mws,
+        &reliability_platform(),
+        777,
+    )
+}
+
+/// Strategy 3 / Section 4.3: invocation failure rates when everything
+/// runs on Harvest VMs, for the Worst and Typical windows.
+pub fn strategy3(scale: Scale) -> String {
+    let (worst, typical, window_len) = strategy3_windows(scale);
+    let (seeds, rps) = scale.pick((4, 8.0), (20, 2.0));
+    let worst_result = run_window(&worst, window_len, seeds, rps);
+    let typical_result = run_window(&typical, window_len, seeds, rps);
+    let mut t = Table::new(
+        "Strategy 3 — running everything on Harvest VMs",
+        &[
+            "window",
+            "vms",
+            "invocations",
+            "vm_evictions",
+            "failures",
+            "failure_rate",
+            "cold_rate",
+        ],
+    );
+    for (label, vms, r) in [
+        ("Worst", &worst, &worst_result),
+        ("Typical", &typical, &typical_result),
+    ] {
+        t.row(vec![
+            label.into(),
+            vms.len().to_string(),
+            r.invocations.to_string(),
+            r.vm_evictions.to_string(),
+            r.eviction_failures.to_string(),
+            pct(r.failure_rate),
+            pct(r.cold_start_rate),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "paper: Worst 0.0015% failures (99.9985% success), Typical 3.68e-8; cold rates ~1.2%\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy1_renders_with_sensitivity() {
+        let text = strategy1(Scale::Quick);
+        assert!(text.contains("10m"));
+        assert!(text.contains("24h"));
+    }
+
+    #[test]
+    fn fig10_is_monotone_table() {
+        let text = fig10(Scale::Quick);
+        assert!(text.contains("95.0"));
+        assert!(text.contains("99.9"));
+    }
+
+    #[test]
+    fn strategy3_windows_have_evictions_in_worst() {
+        let (worst, _typical, _len) = strategy3_windows(Scale::Quick);
+        let evicted = worst.iter().filter(|v| v.evicted()).count();
+        assert!(
+            evicted as f64 > 0.3 * worst.len() as f64,
+            "worst window lacks its storm: {evicted}/{}",
+            worst.len()
+        );
+    }
+}

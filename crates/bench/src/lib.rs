@@ -1,0 +1,59 @@
+//! # hrv-bench
+//!
+//! Regenerators for every table and figure of the paper's evaluation.
+//! Each module exposes `String`-returning functions that the
+//! `experiments` binary prints and the Criterion benches time at
+//! [`scale::Scale::Quick`].
+
+pub mod ablation;
+pub mod budget;
+pub mod characterization;
+pub mod evictions;
+pub mod loadbalancing;
+pub mod migration;
+pub mod replay;
+pub mod scale;
+pub mod spot;
+pub mod variability;
+
+use scale::Scale;
+
+/// Every named experiment, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "strategy1", "fig10", "strategy3", "fig12", "fig15", "fig17", "fig18", "fig19",
+    "migration", "ablation",
+];
+
+/// Runs one experiment by name, returning its report.
+///
+/// Multi-artifact runs are grouped under their primary id: `fig12` also
+/// renders Figures 13 and 14; `fig15` includes Figure 16 (left); `fig17`
+/// includes Table 3 and Figure 16 (right); `fig19` includes Figures 20,
+/// 21 and Table 5.
+pub fn run(name: &str, scale: Scale) -> Option<String> {
+    let report = match name {
+        "fig1" => characterization::fig1(scale),
+        "fig2" => characterization::fig2(scale),
+        "fig3" => characterization::fig3(scale),
+        "table1" => characterization::table1(scale),
+        "fig4" => characterization::fig4(scale),
+        "fig5" => characterization::fig5(scale),
+        "fig6" => characterization::fig6(scale),
+        "fig7" => characterization::fig7(scale),
+        "fig8" => characterization::fig8(scale),
+        "fig9" => characterization::fig9(scale),
+        "strategy1" => evictions::strategy1(scale),
+        "fig10" => evictions::fig10(scale),
+        "strategy3" => evictions::strategy3(scale),
+        "fig12" | "fig13" | "fig14" => loadbalancing::all(scale),
+        "fig15" | "fig16" => variability::fig15_16(scale),
+        "fig17" | "table3" => budget::fig17(scale),
+        "fig18" => spot::fig18(scale),
+        "fig19" | "fig20" | "fig21" | "table5" => replay::all(scale),
+        "migration" => migration::migration(scale),
+        "ablation" => ablation::all(scale),
+        _ => return None,
+    };
+    Some(report)
+}

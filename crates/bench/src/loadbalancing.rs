@@ -1,0 +1,212 @@
+//! Regenerators for the load-balancing comparison (Section 7.2):
+//! Figure 12 (P99 vs load for MWS/JSQ/Vanilla), Figure 13 (cold-start
+//! rates), and Figure 14 (low-percentile latencies).
+
+use harvest_faas::experiment::{latency_sweep, SweepConfig, SweepResult, P99_SLO_SECS};
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::world::ClusterSpec;
+use harvest_faas::hrv_trace::harvest::heterogeneous_sizes;
+use harvest_faas::hrv_trace::time::SimDuration;
+use harvest_faas::report::{pct, ratio, secs, Table};
+
+use crate::scale::Scale;
+
+/// The Section 7.2 test cluster: 10 invokers with asymmetric CPUs
+/// (min 5, max 28, total 180) mimicking Harvest heterogeneity.
+///
+/// Invoker memory follows the characterized Harvest VM size (16 GB,
+/// Section 3.1), which keeps the warm-container working set contended the
+/// way the paper's 401 images contend for its invokers.
+pub fn asymmetric_cluster(horizon: SimDuration) -> ClusterSpec {
+    let sizes = heterogeneous_sizes(10, 5, 28, 180);
+    ClusterSpec::from_sizes(&sizes, 16 * 1024, horizon)
+}
+
+/// Sweep settings for the LB experiments at the given scale.
+pub fn sweep_config(scale: Scale) -> SweepConfig {
+    match scale {
+        Scale::Quick => SweepConfig {
+            n_functions: 200,
+            rps_points: vec![0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
+            duration: SimDuration::from_mins(8),
+            warmup: SimDuration::from_mins(2),
+            ..SweepConfig::default()
+        },
+        Scale::Full => SweepConfig {
+            rps_points: vec![
+                0.5, 1.0, 2.0, 5.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0,
+            ],
+            ..SweepConfig::default()
+        },
+    }
+}
+
+/// Runs the three-policy sweep once (shared by Figures 12–14).
+pub fn sweeps(scale: Scale) -> Vec<SweepResult> {
+    let cfg = sweep_config(scale);
+    let horizon = cfg.duration + SimDuration::from_mins(5);
+    let cluster = asymmetric_cluster(horizon);
+    [
+        (PolicyKind::Mws, "MWS"),
+        (PolicyKind::Jsq, "JSQ"),
+        (PolicyKind::Vanilla, "Vanilla"),
+    ]
+    .into_iter()
+    .map(|(p, label)| latency_sweep(&cluster, p, label, &cfg))
+    .collect()
+}
+
+/// Figure 12: P99 latency vs offered load, plus SLO throughputs.
+pub fn fig12(scale: Scale) -> String {
+    render_fig12(&sweeps(scale))
+}
+
+/// Renders Figure 12 from precomputed sweeps (so Figures 13/14 can share
+/// one run).
+pub fn render_fig12(results: &[SweepResult]) -> String {
+    let mut t = Table::new(
+        "Figure 12 — P99 latency (s) vs offered load across policies",
+        &["rps", "MWS", "JSQ", "Vanilla"],
+    );
+    for (i, point) in results[0].points.iter().enumerate() {
+        t.row(vec![
+            format!("{:.1}", point.rps),
+            secs(point.p99),
+            secs(results[1].points[i].p99),
+            secs(results[2].points[i].p99),
+        ]);
+    }
+    let mws = results[0].max_rps_under_slo(P99_SLO_SECS);
+    let jsq = results[1].max_rps_under_slo(P99_SLO_SECS);
+    let vanilla = results[2].max_rps_under_slo(P99_SLO_SECS);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "SLO (P99 <= 50 s) throughput: MWS {mws:.1} rps | JSQ {jsq:.1} rps | Vanilla {vanilla:.1} rps\n",
+    ));
+    if vanilla > 0.0 && jsq > 0.0 {
+        out.push_str(&format!(
+            "MWS/Vanilla = {} (paper: 22.6x) | MWS/JSQ = {} (paper: 1.6x)\n",
+            ratio(mws / vanilla),
+            ratio(mws / jsq),
+        ));
+    }
+    out
+}
+
+/// Figure 13: cold-start rate vs load, MWS vs JSQ.
+pub fn render_fig13(results: &[SweepResult]) -> String {
+    let mut t = Table::new(
+        "Figure 13 — cold-start rate vs offered load",
+        &["rps", "MWS", "JSQ"],
+    );
+    let mut reductions = Vec::new();
+    for (i, point) in results[0].points.iter().enumerate() {
+        let jsq = results[1].points[i];
+        t.row(vec![
+            format!("{:.1}", point.rps),
+            pct(point.cold_rate),
+            pct(jsq.cold_rate),
+        ]);
+        if jsq.cold_rate > 0.0 {
+            reductions.push(1.0 - point.cold_rate / jsq.cold_rate);
+        }
+    }
+    let mut out = t.render();
+    if !reductions.is_empty() {
+        let lo = reductions.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = reductions.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "MWS cold-start reduction vs JSQ: {} to {} (paper: 56.0% to 75.9%)\n",
+            pct(lo.max(0.0)),
+            pct(hi),
+        ));
+    }
+    out
+}
+
+/// Figure 14: P25/P50/P75 latency, MWS vs JSQ, at non-saturating loads.
+pub fn render_fig14(results: &[SweepResult]) -> String {
+    let mut t = Table::new(
+        "Figure 14 — low-percentile latency (s), MWS vs JSQ",
+        &["rps", "P25 MWS", "P25 JSQ", "P50 MWS", "P50 JSQ", "P75 MWS", "P75 JSQ"],
+    );
+    for (i, point) in results[0].points.iter().enumerate() {
+        let jsq = results[1].points[i];
+        t.row(vec![
+            format!("{:.1}", point.rps),
+            secs(point.p25),
+            secs(jsq.p25),
+            secs(point.p50),
+            secs(jsq.p50),
+            secs(point.p75),
+            secs(jsq.p75),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("paper: MWS sits below JSQ at every percentile (fewer cold starts)\n");
+    out
+}
+
+/// Figures 12–14 from one shared sweep run.
+pub fn all(scale: Scale) -> String {
+    let results = sweeps(scale);
+    let mut out = render_fig12(&results);
+    out.push('\n');
+    out.push_str(&render_fig13(&results));
+    out.push('\n');
+    out.push_str(&render_fig14(&results));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harvest_faas::experiment::SweepPoint;
+
+    fn fake_sweep(label: &str, p99s: &[f64]) -> SweepResult {
+        SweepResult {
+            label: label.into(),
+            points: p99s
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| SweepPoint {
+                    rps: (i + 1) as f64,
+                    p99: Some(p),
+                    p75: Some(p * 0.5),
+                    p50: Some(p * 0.3),
+                    p25: Some(p * 0.2),
+                    cold_rate: 0.1,
+                    failure_rate: 0.0,
+                    completed: 1_000,
+                    arrivals: 1_000,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn renderers_produce_tables() {
+        let results = vec![
+            fake_sweep("MWS", &[1.0, 2.0, 10.0]),
+            fake_sweep("JSQ", &[1.5, 5.0, 80.0]),
+            fake_sweep("Vanilla", &[40.0, 90.0, 120.0]),
+        ];
+        let f12 = render_fig12(&results);
+        assert!(f12.contains("SLO"));
+        assert!(f12.contains("MWS/JSQ"));
+        let f13 = render_fig13(&results);
+        assert!(f13.contains("cold-start"));
+        let f14 = render_fig14(&results);
+        assert!(f14.contains("P25 MWS"));
+    }
+
+    #[test]
+    fn cluster_has_paper_shape() {
+        let c = asymmetric_cluster(SimDuration::from_mins(10));
+        assert_eq!(c.vms.len(), 10);
+        assert_eq!(c.total_initial_cpus(), 180);
+        let min = c.vms.iter().map(|v| v.initial_cpus).min().unwrap();
+        let max = c.vms.iter().map(|v| v.initial_cpus).max().unwrap();
+        assert_eq!((min, max), (5, 28));
+    }
+}

@@ -1,0 +1,48 @@
+//! Experiment scale control.
+//!
+//! Every regenerator runs at two scales: `Quick` (seconds-to-minutes,
+//! used by `cargo bench`, CI, and the default `experiments` invocation)
+//! and `Full` (closer to the paper's sample sizes; minutes-to-hours).
+//! Both produce the same tables — only sample counts change.
+
+/// How much compute a regenerator may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced samples; finishes in seconds per experiment.
+    Quick,
+    /// Paper-scale samples where tractable.
+    Full,
+}
+
+impl Scale {
+    /// Parses "quick" / "full".
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Picks between the two scale-dependent values.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_pick() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("medium"), None);
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

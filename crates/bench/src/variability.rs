@@ -1,0 +1,152 @@
+//! Regenerators for the resource-variability experiment (Section 7.3):
+//! Figure 15 (Active/Normal/Dedicated clusters) and the left panel of
+//! Figure 16 (cold-start rate vs load under variability).
+
+use harvest_faas::experiment::{latency_sweep, SweepResult, P99_SLO_SECS};
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::world::ClusterSpec;
+use harvest_faas::hrv_trace::harvest::{active_cluster, heterogeneous_sizes};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::SimDuration;
+use harvest_faas::report::{pct, ratio, secs, Table};
+
+use crate::loadbalancing::sweep_config;
+use crate::scale::Scale;
+
+/// Builds the three 180-CPU clusters of Section 7.3.
+///
+/// * `Active`: 10 Harvest VMs with extremely frequent, large CPU changes
+///   (mean interval ≈ 3.6 min, max shrink 26);
+/// * `Normal`: stable but heterogeneous sizes (5–28 CPUs);
+/// * `Dedicated`: homogeneous 18-CPU regular VMs.
+pub fn clusters(horizon: SimDuration) -> [(String, ClusterSpec); 3] {
+    let active = active_cluster(10, horizon, 32, 16 * 1024, &SeedFactory::new(73));
+    let normal = heterogeneous_sizes(10, 5, 28, 180);
+    [
+        ("Active".to_string(), ClusterSpec::from_traces(active)),
+        (
+            "Normal".to_string(),
+            ClusterSpec::from_sizes(&normal, 16 * 1024, horizon),
+        ),
+        (
+            "Dedicated".to_string(),
+            ClusterSpec::regular(10, 18, 16 * 1024, horizon),
+        ),
+    ]
+}
+
+/// Runs the five curves of Figure 15 (three clusters with MWS, two with
+/// vanilla).
+pub fn sweeps(scale: Scale) -> Vec<SweepResult> {
+    let cfg = sweep_config(scale);
+    let horizon = cfg.duration + SimDuration::from_mins(5);
+    let named = clusters(horizon);
+    let mut jobs: Vec<(String, ClusterSpec, PolicyKind)> = Vec::new();
+    for (name, cluster) in &named {
+        jobs.push((format!("{name} MWS"), cluster.clone(), PolicyKind::Mws));
+    }
+    jobs.push((
+        "Active vanilla".into(),
+        named[0].1.clone(),
+        PolicyKind::Vanilla,
+    ));
+    jobs.push((
+        "Dedicated vanilla".into(),
+        named[2].1.clone(),
+        PolicyKind::Vanilla,
+    ));
+    jobs.into_iter()
+        .map(|(label, cluster, policy)| latency_sweep(&cluster, policy, &label, &cfg))
+        .collect()
+}
+
+/// Figure 15 + Figure 16 (left): latency and cold-start rate under
+/// frequent and significant CPU changes.
+pub fn fig15_16(scale: Scale) -> String {
+    let results = sweeps(scale);
+    let mut t = Table::new(
+        "Figure 15 — P99 latency (s) vs load under resource variability",
+        &["rps", "Active MWS", "Normal MWS", "Dedicated MWS", "Active vanilla", "Dedicated vanilla"],
+    );
+    for (i, p) in results[0].points.iter().enumerate() {
+        t.row(vec![
+            format!("{:.1}", p.rps),
+            secs(p.p99),
+            secs(results[1].points[i].p99),
+            secs(results[2].points[i].p99),
+            secs(results[3].points[i].p99),
+            secs(results[4].points[i].p99),
+        ]);
+    }
+    let slo: Vec<f64> = results
+        .iter()
+        .map(|r| r.max_rps_under_slo(P99_SLO_SECS))
+        .collect();
+    let mut out = t.render();
+    out.push_str(&format!(
+        "SLO throughput: Active {:.1} | Normal {:.1} | Dedicated {:.1} | Active-vanilla {:.1} | Dedicated-vanilla {:.1}\n",
+        slo[0], slo[1], slo[2], slo[3], slo[4],
+    ));
+    if slo[1] > 0.0 && slo[2] > 0.0 {
+        out.push_str(&format!(
+            "Active/Normal = {} (paper: 73.1%) | Active/Dedicated = {} (paper: 61.2%)",
+            pct(slo[0] / slo[1]),
+            pct(slo[0] / slo[2]),
+        ));
+        if slo[4] > 0.0 {
+            out.push_str(&format!(
+                " | vanilla Active/Dedicated = {} (paper: 39.0%)",
+                pct(slo[3] / slo[4])
+            ));
+        }
+        if slo[1] > 0.0 {
+            out.push_str(&format!(
+                " | Dedicated/Normal = {} (paper: 1.19x)",
+                ratio(slo[2] / slo[1])
+            ));
+        }
+        out.push('\n');
+    }
+    // Figure 16 (left): cold-start rate vs load per cluster.
+    let mut t16 = Table::new(
+        "Figure 16 (left) — cold-start rate vs load",
+        &["rps", "Active", "Normal", "Dedicated"],
+    );
+    for (i, p) in results[0].points.iter().enumerate() {
+        t16.row(vec![
+            format!("{:.1}", p.rps),
+            pct(p.cold_rate),
+            pct(results[1].points[i].cold_rate),
+            pct(results[2].points[i].cold_rate),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t16.render());
+    out.push_str("paper: Active shows the highest cold-start rate at similar loads\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_have_comparable_capacity() {
+        let cs = clusters(SimDuration::from_mins(30));
+        assert_eq!(cs.len(), 3);
+        let normal = cs[1].1.total_initial_cpus();
+        let dedicated = cs[2].1.total_initial_cpus();
+        assert_eq!(normal, 180);
+        assert_eq!(dedicated, 180);
+        // Active fluctuates around the same nominal capacity.
+        let active = cs[0].1.total_initial_cpus();
+        assert!((120..=220).contains(&active), "active total {active}");
+    }
+
+    #[test]
+    fn active_cluster_actually_varies() {
+        let cs = clusters(SimDuration::from_mins(30));
+        let changes: usize = cs[0].1.vms.iter().map(|v| v.cpu_changes.len()).sum();
+        assert!(changes > 30, "only {changes} changes in 30 min");
+    }
+}

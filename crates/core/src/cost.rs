@@ -1,0 +1,352 @@
+//! The cost model: discounts, budget-constrained provisioning (Table 3),
+//! and the amortized per-CPU price of Section 7.5.
+//!
+//! Pricing follows the paper's Section 2 model: users pay for a Harvest
+//! VM's minimum (base) size at a Spot-like discount `d_evict`, and for the
+//! harvested cores at an even deeper discount `d_harv`. Regular VMs pay
+//! full price. All prices are expressed per core-hour relative to the
+//! regular-core price (`1.0`).
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::harvest::VmTrace;
+use hrv_trace::time::SimDuration;
+
+/// Reference per-core-hour price of a regular (dedicated) core, in
+/// dollars. Used only to print absolute prices; every comparison in the
+/// paper is relative.
+pub const REGULAR_CORE_HOUR: f64 = 0.70;
+
+/// A discount configuration: `(d_evict, d_harv)` as fractions in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Discounts {
+    /// Discount on evictable (base) cores relative to regular cores.
+    pub evictable: f64,
+    /// Discount on harvested cores relative to regular cores.
+    pub harvested: f64,
+    /// Display label.
+    pub label: &'static str,
+}
+
+impl Discounts {
+    /// Baseline: dedicated resources, no discount.
+    pub const BASELINE: Discounts = Discounts {
+        evictable: 0.0,
+        harvested: 0.0,
+        label: "Baseline",
+    };
+    /// The paper's most pessimistic configuration (48 % / 48 %): harvested
+    /// cores priced like evictable ones.
+    pub const LOWEST: Discounts = Discounts {
+        evictable: 0.48,
+        harvested: 0.48,
+        label: "Lowest",
+    };
+    /// The paper's typical configuration (70 % / 80 %).
+    pub const TYPICAL: Discounts = Discounts {
+        evictable: 0.70,
+        harvested: 0.80,
+        label: "Typical",
+    };
+    /// The paper's high configuration (80 % / 90 %).
+    pub const HIGH: Discounts = Discounts {
+        evictable: 0.80,
+        harvested: 0.90,
+        label: "High",
+    };
+    /// The paper's best configuration (88 % / 90 %).
+    pub const BEST: Discounts = Discounts {
+        evictable: 0.88,
+        harvested: 0.90,
+        label: "Best",
+    };
+
+    /// The four non-baseline rows of Table 3, in order.
+    pub fn table3() -> [Discounts; 4] {
+        [
+            Discounts::LOWEST,
+            Discounts::TYPICAL,
+            Discounts::HIGH,
+            Discounts::BEST,
+        ]
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a discount is outside `[0, 1)`.
+    pub fn validate(&self) {
+        assert!((0.0..1.0).contains(&self.evictable), "bad evictable discount");
+        assert!((0.0..1.0).contains(&self.harvested), "bad harvested discount");
+    }
+
+    /// Relative price of one evictable (base) core-hour.
+    pub fn evictable_core_price(&self) -> f64 {
+        1.0 - self.evictable
+    }
+
+    /// Relative price of one harvested core-hour.
+    pub fn harvested_core_price(&self) -> f64 {
+        1.0 - self.harvested
+    }
+}
+
+/// Hourly cost rate of a steady-state Harvest VM with `base` cores plus
+/// `avg_harvested` harvested cores, relative to a regular core-hour.
+pub fn harvest_vm_rate(base: u32, avg_harvested: f64, d: Discounts) -> f64 {
+    d.validate();
+    assert!(avg_harvested >= 0.0);
+    f64::from(base) * d.evictable_core_price() + avg_harvested * d.harvested_core_price()
+}
+
+/// Hourly cost rate of a regular VM with `cpus` cores.
+pub fn regular_vm_rate(cpus: u32) -> f64 {
+    f64::from(cpus)
+}
+
+/// Hourly cost rate of a Spot VM: every core priced at the evictable
+/// discount.
+pub fn spot_vm_rate(cpus: u32, d: Discounts) -> f64 {
+    f64::from(cpus) * d.evictable_core_price()
+}
+
+/// One row of the Table 3 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BudgetRow {
+    /// Discount configuration.
+    pub discounts: Discounts,
+    /// Harvest VMs affordable under the baseline budget.
+    pub vms: u32,
+    /// Total expected CPUs of that harvest cluster.
+    pub total_cpus: u32,
+    /// CPU ratio over the baseline cluster.
+    pub cpu_ratio: f64,
+}
+
+/// The fixed-budget provisioning model behind Table 3 and Figure 17.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetModel {
+    /// Baseline: number of regular VMs.
+    pub baseline_vms: u32,
+    /// Baseline: CPUs per regular VM.
+    pub baseline_cpus: u32,
+    /// Harvest VM base (minimum) cores.
+    pub harvest_base_cpus: u32,
+    /// Expected harvested cores per Harvest VM (the paper's profiled VMs
+    /// average roughly 12 harvested cores on top of the base).
+    pub avg_harvested: f64,
+}
+
+impl Default for BudgetModel {
+    fn default() -> Self {
+        // The paper's baseline: two regular VMs with 16 CPUs each.
+        BudgetModel {
+            baseline_vms: 2,
+            baseline_cpus: 16,
+            harvest_base_cpus: 2,
+            avg_harvested: 12.0,
+        }
+    }
+}
+
+impl BudgetModel {
+    /// The baseline's hourly budget (relative units).
+    pub fn budget(&self) -> f64 {
+        f64::from(self.baseline_vms) * regular_vm_rate(self.baseline_cpus)
+    }
+
+    /// Baseline total CPUs.
+    pub fn baseline_total_cpus(&self) -> u32 {
+        self.baseline_vms * self.baseline_cpus
+    }
+
+    /// How many Harvest VMs the baseline budget buys at `d`.
+    pub fn affordable_harvest_vms(&self, d: Discounts) -> u32 {
+        let rate = harvest_vm_rate(self.harvest_base_cpus, self.avg_harvested, d);
+        (self.budget() / rate).floor() as u32
+    }
+
+    /// Builds one Table 3 row.
+    pub fn row(&self, d: Discounts) -> BudgetRow {
+        let vms = self.affordable_harvest_vms(d);
+        let per_vm = f64::from(self.harvest_base_cpus) + self.avg_harvested;
+        let total_cpus = (f64::from(vms) * per_vm).round() as u32;
+        BudgetRow {
+            discounts: d,
+            vms,
+            total_cpus,
+            cpu_ratio: f64::from(total_cpus) / f64::from(self.baseline_total_cpus()),
+        }
+    }
+
+    /// The full table: baseline plus the four discount rows.
+    pub fn table(&self) -> Vec<BudgetRow> {
+        let mut rows = vec![BudgetRow {
+            discounts: Discounts::BASELINE,
+            vms: self.baseline_vms,
+            total_cpus: self.baseline_total_cpus(),
+            cpu_ratio: 1.0,
+        }];
+        rows.extend(Discounts::table3().into_iter().map(|d| self.row(d)));
+        rows
+    }
+}
+
+/// The amortized per-CPU price of a set of VM traces (Section 7.5):
+///
+/// ```text
+/// (base_core_time · (1 − d_evict) + harvest_core_time · (1 − d_harv))
+/// ───────────────────────────────────────────────────────────────────
+/// (base_core_time + harvest_core_time − install_core_time)
+/// ```
+///
+/// multiplied by [`REGULAR_CORE_HOUR`] to report dollars per CPU-hour.
+/// Fleet installs burn `install` of each VM's life without serving work,
+/// which is why frequently evicted Spot fleets pay more per useful core.
+pub fn amortized_core_price(
+    vms: &[VmTrace],
+    d: Discounts,
+    install: SimDuration,
+) -> Option<f64> {
+    d.validate();
+    let mut base_secs = 0.0;
+    let mut harvest_secs = 0.0;
+    let mut install_secs = 0.0;
+    for vm in vms {
+        let life = vm.lifetime().as_secs_f64();
+        let total = vm.cpu_seconds();
+        let base = f64::from(vm.base_cpus) * life;
+        base_secs += base;
+        harvest_secs += (total - base).max(0.0);
+        // Install burns the VM's cores for `install` (or its whole life if
+        // shorter).
+        let install_window = install.as_secs_f64().min(life);
+        install_secs += install_window * f64::from(vm.cpus_at(vm.deploy));
+    }
+    let useful = base_secs + harvest_secs - install_secs;
+    if useful <= 0.0 {
+        return None;
+    }
+    let paid = base_secs * d.evictable_core_price() + harvest_secs * d.harvested_core_price();
+    Some(paid / useful * REGULAR_CORE_HOUR)
+}
+
+/// Relative saving of cost `ours` against `theirs`: `1 − ours/theirs`.
+pub fn saving(ours: f64, theirs: f64) -> f64 {
+    assert!(theirs > 0.0);
+    1.0 - ours / theirs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::harvest::VmEnd;
+    use hrv_trace::time::SimTime;
+
+    #[test]
+    fn discount_prices() {
+        assert!((Discounts::TYPICAL.evictable_core_price() - 0.30).abs() < 1e-12);
+        assert!((Discounts::TYPICAL.harvested_core_price() - 0.20).abs() < 1e-12);
+        for d in Discounts::table3() {
+            d.validate();
+        }
+    }
+
+    #[test]
+    fn vm_rates() {
+        assert_eq!(regular_vm_rate(16), 16.0);
+        // Lowest: all cores at 52 % of list.
+        let r = harvest_vm_rate(2, 12.0, Discounts::LOWEST);
+        assert!((r - 14.0 * 0.52).abs() < 1e-12);
+        let s = spot_vm_rate(4, Discounts::LOWEST);
+        assert!((s - 4.0 * 0.52).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_table_shape_matches_table_3() {
+        let model = BudgetModel::default();
+        let rows = model.table();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].vms, 2);
+        // VM counts strictly increase with the discount level and span the
+        // same ~3–10× range as the paper's 6/12/18/21.
+        for w in rows.windows(2) {
+            assert!(w[1].vms > w[0].vms, "{w:?}");
+        }
+        let best = rows.last().unwrap();
+        assert!(best.vms >= 15 && best.vms <= 30, "best row {best:?}");
+        // CPU ratios bracket the paper's 1.9×–9.7×.
+        assert!(rows[1].cpu_ratio > 1.5 && rows[1].cpu_ratio < 3.0);
+        assert!(best.cpu_ratio > 7.0 && best.cpu_ratio < 12.0);
+    }
+
+    #[test]
+    fn amortized_price_prefers_long_lived_vms() {
+        let long_lived = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_days(10),
+            VmEnd::Censored,
+            4,
+            16_384,
+        );
+        let churny: Vec<VmTrace> = (0..480)
+            .map(|i| {
+                VmTrace::constant(
+                    SimTime::from_secs(i * 1_800),
+                    SimTime::from_secs(i * 1_800 + 1_800),
+                    VmEnd::Evicted,
+                    4,
+                    16_384,
+                )
+            })
+            .collect();
+        let d = Discounts::TYPICAL;
+        let install = SimDuration::from_mins(10);
+        let stable = amortized_core_price(&[long_lived], d, install).unwrap();
+        let churned = amortized_core_price(&churny, d, install).unwrap();
+        assert!(churned > stable, "{churned} vs {stable}");
+    }
+
+    #[test]
+    fn amortized_price_discounts_harvested_cores() {
+        // A VM with many harvested cores is cheaper per core than one with
+        // only base cores under Typical discounts.
+        let base_only = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_days(1),
+            VmEnd::Censored,
+            8,
+            16_384,
+        );
+        let harvesting = VmTrace {
+            base_cpus: 2,
+            max_cpus: 8,
+            initial_cpus: 8,
+            ..base_only.clone()
+        };
+        let d = Discounts::TYPICAL;
+        let a = amortized_core_price(&[base_only], d, SimDuration::ZERO).unwrap();
+        let b = amortized_core_price(&[harvesting], d, SimDuration::ZERO).unwrap();
+        assert!(b < a, "{b} vs {a}");
+    }
+
+    #[test]
+    fn install_dominated_fleet_has_no_useful_capacity() {
+        let vm = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::from_secs(300),
+            VmEnd::Evicted,
+            4,
+            16_384,
+        );
+        assert!(amortized_core_price(&[vm], Discounts::TYPICAL, SimDuration::from_mins(10))
+            .is_none());
+    }
+
+    #[test]
+    fn saving_math() {
+        assert!((saving(0.25, 1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(saving(1.0, 1.0), 0.0);
+    }
+}

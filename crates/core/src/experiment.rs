@@ -1,0 +1,404 @@
+//! The experiment harness: parameterized runs behind every figure and
+//! table of the evaluation (Section 7), reusable from examples, benches,
+//! and the `experiments` binary.
+
+use serde::{Deserialize, Serialize};
+
+use hrv_lb::policy::PolicyKind;
+use hrv_platform::config::PlatformConfig;
+use hrv_platform::world::{ClusterSpec, Simulation};
+use hrv_trace::faas::Invocation;
+use hrv_trace::harvest::VmTrace;
+use hrv_trace::rng::SeedFactory;
+use hrv_trace::time::{SimDuration, SimTime};
+
+use crate::funcbench;
+
+/// The paper's SLO: P99 end-to-end latency of 50 seconds (Section 7.1).
+pub const P99_SLO_SECS: f64 = 50.0;
+
+/// Runs independent jobs on OS threads and collects results in order.
+///
+/// Simulations are single-threaded and deterministic, so fan-out across
+/// seeds/points is embarrassingly parallel.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(job))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment job panicked"))
+            .collect()
+    })
+}
+
+/// One measured operating point of a latency-vs-load sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load, requests/second.
+    pub rps: f64,
+    /// P99 end-to-end latency, seconds (`None` if nothing completed).
+    pub p99: Option<f64>,
+    /// P75 latency.
+    pub p75: Option<f64>,
+    /// Median latency.
+    pub p50: Option<f64>,
+    /// P25 latency.
+    pub p25: Option<f64>,
+    /// Cold-start rate among started invocations.
+    pub cold_rate: f64,
+    /// Eviction failure rate.
+    pub failure_rate: f64,
+    /// Completed invocations in the measurement window.
+    pub completed: u64,
+    /// Arrivals in the measurement window.
+    pub arrivals: u64,
+}
+
+/// A policy's full latency-vs-load curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Policy / cluster label.
+    pub label: String,
+    /// Points in ascending load order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Highest offered load whose P99 met `slo_secs` — the paper's
+    /// "throughput without breaking the SLO". Zero if no point qualifies.
+    pub fn max_rps_under_slo(&self, slo_secs: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| {
+                // A point that completed almost nothing is saturated even
+                // if the few completions were fast.
+                let goodput_ok =
+                    p.arrivals == 0 || p.completed as f64 >= 0.9 * p.arrivals as f64;
+                goodput_ok && p.p99.map(|v| v <= slo_secs).unwrap_or(false)
+            })
+            .map(|p| p.rps)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Configuration of one latency-vs-load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Functions in the benchmark suite (paper: 401).
+    pub n_functions: usize,
+    /// Offered loads to probe, requests/second.
+    pub rps_points: Vec<f64>,
+    /// Measured run length per point (paper: 20 minutes).
+    pub duration: SimDuration,
+    /// Warm-up discarded from metrics.
+    pub warmup: SimDuration,
+    /// Platform settings.
+    pub platform: PlatformConfig,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n_functions: 401,
+            rps_points: vec![1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+            duration: SimDuration::from_mins(20),
+            warmup: SimDuration::from_mins(3),
+            platform: PlatformConfig::default(),
+            seed: 2021,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A fast variant for tests and smoke benches.
+    pub fn quick() -> Self {
+        SweepConfig {
+            n_functions: 60,
+            rps_points: vec![1.0, 4.0, 8.0, 16.0],
+            duration: SimDuration::from_mins(5),
+            warmup: SimDuration::from_mins(1),
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Runs one simulation point and reduces it to a [`SweepPoint`].
+pub fn run_point(
+    cluster: &ClusterSpec,
+    policy: PolicyKind,
+    rps: f64,
+    cfg: &SweepConfig,
+) -> SweepPoint {
+    let seeds = SeedFactory::new(cfg.seed).child("sweep");
+    let workload = funcbench::workload(cfg.n_functions, rps, &seeds);
+    let trace = workload.invocations(cfg.duration, &seeds.child("arrivals"));
+    let sim = Simulation::new(
+        cluster.clone(),
+        trace,
+        policy.build(),
+        cfg.platform.clone(),
+        seeds.seed_for("platform"),
+    );
+    // Allow a drain tail after the offered-load window.
+    let out = sim.run(cfg.duration + SimDuration::from_mins(3));
+    let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
+    SweepPoint {
+        rps,
+        p99: m.latency_percentile(99.0),
+        p75: m.latency_percentile(75.0),
+        p50: m.latency_percentile(50.0),
+        p25: m.latency_percentile(25.0),
+        cold_rate: m.cold_start_rate,
+        failure_rate: m.failure_rate,
+        completed: m.completed,
+        arrivals: m.arrivals,
+    }
+}
+
+/// Full latency-vs-load sweep for one policy on one cluster, points run
+/// in parallel.
+pub fn latency_sweep(
+    cluster: &ClusterSpec,
+    policy: PolicyKind,
+    label: &str,
+    cfg: &SweepConfig,
+) -> SweepResult {
+    let jobs: Vec<_> = cfg
+        .rps_points
+        .iter()
+        .map(|&rps| {
+            let cluster = cluster.clone();
+            let cfg = cfg.clone();
+            move || run_point(&cluster, policy, rps, &cfg)
+        })
+        .collect();
+    let points = run_parallel(jobs);
+    SweepResult {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Aggregate outcome of a multi-seed reliability run (Section 4.3,
+/// Strategy 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReliabilityResult {
+    /// Seeds simulated.
+    pub seeds: u32,
+    /// Total invocations across seeds.
+    pub invocations: u64,
+    /// Invocations killed by VM evictions.
+    pub eviction_failures: u64,
+    /// Pooled failure rate.
+    pub failure_rate: f64,
+    /// Mean cold-start rate.
+    pub cold_start_rate: f64,
+    /// VM evictions observed.
+    pub vm_evictions: u64,
+}
+
+/// Runs the eviction-reliability experiment: the given VM window (already
+/// re-based to `t = 0`) hosts a generated workload, repeated across
+/// `n_seeds` independent workload/seed draws.
+pub fn reliability(
+    vms: &[VmTrace],
+    workload_spec: &hrv_trace::faas::WorkloadSpec,
+    horizon: SimDuration,
+    n_seeds: u32,
+    policy: PolicyKind,
+    platform: &PlatformConfig,
+    root_seed: u64,
+) -> ReliabilityResult {
+    assert!(n_seeds >= 1);
+    let jobs: Vec<_> = (0..n_seeds)
+        .map(|s| {
+            let vms = vms.to_vec();
+            let platform = platform.clone();
+            let spec = workload_spec.clone();
+            move || {
+                let seeds = SeedFactory::new(root_seed).child_indexed("rel", u64::from(s));
+                let workload = hrv_trace::faas::Workload::generate(&spec, &seeds);
+                let trace = workload.invocations(horizon, &seeds.child("arrivals"));
+                let sim = Simulation::new(
+                    ClusterSpec::from_traces(vms),
+                    trace,
+                    policy.build(),
+                    platform,
+                    seeds.seed_for("platform"),
+                );
+                // Drain past the window edge: evictions scheduled exactly
+                // at the horizon (storms clipped to the window boundary)
+                // must still fire, and in-flight work must settle.
+                let out = sim.run(horizon + SimDuration::from_mins(10));
+                let m = out.collector.aggregate(SimTime::ZERO);
+                (
+                    m.arrivals,
+                    m.eviction_failures,
+                    m.cold_start_rate,
+                    out.collector.vm_evictions,
+                )
+            }
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    let invocations: u64 = results.iter().map(|r| r.0).sum();
+    let failures: u64 = results.iter().map(|r| r.1).sum();
+    let cold: f64 = results.iter().map(|r| r.2).sum::<f64>() / results.len() as f64;
+    let evictions: u64 = results.iter().map(|r| r.3).sum();
+    ReliabilityResult {
+        seeds: n_seeds,
+        invocations,
+        eviction_failures: failures,
+        failure_rate: if invocations == 0 {
+            0.0
+        } else {
+            failures as f64 / invocations as f64
+        },
+        cold_start_rate: cold,
+        vm_evictions: evictions,
+    }
+}
+
+/// One row of the Harvest-vs-Spot comparison (Figure 18).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotCompareRow {
+    /// "H2".."H8" / "S2".."S48".
+    pub label: String,
+    /// Invocation failure rate.
+    pub failure_rate: f64,
+    /// Cold-start rate.
+    pub cold_start_rate: f64,
+    /// Delivered CPU×time normalized to the cluster's idle CPU×time.
+    pub normalized_cpu_time: f64,
+    /// Amortized $/CPU-hour.
+    pub core_price: f64,
+    /// VM evictions observed.
+    pub vm_evictions: u64,
+}
+
+/// Runs one VM-packing variant of the Figure 18 comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn spot_compare_row(
+    label: &str,
+    vms: Vec<VmTrace>,
+    idle_cpu_seconds: f64,
+    discounts: crate::cost::Discounts,
+    is_harvest: bool,
+    workload_trace: &[Invocation],
+    horizon: SimDuration,
+    platform: &PlatformConfig,
+    seed: u64,
+) -> SpotCompareRow {
+    use crate::cost::{amortized_core_price, spot_vm_rate, REGULAR_CORE_HOUR};
+    use hrv_trace::harvest::INSTALL_TIME;
+    use hrv_trace::physical::usable_cpu_seconds;
+
+    let delivered = usable_cpu_seconds(&vms, INSTALL_TIME);
+    let price = if is_harvest {
+        amortized_core_price(&vms, discounts, INSTALL_TIME)
+    } else {
+        // Spot: every core at the evictable price; amortize install waste.
+        let total: f64 = vms.iter().map(VmTrace::cpu_seconds).sum();
+        let rate_per_core = spot_vm_rate(1, discounts);
+        if delivered <= 0.0 {
+            None
+        } else {
+            Some(total * rate_per_core / delivered * REGULAR_CORE_HOUR)
+        }
+    };
+    let sim = Simulation::new(
+        ClusterSpec::from_traces(vms),
+        workload_trace.to_vec(),
+        PolicyKind::Mws.build(),
+        platform.clone(),
+        seed,
+    );
+    let out = sim.run(horizon);
+    let m = out.collector.aggregate(SimTime::ZERO);
+    SpotCompareRow {
+        label: label.to_string(),
+        failure_rate: m.failure_rate,
+        cold_start_rate: m.cold_start_rate,
+        normalized_cpu_time: if idle_cpu_seconds > 0.0 {
+            delivered / idle_cpu_seconds
+        } else {
+            0.0
+        },
+        core_price: price.unwrap_or(f64::NAN),
+        vm_evictions: out.collector.vm_evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::harvest::heterogeneous_sizes;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<_> = (0..8).map(|i| move || i * 10).collect();
+        assert_eq!(run_parallel(jobs), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn sweep_point_runs_and_reports() {
+        let cfg = SweepConfig {
+            n_functions: 20,
+            duration: SimDuration::from_mins(2),
+            warmup: SimDuration::from_secs(30),
+            ..SweepConfig::quick()
+        };
+        let cluster = ClusterSpec::regular(4, 8, 32 * 1024, SimDuration::from_mins(10));
+        let p = run_point(&cluster, PolicyKind::Mws, 3.0, &cfg);
+        assert!(p.arrivals > 100);
+        assert!(p.completed as f64 > 0.9 * p.arrivals as f64);
+        assert!(p.p99.is_some());
+    }
+
+    #[test]
+    fn sweep_detects_saturation() {
+        let cfg = SweepConfig {
+            n_functions: 30,
+            rps_points: vec![0.2, 16.0],
+            duration: SimDuration::from_mins(4),
+            warmup: SimDuration::from_mins(1),
+            ..SweepConfig::quick()
+        };
+        // A tiny 2-CPU cluster: fine at 0.5 rps, saturated at 16 rps
+        // (offered ≈ 24 cores of demand).
+        let cluster = ClusterSpec::regular(1, 2, 16 * 1024, SimDuration::from_mins(10));
+        let sweep = latency_sweep(&cluster, PolicyKind::Mws, "tiny", &cfg);
+        let max = sweep.max_rps_under_slo(P99_SLO_SECS);
+        assert!(max >= 0.2, "low point should meet SLO: {sweep:?}");
+        assert!(max < 16.0, "high point must saturate: {sweep:?}");
+    }
+
+    #[test]
+    fn reliability_on_stable_cluster_has_no_failures() {
+        let horizon = SimDuration::from_mins(10);
+        let sizes = heterogeneous_sizes(4, 4, 16, 40);
+        let vms = ClusterSpec::from_sizes(&sizes, 32 * 1024, horizon).vms;
+        let spec = hrv_trace::faas::WorkloadSpec::paper_fsmall().scaled(20, 2.0);
+        let r = reliability(
+            &vms,
+            &spec,
+            horizon,
+            2,
+            PolicyKind::Random,
+            &PlatformConfig::default(),
+            9,
+        );
+        assert_eq!(r.eviction_failures, 0);
+        assert_eq!(r.vm_evictions, 0);
+        assert!(r.invocations > 1_000);
+    }
+}

@@ -1,0 +1,398 @@
+//! A live (real-thread) mini-platform.
+//!
+//! Everything else in this workspace runs inside the deterministic
+//! simulator. This module drives the *same load-balancing policies*
+//! against real OS threads executing the real FunctionBench kernels of
+//! [`crate::funcbench`] — a small end-to-end demonstration that the
+//! policy layer is simulation-agnostic: the controller consumes the same
+//! [`ClusterView`] either way.
+//!
+//! The model is intentionally compact: one worker thread per CPU of each
+//! "invoker", a bounded work queue standing in for the Kafka topic, and a
+//! warm-set per invoker so cold starts pay a configurable extra kernel
+//! run (runtime/JIT warm-up).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hrv_lb::policy::LoadBalancer;
+use hrv_lb::view::{ClusterView, InvokerId, InvokerView};
+use hrv_trace::faas::{AppId, FunctionId};
+use hrv_trace::time::SimTime;
+
+use crate::funcbench;
+
+/// A real unit of work: which kernel to run and how big.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveKernel {
+    /// `n` rounds of sin/cos/sqrt.
+    Floatop(u64),
+    /// `n × n` matrix multiply.
+    Matmult(usize),
+    /// `n × n` linear solve.
+    Linpack(usize),
+    /// `rows × 20` HTML table rendering.
+    Chameleon(usize),
+    /// `len`-byte cipher round trip.
+    Cipher(usize),
+    /// `w × w` image pipeline.
+    Image(usize),
+}
+
+impl LiveKernel {
+    /// Runs the kernel, returning a checksum (prevents dead-code
+    /// elimination).
+    pub fn execute(self) -> u64 {
+        match self {
+            LiveKernel::Floatop(n) => funcbench::floatop(n) as u64,
+            LiveKernel::Matmult(n) => funcbench::matmult(n) as u64,
+            LiveKernel::Linpack(n) => funcbench::linpack(n) as u64,
+            LiveKernel::Chameleon(rows) => funcbench::render_table(rows, 20) as u64,
+            LiveKernel::Cipher(len) => funcbench::stream_cipher(len, 0xBEEF),
+            LiveKernel::Image(w) => funcbench::image_pipeline(w, w / 2 + 1),
+        }
+    }
+
+    /// A small default suite spanning the kernel families.
+    pub fn suite() -> Vec<LiveKernel> {
+        vec![
+            LiveKernel::Floatop(200_000),
+            LiveKernel::Matmult(96),
+            LiveKernel::Linpack(96),
+            LiveKernel::Chameleon(200),
+            LiveKernel::Cipher(1 << 18),
+            LiveKernel::Image(256),
+        ]
+    }
+}
+
+/// One live request.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveInvocation {
+    /// Sequence id.
+    pub id: u64,
+    /// Function identity (drives warm-set membership and the policy).
+    pub function: FunctionId,
+    /// The kernel to execute.
+    pub kernel: LiveKernel,
+}
+
+/// One completed live request.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRecord {
+    /// Sequence id.
+    pub id: u64,
+    /// Which invoker ran it.
+    pub invoker: InvokerId,
+    /// End-to-end latency.
+    pub latency: Duration,
+    /// Whether the function was cold on that invoker.
+    pub cold: bool,
+}
+
+struct WorkItem {
+    invocation: LiveInvocation,
+    enqueued: Instant,
+}
+
+/// Shared per-invoker state the worker threads update.
+struct InvokerShared {
+    id: InvokerId,
+    tx: Sender<WorkItem>,
+    /// Functions with a warm "container" on this invoker.
+    warm: Mutex<Vec<FunctionId>>,
+    /// Approximate busy-core gauge for the view.
+    busy: AtomicU64,
+    inflight: AtomicU64,
+    cpus: u32,
+}
+
+/// A running live cluster.
+pub struct LiveCluster {
+    invokers: Vec<Arc<InvokerShared>>,
+    results_rx: Receiver<LiveRecord>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl LiveCluster {
+    /// Spawns a cluster of invokers with the given CPU counts. Each CPU
+    /// becomes one worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_counts` is empty or contains zeros.
+    pub fn spawn(cpu_counts: &[u32]) -> LiveCluster {
+        assert!(!cpu_counts.is_empty());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (results_tx, results_rx) = bounded::<LiveRecord>(100_000);
+        let mut invokers = Vec::new();
+        let mut handles = Vec::new();
+        for (i, &cpus) in cpu_counts.iter().enumerate() {
+            assert!(cpus >= 1, "invoker needs at least one CPU");
+            let (tx, rx) = bounded::<WorkItem>(10_000);
+            let shared = Arc::new(InvokerShared {
+                id: InvokerId(i as u32),
+                tx,
+                warm: Mutex::new(Vec::new()),
+                busy: AtomicU64::new(0),
+                inflight: AtomicU64::new(0),
+                cpus,
+            });
+            for _ in 0..cpus {
+                let shared = Arc::clone(&shared);
+                let rx: Receiver<WorkItem> = rx.clone();
+                let results_tx = results_tx.clone();
+                let stop = Arc::clone(&stop);
+                handles.push(std::thread::spawn(move || {
+                    worker_loop(&shared, &rx, &results_tx, &stop);
+                }));
+            }
+            invokers.push(shared);
+        }
+        LiveCluster {
+            invokers,
+            results_rx,
+            handles,
+            stop,
+            started: Instant::now(),
+        }
+    }
+
+    /// Builds the controller's view from live gauges.
+    fn view(&self) -> ClusterView {
+        let mut view = ClusterView::new();
+        let now = SimTime::from_micros(self.started.elapsed().as_micros() as u64);
+        for inv in &self.invokers {
+            let mut v = InvokerView::register(inv.id, inv.cpus, 64 * 1024, now);
+            v.cpu_in_use = inv.busy.load(Ordering::Relaxed) as f64;
+            v.inflight = inv.inflight.load(Ordering::Relaxed) as u32;
+            // Queued-but-not-started work shows up as pending memory, the
+            // same optimistic bookkeeping the simulated controller keeps;
+            // without it a burst of submissions sees identical views and
+            // ties all break toward invoker 0.
+            v.memory_pending_mb = u64::from(v.inflight) * 256;
+            v.inflight_demand_secs = f64::from(v.inflight);
+            view.add(v);
+        }
+        view
+    }
+
+    /// Routes and enqueues one invocation through `policy`. Returns the
+    /// chosen invoker, or `None` if the policy refused.
+    pub fn submit(
+        &self,
+        policy: &mut dyn LoadBalancer,
+        rng: &mut StdRng,
+        invocation: LiveInvocation,
+    ) -> Option<InvokerId> {
+        let now = SimTime::from_micros(self.started.elapsed().as_micros() as u64);
+        policy.on_arrival(invocation.function, now);
+        let view = self.view();
+        let target = policy.place(now, invocation.function, 256, &view, rng)?;
+        let shared = &self.invokers[target.0 as usize];
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        shared
+            .tx
+            .send(WorkItem {
+                invocation,
+                enqueued: Instant::now(),
+            })
+            .expect("worker channel closed");
+        Some(target)
+    }
+
+    /// Drains all completions, blocking until `expected` records arrived
+    /// or `timeout` passed. Feeds completions back into `policy`.
+    pub fn collect(
+        &self,
+        policy: &mut dyn LoadBalancer,
+        expected: usize,
+        timeout: Duration,
+    ) -> Vec<LiveRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut records = Vec::with_capacity(expected);
+        while records.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.results_rx.recv_timeout(remaining) {
+                Ok(r) => {
+                    policy.on_completion(
+                        FunctionId {
+                            app: AppId(r.id as u32 % 1_000),
+                            func: 0,
+                        },
+                        hrv_trace::time::SimDuration::from_micros(
+                            r.latency.as_micros() as u64
+                        ),
+                        1.0,
+                    );
+                    records.push(r);
+                }
+                Err(_) => break,
+            }
+        }
+        records
+    }
+
+    /// Stops all workers and joins them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Close the work channels by dropping the senders.
+        for inv in &self.invokers {
+            // Wake blocked workers with no-op items if needed: channel
+            // disconnect happens when all senders drop; workers also poll
+            // the stop flag with a receive timeout.
+            let _ = &inv.tx;
+        }
+        self.invokers.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &InvokerShared,
+    rx: &Receiver<WorkItem>,
+    results: &Sender<LiveRecord>,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let item = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(item) => item,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        // Cold start: first execution of a function on this invoker pays
+        // an extra warm-up run (runtime/JIT/initialization stand-in).
+        let cold = {
+            let mut warm = shared.warm.lock();
+            if warm.contains(&item.invocation.function) {
+                false
+            } else {
+                warm.push(item.invocation.function);
+                true
+            }
+        };
+        if cold {
+            std::hint::black_box(item.invocation.kernel.execute());
+        }
+        std::hint::black_box(item.invocation.kernel.execute());
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        let record = LiveRecord {
+            id: item.invocation.id,
+            invoker: shared.id,
+            latency: item.enqueued.elapsed(),
+            cold,
+        };
+        if results.send(record).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs a complete live benchmark: `n` invocations of a rotating kernel
+/// suite through `policy` on a cluster with the given CPU counts.
+/// Returns the completion records.
+pub fn run_live_benchmark(
+    policy: &mut dyn LoadBalancer,
+    cpu_counts: &[u32],
+    n: usize,
+    n_functions: u32,
+    seed: u64,
+) -> Vec<LiveRecord> {
+    let cluster = LiveCluster::spawn(cpu_counts);
+    for i in 0..cpu_counts.len() {
+        policy.on_invoker_join(InvokerId(i as u32));
+    }
+    let suite = LiveKernel::suite();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut submitted = 0usize;
+    for i in 0..n {
+        // Random function selection: a modular pattern would alias with
+        // round-robin placement and mask cold-start differences.
+        let app = rand::RngExt::random_range(&mut rng, 0..n_functions);
+        let function = FunctionId {
+            app: AppId(app),
+            func: 0,
+        };
+        let kernel = suite[app as usize % suite.len()];
+        if cluster
+            .submit(
+                policy,
+                &mut rng,
+                LiveInvocation {
+                    id: i as u64,
+                    function,
+                    kernel,
+                },
+            )
+            .is_some()
+        {
+            submitted += 1;
+        }
+    }
+    let records = cluster.collect(policy, submitted, Duration::from_secs(60));
+    cluster.shutdown();
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_lb::policy::PolicyKind;
+
+    #[test]
+    fn kernels_execute() {
+        for k in LiveKernel::suite() {
+            let a = k.execute();
+            let b = k.execute();
+            assert_eq!(a, b, "{k:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn live_cluster_completes_all_work() {
+        let mut policy = PolicyKind::Jsq.build();
+        let records = run_live_benchmark(policy.as_mut(), &[2, 2], 60, 10, 7);
+        assert_eq!(records.len(), 60);
+        // Both invokers did something.
+        let on_zero = records.iter().filter(|r| r.invoker == InvokerId(0)).count();
+        assert!(on_zero > 0 && on_zero < 60, "all work on one invoker: {on_zero}");
+        // With 10 functions over 2 invokers, most executions are warm.
+        let cold = records.iter().filter(|r| r.cold).count();
+        assert!(cold >= 10, "at least one cold start per function: {cold}");
+        assert!(cold <= 30, "warm set not reused: {cold}");
+    }
+
+    #[test]
+    fn mws_consolidates_live_too() {
+        let mut mws = PolicyKind::Mws.build();
+        let mut jsq = PolicyKind::Jsq.build();
+        let mws_records = run_live_benchmark(mws.as_mut(), &[2, 2, 2, 2], 120, 12, 9);
+        let jsq_records = run_live_benchmark(jsq.as_mut(), &[2, 2, 2, 2], 120, 12, 9);
+        let cold = |rs: &[LiveRecord]| rs.iter().filter(|r| r.cold).count();
+        assert_eq!(mws_records.len(), 120);
+        assert_eq!(jsq_records.len(), 120);
+        // MWS anchors each function to fewer invokers → fewer distinct
+        // (function, invoker) pairs → fewer cold starts.
+        assert!(
+            cold(&mws_records) <= cold(&jsq_records),
+            "MWS {} vs JSQ {}",
+            cold(&mws_records),
+            cold(&jsq_records)
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Eviction-handling provisioning strategies (Section 4).
+//!
+//! * **Strategy 1 — No failures:** applications with *any* invocation
+//!   longer than 30 s go to regular VMs; everything else may run on
+//!   Harvest VMs.
+//! * **Strategy 2 — Bounded failures:** applications whose `x`-th
+//!   percentile duration exceeds 30 s go to regular VMs, bounding the
+//!   per-application eviction failure rate by `(100 − x) %`.
+//! * **Strategy 3 — Live and let die:** everything runs on Harvest VMs;
+//!   the joint probability of (long invocation) × (eviction within it) is
+//!   tiny.
+//!
+//! The capacity split between the two VM pools is computed with the same
+//! keep-alive-aware container simulation the paper uses: container time —
+//! busy plus idle-but-warm — is what provisioned capacity actually pays
+//! for, which is why short apps consume far more than their 0.32 % of
+//! execution time.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::faas::{AppId, Invocation, LONG_THRESHOLD};
+use hrv_trace::stats::Cdf;
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// Which pool an application is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pool {
+    /// Dedicated (regular) VMs — safe from evictions.
+    Regular,
+    /// Harvest VMs — cheap, evictable.
+    Harvest,
+}
+
+/// The provisioning strategies of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Strategy 1: apps with any invocation > 30 s go to regular VMs.
+    NoFailures,
+    /// Strategy 2: apps whose `percentile`-th duration percentile exceeds
+    /// 30 s go to regular VMs (bounding failures at `100 − percentile` %).
+    BoundedFailures {
+        /// The decision percentile `x` (e.g. 99.0).
+        percentile: f64,
+    },
+    /// Strategy 3: everything on Harvest VMs.
+    LiveAndLetDie,
+}
+
+impl Strategy {
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::NoFailures => "S1 (no failures)".into(),
+            Strategy::BoundedFailures { percentile } => {
+                format!("S2 (P{percentile:.1} bound)")
+            }
+            Strategy::LiveAndLetDie => "S3 (all harvest)".into(),
+        }
+    }
+}
+
+/// Per-application pool assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The strategy that produced this assignment.
+    pub strategy: Strategy,
+    /// Pool per application.
+    pub pools: HashMap<AppId, Pool>,
+}
+
+impl Assignment {
+    /// Assigns every application in `trace` per `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace or a percentile outside `(0, 100]`.
+    pub fn from_trace(trace: &[Invocation], strategy: Strategy) -> Assignment {
+        assert!(!trace.is_empty(), "empty trace");
+        let mut durations: HashMap<AppId, Vec<f64>> = HashMap::new();
+        for inv in trace {
+            durations
+                .entry(inv.function.app)
+                .or_default()
+                .push(inv.duration.as_secs_f64());
+        }
+        let threshold = LONG_THRESHOLD.as_secs_f64();
+        let pools = durations
+            .into_iter()
+            .map(|(app, ds)| {
+                let pool = match strategy {
+                    Strategy::LiveAndLetDie => Pool::Harvest,
+                    Strategy::NoFailures => {
+                        if ds.iter().any(|&d| d > threshold) {
+                            Pool::Regular
+                        } else {
+                            Pool::Harvest
+                        }
+                    }
+                    Strategy::BoundedFailures { percentile } => {
+                        assert!(
+                            percentile > 0.0 && percentile <= 100.0,
+                            "bad percentile {percentile}"
+                        );
+                        let p = Cdf::from_samples(ds).percentile(percentile);
+                        if p > threshold {
+                            Pool::Regular
+                        } else {
+                            Pool::Harvest
+                        }
+                    }
+                };
+                (app, pool)
+            })
+            .collect();
+        Assignment { strategy, pools }
+    }
+
+    /// The pool of `app` (`Harvest` for apps never seen in the trace —
+    /// consistent with Strategy 3's default-cheap stance).
+    pub fn pool_of(&self, app: AppId) -> Pool {
+        self.pools.get(&app).copied().unwrap_or(Pool::Harvest)
+    }
+
+    /// Number of apps per pool: `(regular, harvest)`.
+    pub fn counts(&self) -> (usize, usize) {
+        let regular = self
+            .pools
+            .values()
+            .filter(|&&p| p == Pool::Regular)
+            .count();
+        (regular, self.pools.len() - regular)
+    }
+
+    /// Splits a trace into `(regular, harvest)` sub-traces.
+    pub fn split(&self, trace: &[Invocation]) -> (Vec<Invocation>, Vec<Invocation>) {
+        let mut regular = Vec::new();
+        let mut harvest = Vec::new();
+        for inv in trace {
+            match self.pool_of(inv.function.app) {
+                Pool::Regular => regular.push(*inv),
+                Pool::Harvest => harvest.push(*inv),
+            }
+        }
+        (regular, harvest)
+    }
+}
+
+/// Result of the keep-alive-aware capacity simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySplit {
+    /// Container-seconds consumed by regular-pool apps.
+    pub regular_container_secs: f64,
+    /// Container-seconds consumed by harvest-pool apps.
+    pub harvest_container_secs: f64,
+    /// Busy (execution) seconds per pool, for reference.
+    pub regular_busy_secs: f64,
+    /// Busy seconds on the harvest pool.
+    pub harvest_busy_secs: f64,
+}
+
+impl CapacitySplit {
+    /// Fraction of total container time hosted on Harvest VMs — the
+    /// y-axis of Figure 10.
+    pub fn harvest_fraction(&self) -> f64 {
+        let total = self.regular_container_secs + self.harvest_container_secs;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.harvest_container_secs / total
+        }
+    }
+}
+
+/// Simulates the container pool (greedy warm reuse + keep-alive) and
+/// charges each function's container time to its pool.
+///
+/// Containers are reused when free and not expired; each container's
+/// footprint spans first use → last completion + keep-alive.
+pub fn capacity_split(
+    trace: &[Invocation],
+    assignment: &Assignment,
+    keep_alive: SimDuration,
+) -> CapacitySplit {
+    #[derive(Debug, Clone, Copy)]
+    struct Slot {
+        busy_until: SimTime,
+        born: SimTime,
+    }
+    // Containers are per *function* (a container can only serve one
+    // function's code).
+    let mut pools: HashMap<hrv_trace::faas::FunctionId, Vec<Slot>> = HashMap::new();
+    let mut split = CapacitySplit {
+        regular_container_secs: 0.0,
+        harvest_container_secs: 0.0,
+        regular_busy_secs: 0.0,
+        harvest_busy_secs: 0.0,
+    };
+    // Accumulate per-container footprints on retirement.
+    let charge = |function: hrv_trace::faas::FunctionId,
+                      slot: Slot,
+                      last_end: SimTime,
+                      split: &mut CapacitySplit| {
+        let footprint = (last_end + keep_alive).since(slot.born).as_secs_f64();
+        match assignment.pool_of(function.app) {
+            Pool::Regular => split.regular_container_secs += footprint,
+            Pool::Harvest => split.harvest_container_secs += footprint,
+        }
+    };
+    for inv in trace {
+        let end = inv.arrival + inv.duration;
+        match assignment.pool_of(inv.function.app) {
+            Pool::Regular => split.regular_busy_secs += inv.duration.as_secs_f64(),
+            Pool::Harvest => split.harvest_busy_secs += inv.duration.as_secs_f64(),
+        }
+        let slots = pools.entry(inv.function).or_default();
+        // Retire expired containers (their keep-alive lapsed before this
+        // arrival).
+        let mut i = 0;
+        while i < slots.len() {
+            if slots[i].busy_until + keep_alive < inv.arrival {
+                let slot = slots.swap_remove(i);
+                charge(inv.function, slot, slot.busy_until, &mut split);
+            } else {
+                i += 1;
+            }
+        }
+        // Reuse a free container if one exists (earliest-finished first
+        // for determinism).
+        if let Some(best) = slots
+            .iter_mut()
+            .filter(|s| s.busy_until <= inv.arrival)
+            .min_by_key(|s| (s.busy_until, s.born))
+        {
+            best.busy_until = end;
+        } else {
+            slots.push(Slot {
+                busy_until: end,
+                born: inv.arrival,
+            });
+        }
+    }
+    // Retire everything still alive.
+    for (function, slots) in pools {
+        for slot in slots {
+            charge(function, slot, slot.busy_until, &mut split);
+        }
+    }
+    split
+}
+
+/// Sweeps the Strategy 2 decision percentile and reports the fraction of
+/// capacity hosted on Harvest VMs at each point — Figure 10's series.
+pub fn strategy2_sweep(
+    trace: &[Invocation],
+    keep_alive: SimDuration,
+    percentiles: &[f64],
+) -> Vec<(f64, f64)> {
+    percentiles
+        .iter()
+        .map(|&p| {
+            let assignment =
+                Assignment::from_trace(trace, Strategy::BoundedFailures { percentile: p });
+            let split = capacity_split(trace, &assignment, keep_alive);
+            (p, split.harvest_fraction())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::{Workload, WorkloadSpec};
+    use hrv_trace::rng::SeedFactory;
+
+    fn trace() -> Vec<Invocation> {
+        let spec = WorkloadSpec::paper_fsmall().scaled(119, 30.0);
+        Workload::generate(&spec, &SeedFactory::new(3))
+            .invocations(SimDuration::from_hours(1), &SeedFactory::new(3))
+    }
+
+    #[test]
+    fn strategy1_puts_long_apps_on_regular() {
+        let t = trace();
+        let a = Assignment::from_trace(&t, Strategy::NoFailures);
+        let (regular, harvest) = a.counts();
+        // Roughly half the apps are long (48.7 % calibration).
+        let frac = regular as f64 / (regular + harvest) as f64;
+        assert!((0.30..=0.65).contains(&frac), "regular fraction {frac}");
+        // No long invocation may land on harvest.
+        for inv in &t {
+            if inv.is_long() {
+                assert_eq!(a.pool_of(inv.function.app), Pool::Regular);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy3_puts_everything_on_harvest() {
+        let t = trace();
+        let a = Assignment::from_trace(&t, Strategy::LiveAndLetDie);
+        assert_eq!(a.counts().0, 0);
+    }
+
+    #[test]
+    fn strategy2_is_monotone_in_percentile() {
+        let t = trace();
+        let sweep = strategy2_sweep(
+            &t,
+            SimDuration::from_mins(10),
+            &[95.0, 97.0, 99.0, 99.9, 100.0],
+        );
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "harvest fraction must shrink as the bound tightens: {sweep:?}"
+            );
+        }
+        // Lower percentiles must beat Strategy 1 (the P100 point).
+        let s1 = sweep.last().unwrap().1;
+        assert!(sweep[0].1 > s1, "{sweep:?}");
+    }
+
+    #[test]
+    fn capacity_split_counts_keep_alive() {
+        // One app, one short invocation: busy 1 s but container lives
+        // 1 s + keep-alive.
+        use hrv_trace::faas::{AppId, FunctionId};
+        let inv = Invocation {
+            id: 0,
+            function: FunctionId {
+                app: AppId(0),
+                func: 0,
+            },
+            arrival: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            memory_mb: 128,
+            cpu_demand: 1.0,
+        };
+        let a = Assignment::from_trace(&[inv], Strategy::LiveAndLetDie);
+        let split = capacity_split(&[inv], &a, SimDuration::from_secs(60));
+        assert!((split.harvest_busy_secs - 1.0).abs() < 1e-9);
+        assert!((split.harvest_container_secs - 61.0).abs() < 1e-9);
+        assert_eq!(split.regular_container_secs, 0.0);
+    }
+
+    #[test]
+    fn warm_reuse_shares_a_container() {
+        use hrv_trace::faas::{AppId, FunctionId};
+        let f = FunctionId {
+            app: AppId(0),
+            func: 0,
+        };
+        let mk = |id, at| Invocation {
+            id,
+            function: f,
+            arrival: SimTime::from_secs(at),
+            duration: SimDuration::from_secs(1),
+            memory_mb: 128,
+            cpu_demand: 1.0,
+        };
+        // Two invocations 10 s apart with 60 s keep-alive: one container,
+        // footprint = 11 s of activity + 60 s trailing keep-alive.
+        let t = vec![mk(0, 0), mk(1, 10)];
+        let a = Assignment::from_trace(&t, Strategy::LiveAndLetDie);
+        let split = capacity_split(&t, &a, SimDuration::from_secs(60));
+        assert!((split.harvest_container_secs - 71.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_apps_capacity_exceeds_their_busy_share() {
+        // The Strategy 1 phenomenon: short apps are 0.32 % of busy time
+        // but a much larger share of container time thanks to keep-alive.
+        let t = trace();
+        let a = Assignment::from_trace(&t, Strategy::NoFailures);
+        let split = capacity_split(&t, &a, SimDuration::from_mins(10));
+        let busy_frac =
+            split.harvest_busy_secs / (split.harvest_busy_secs + split.regular_busy_secs);
+        let cap_frac = split.harvest_fraction();
+        assert!(cap_frac > 3.0 * busy_frac, "busy {busy_frac} cap {cap_frac}");
+        // And the paper's headline: only a small fraction of capacity can
+        // move to Harvest VMs under Strategy 1.
+        assert!(cap_frac < 0.40, "capacity fraction {cap_frac}");
+    }
+}

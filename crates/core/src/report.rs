@@ -1,0 +1,166 @@
+//! Plain-text table and series rendering for experiment reports.
+//!
+//! The `experiments` binary prints every regenerated figure/table through
+//! these helpers so EXPERIMENTS.md stays consistent.
+
+use std::fmt::Write;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            writeln!(out, "## {}", self.title).expect("string write");
+        }
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (cell, w) in cells.iter().zip(widths) {
+                parts.push(format!("{cell:>w$}", w = w));
+            }
+            writeln!(out, "| {} |", parts.join(" | ")).expect("string write");
+        };
+        line(&self.header, &widths, &mut out);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&sep, &widths, &mut out);
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a probability as a percentage with adaptive precision (tiny
+/// reliability numbers keep their significant digits).
+pub fn pct(p: f64) -> String {
+    if p < 0.0 {
+        return format!("-{}", pct(-p));
+    }
+    if p == 0.0 {
+        "0%".to_string()
+    } else if p < 1e-4 {
+        format!("{:.2e}%", p * 100.0)
+    } else if p < 0.01 {
+        format!("{:.4}%", p * 100.0)
+    } else {
+        format!("{:.1}%", p * 100.0)
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(s: Option<f64>) -> String {
+    match s {
+        None => "-".to_string(),
+        Some(s) if s < 1.0 => format!("{:.0}ms", s * 1e3),
+        Some(s) if s < 100.0 => format!("{s:.2}s"),
+        Some(s) => format!("{s:.0}s"),
+    }
+}
+
+/// Formats a ratio like "2.2x".
+pub fn ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// Renders an `(x, y)` series as a two-column table body.
+pub fn series_table(title: &str, x_name: &str, y_name: &str, series: &[(f64, f64)]) -> String {
+    let mut t = Table::new(title, &[x_name, y_name]);
+    for &(x, y) in series {
+        t.row(vec![format!("{x:.4}"), format!("{y:.4}")]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("a-much-longer-name"));
+        // All data lines share the same width.
+        let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        Table::new("x", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_adapts_precision() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.0005), "0.0500%");
+        assert!(pct(1.5e-7).contains('e'));
+        assert_eq!(pct(-0.25), "-25.0%");
+    }
+
+    #[test]
+    fn secs_and_ratio_format() {
+        assert_eq!(secs(None), "-");
+        assert_eq!(secs(Some(0.25)), "250ms");
+        assert_eq!(secs(Some(12.345)), "12.35s");
+        assert_eq!(secs(Some(250.0)), "250s");
+        assert_eq!(ratio(2.24), "2.2x");
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = series_table("S", "x", "y", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("4.0000"));
+    }
+}

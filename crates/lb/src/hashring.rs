@@ -1,0 +1,276 @@
+//! Consistent hashing for home-VM assignment (Section 5.2).
+//!
+//! MWS anchors every function to a *home* invoker and grows the worker set
+//! clockwise from there. Consistent hashing keeps home assignments stable
+//! when VMs are evicted or deployed: only the functions whose home was the
+//! departed VM (or falls to the new VM) are reshuffled, which is what
+//! keeps the cold-start rate flat across churn.
+
+use hrv_trace::faas::FunctionId;
+use hrv_trace::rng::{label_id, splitmix64};
+
+use crate::view::InvokerId;
+
+/// Number of virtual nodes per invoker. More replicas smooth the key-space
+/// share each invoker owns at the cost of a bigger ring.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// A consistent-hash ring over invokers with virtual nodes.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(hash, invoker)` pairs sorted by hash.
+    ring: Vec<(u64, InvokerId)>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Creates an empty ring with [`DEFAULT_VNODES`] replicas per invoker.
+    pub fn new() -> Self {
+        HashRing {
+            ring: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+        }
+    }
+
+    /// Creates an empty ring with a custom replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn with_vnodes(vnodes: u32) -> Self {
+        assert!(vnodes >= 1);
+        HashRing {
+            ring: Vec::new(),
+            vnodes,
+        }
+    }
+
+    fn vnode_hash(id: InvokerId, replica: u32) -> u64 {
+        let packed = (u64::from(id.0) << 32) | u64::from(replica);
+        splitmix64(packed ^ 0xA5A5_5A5A_0F0F_F0F0)
+    }
+
+    /// Hashes a function to its ring position.
+    pub fn function_hash(f: FunctionId) -> u64 {
+        splitmix64(label_id("fn") ^ ((u64::from(f.app.0) << 32) | u64::from(f.func)))
+    }
+
+    /// Adds an invoker's virtual nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invoker is already on the ring.
+    pub fn add(&mut self, id: InvokerId) {
+        assert!(!self.contains(id), "invoker {id:?} already on ring");
+        for r in 0..self.vnodes {
+            let h = Self::vnode_hash(id, r);
+            let pos = self.ring.partition_point(|&(rh, _)| rh < h);
+            self.ring.insert(pos, (h, id));
+        }
+    }
+
+    /// Removes an invoker's virtual nodes. Returns `true` if it was present.
+    pub fn remove(&mut self, id: InvokerId) -> bool {
+        let before = self.ring.len();
+        self.ring.retain(|&(_, rid)| rid != id);
+        before != self.ring.len()
+    }
+
+    /// True if the invoker has nodes on the ring.
+    pub fn contains(&self, id: InvokerId) -> bool {
+        self.ring.iter().any(|&(_, rid)| rid == id)
+    }
+
+    /// Number of distinct invokers on the ring.
+    pub fn members(&self) -> usize {
+        let mut ids: Vec<InvokerId> = self.ring.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The home invoker of `function`: the first vnode clockwise from the
+    /// function's hash. Returns `None` on an empty ring.
+    pub fn home(&self, function: FunctionId) -> Option<InvokerId> {
+        self.successors(Self::function_hash(function)).next()
+    }
+
+    /// Walks invokers clockwise from `hash`, skipping duplicate invokers,
+    /// visiting each member exactly once.
+    pub fn successors(&self, hash: u64) -> Successors<'_> {
+        let start = self.ring.partition_point(|&(rh, _)| rh < hash);
+        Successors {
+            ring: &self.ring,
+            offset: 0,
+            start,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Walks invokers clockwise starting at `function`'s home — the MWS
+    /// worker-set growth order (`CH(f)`, `next(VM)`, ... in Algorithm 1).
+    pub fn walk(&self, function: FunctionId) -> Successors<'_> {
+        self.successors(Self::function_hash(function))
+    }
+}
+
+/// Iterator over distinct invokers in clockwise ring order.
+///
+/// Deduplication uses a hash set so a full walk is O(ring) rather than
+/// O(members²); the *yield order* stays the deterministic ring order.
+#[derive(Debug)]
+pub struct Successors<'a> {
+    ring: &'a [(u64, InvokerId)],
+    offset: usize,
+    start: usize,
+    seen: std::collections::HashSet<InvokerId>,
+}
+
+impl Iterator for Successors<'_> {
+    type Item = InvokerId;
+
+    fn next(&mut self) -> Option<InvokerId> {
+        while self.offset < self.ring.len() {
+            let idx = (self.start + self.offset) % self.ring.len();
+            self.offset += 1;
+            let (_, id) = self.ring[idx];
+            if self.seen.insert(id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+
+    fn f(app: u32, func: u32) -> FunctionId {
+        FunctionId {
+            app: AppId(app),
+            func,
+        }
+    }
+
+    fn ring_of(n: u32) -> HashRing {
+        let mut ring = HashRing::new();
+        for i in 0..n {
+            ring.add(InvokerId(i));
+        }
+        ring
+    }
+
+    #[test]
+    fn empty_ring_has_no_home() {
+        let ring = HashRing::new();
+        assert!(ring.home(f(1, 0)).is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn home_is_stable() {
+        let ring = ring_of(10);
+        let h1 = ring.home(f(42, 1)).unwrap();
+        let h2 = ring.home(f(42, 1)).unwrap();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn walk_visits_every_member_once() {
+        let ring = ring_of(8);
+        let order: Vec<InvokerId> = ring.walk(f(7, 0)).collect();
+        assert_eq!(order.len(), 8);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert_eq!(order[0], ring.home(f(7, 0)).unwrap());
+    }
+
+    #[test]
+    fn removal_only_moves_orphaned_functions() {
+        let ring10 = ring_of(10);
+        let mut ring9 = ring_of(10);
+        ring9.remove(InvokerId(4));
+
+        let mut moved = 0;
+        let mut total = 0;
+        for app in 0..2_000u32 {
+            let func = f(app, 0);
+            let before = ring10.home(func).unwrap();
+            let after = ring9.home(func).unwrap();
+            total += 1;
+            if before != after {
+                moved += 1;
+                // Every function that moved must have had the removed
+                // invoker as its home — the consistent-hashing guarantee.
+                assert_eq!(before, InvokerId(4));
+            }
+        }
+        // Expect ~1/10 of functions to move.
+        let frac = f64::from(moved) / f64::from(total);
+        assert!((0.04..=0.18).contains(&frac), "moved {frac}");
+    }
+
+    #[test]
+    fn addition_steals_only_for_new_member() {
+        let ring10 = ring_of(10);
+        let mut ring11 = ring_of(10);
+        ring11.add(InvokerId(10));
+        for app in 0..2_000u32 {
+            let func = f(app, 0);
+            let before = ring10.home(func).unwrap();
+            let after = ring11.home(func).unwrap();
+            if before != after {
+                assert_eq!(after, InvokerId(10));
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = ring_of(10);
+        let mut counts = [0u32; 10];
+        for app in 0..20_000u32 {
+            let home = ring.home(f(app, 0)).unwrap();
+            counts[home.0 as usize] += 1;
+        }
+        let expected = 2_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.5, "invoker {i} owns {c} functions");
+        }
+    }
+
+    #[test]
+    fn members_counts_distinct_invokers() {
+        let mut ring = ring_of(3);
+        assert_eq!(ring.members(), 3);
+        ring.remove(InvokerId(1));
+        assert_eq!(ring.members(), 2);
+        assert!(!ring.contains(InvokerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already on ring")]
+    fn double_add_panics() {
+        let mut ring = ring_of(1);
+        ring.add(InvokerId(0));
+    }
+
+    #[test]
+    fn single_vnode_ring_works() {
+        let mut ring = HashRing::with_vnodes(1);
+        ring.add(InvokerId(0));
+        ring.add(InvokerId(1));
+        assert!(ring.home(f(0, 0)).is_some());
+        assert_eq!(ring.walk(f(0, 0)).count(), 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hrv-lb
+//!
+//! Load-balancing policies for serverless platforms on harvested
+//! resources: the paper's **min-worker-set (MWS)** algorithm
+//! ([`mws`]), the **join-the-shortest-queue** family ([`jsq`]),
+//! **vanilla OpenWhisk** memory bin-packing ([`vanilla`]), and simple
+//! baselines ([`simple`]); plus the consistent-hash ring ([`hashring`]),
+//! the controller's fleet view ([`view`]), and the learned per-function
+//! statistics ([`estimate`]) they consume.
+
+pub mod estimate;
+pub mod hashring;
+pub mod jsq;
+pub mod mws;
+pub mod policy;
+pub mod simple;
+pub mod vanilla;
+pub mod view;
+
+pub use policy::{LoadBalancer, PolicyKind};
+pub use view::{ClusterView, InvokerId, InvokerView, LoadWeights};

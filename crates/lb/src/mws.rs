@@ -1,0 +1,385 @@
+//! Min-worker-set (MWS) load balancing — Algorithm 1 of the paper.
+//!
+//! MWS consolidates each function onto the smallest set of invokers whose
+//! spare resources cover the function's estimated usage
+//! `u_f = RPS_f · E[CPU_f] · E[lat_f]`, then sends the invocation to the
+//! least-loaded member of that set. Consolidation keeps per-invoker
+//! inter-arrival times below the container keep-alive, so starts stay
+//! warm; growing the set under load bounds contention like JSQ does.
+//!
+//! The home invoker comes from consistent hashing, so VM churn reshuffles
+//! only the functions anchored to the affected VM (Section 5.2), and
+//! worker-set *reductions* are rate-limited to one per 30 seconds to
+//! smooth oscillating load (Section 6.2).
+
+use std::collections::HashMap;
+
+use hrv_trace::faas::FunctionId;
+use hrv_trace::time::{SimDuration, SimTime};
+
+use crate::estimate::{StatsPriors, StatsRegistry};
+use crate::hashring::HashRing;
+use crate::policy::LoadBalancer;
+use crate::view::{ClusterView, InvokerId, LoadWeights};
+
+/// Minimum interval between worker-set reductions for one function.
+pub const SHRINK_DAMPING: SimDuration = SimDuration::from_secs(30);
+
+#[derive(Debug, Clone, Copy)]
+struct SetState {
+    /// Current worker-set size.
+    k: usize,
+    /// Last time the set was allowed to shrink.
+    last_shrink: SimTime,
+}
+
+/// The MWS policy.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_lb::mws::Mws;
+/// use hrv_lb::policy::LoadBalancer;
+/// use hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
+/// use hrv_trace::faas::{AppId, FunctionId};
+/// use hrv_trace::time::SimTime;
+/// use rand::SeedableRng;
+///
+/// let mut mws = Mws::new(LoadWeights::default(), 1);
+/// let mut view = ClusterView::new();
+/// for i in 0..4 {
+///     mws.on_invoker_join(InvokerId(i));
+///     view.add(InvokerView::register(InvokerId(i), 8, 16 * 1024, SimTime::ZERO));
+/// }
+/// let f = FunctionId { app: AppId(9), func: 0 };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // A cold function goes to its consistent-hashing home VM.
+/// let placed = mws.place(SimTime::ZERO, f, 256, &view, &mut rng).unwrap();
+/// assert_eq!(Some(placed), mws.home(f));
+/// ```
+#[derive(Debug)]
+pub struct Mws {
+    ring: HashRing,
+    stats: StatsRegistry,
+    weights: LoadWeights,
+    sets: HashMap<FunctionId, SetState>,
+}
+
+impl Mws {
+    /// Creates an MWS balancer for a deployment with `controllers`
+    /// controllers (used to scale locally observed arrival rates).
+    pub fn new(weights: LoadWeights, controllers: u32) -> Self {
+        Mws {
+            ring: HashRing::new(),
+            stats: StatsRegistry::new(StatsPriors::default(), controllers),
+            weights,
+            sets: HashMap::new(),
+        }
+    }
+
+    /// The home invoker currently assigned to `function`, if any.
+    pub fn home(&self, function: FunctionId) -> Option<InvokerId> {
+        self.ring.home(function)
+    }
+
+    /// Current worker-set size for `function` (1 before any placement).
+    pub fn worker_set_size(&self, function: FunctionId) -> usize {
+        self.sets.get(&function).map(|s| s.k).unwrap_or(1)
+    }
+
+    /// Mutable access to the learned statistics (exposed for tests and
+    /// warm-starting experiments).
+    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+        &mut self.stats
+    }
+
+    /// Computes the minimal covering set per Algorithm 1: walk clockwise
+    /// from the home VM accumulating `usable_resources` until the
+    /// function's estimated usage is covered. Only placeable invokers
+    /// count. Returns at least one member when any invoker is placeable.
+    fn covering_set(&self, usage: f64, function: FunctionId, view: &ClusterView) -> Vec<InvokerId> {
+        let mut set = Vec::new();
+        let mut covered = 0.0;
+        for id in self.ring.walk(function) {
+            let Some(v) = view.get(id) else { continue };
+            if !v.placeable() {
+                continue;
+            }
+            covered += v.usable_cpus();
+            set.push(id);
+            if covered >= usage && !set.is_empty() {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Applies the 30-second shrink damping: growth is immediate, shrink
+    /// is one step per damping interval.
+    fn damped_size(&mut self, function: FunctionId, target: usize, now: SimTime) -> usize {
+        let entry = self.sets.entry(function).or_insert(SetState {
+            k: target,
+            last_shrink: now,
+        });
+        if target >= entry.k {
+            entry.k = target;
+        } else if now.since(entry.last_shrink) >= SHRINK_DAMPING {
+            entry.k -= 1;
+            entry.last_shrink = now;
+        }
+        entry.k
+    }
+}
+
+impl LoadBalancer for Mws {
+    fn name(&self) -> &'static str {
+        "MWS"
+    }
+
+    fn place(
+        &mut self,
+        now: SimTime,
+        function: FunctionId,
+        _memory_mb: u64,
+        view: &ClusterView,
+        _rng: &mut dyn rand::Rng,
+    ) -> Option<InvokerId> {
+        let usage = self.stats.usage_estimate(function, now);
+        let covering = self.covering_set(usage, function, view);
+        if covering.is_empty() {
+            return None;
+        }
+        let k = self.damped_size(function, covering.len(), now).max(1);
+
+        // The damped set may be larger than the covering set: extend the
+        // walk to `k` placeable members.
+        let mut members = covering;
+        if members.len() < k {
+            for id in self.ring.walk(function) {
+                if members.len() >= k {
+                    break;
+                }
+                if members.contains(&id) {
+                    continue;
+                }
+                let Some(v) = view.get(id) else { continue };
+                if v.placeable() {
+                    members.push(id);
+                }
+            }
+        } else {
+            members.truncate(k);
+        }
+
+        // Least-loaded member by the weighted CPU+memory metric; ties break
+        // toward the earliest ring position (stable).
+        members
+            .into_iter()
+            .filter_map(|id| view.get(id))
+            .min_by(|a, b| {
+                a.weighted_load(self.weights)
+                    .total_cmp(&b.weighted_load(self.weights))
+            })
+            .map(|v| v.id)
+    }
+
+    fn on_arrival(&mut self, function: FunctionId, now: SimTime) {
+        self.stats.record_arrival(function, now);
+    }
+
+    fn on_completion(&mut self, function: FunctionId, duration: SimDuration, cpu_cores: f64) {
+        self.stats.record_completion(function, duration, cpu_cores);
+    }
+
+    fn on_invoker_join(&mut self, id: InvokerId) {
+        if !self.ring.contains(id) {
+            self.ring.add(id);
+        }
+    }
+
+    fn on_invoker_leave(&mut self, id: InvokerId) {
+        self.ring.remove(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+    use hrv_trace::time::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::view::InvokerView;
+
+    fn f(app: u32) -> FunctionId {
+        FunctionId {
+            app: AppId(app),
+            func: 0,
+        }
+    }
+
+    fn cluster(n: u32, cpus: u32) -> (Mws, ClusterView) {
+        let mut mws = Mws::new(LoadWeights::default(), 1);
+        let mut view = ClusterView::new();
+        for i in 0..n {
+            mws.on_invoker_join(InvokerId(i));
+            view.add(InvokerView::register(
+                InvokerId(i),
+                cpus,
+                64 * 1024,
+                SimTime::ZERO,
+            ));
+        }
+        (mws, view)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn cold_function_lands_on_home() {
+        let (mut mws, view) = cluster(10, 16);
+        let home = mws.home(f(3)).unwrap();
+        let placed = mws
+            .place(SimTime::ZERO, f(3), 256, &view, &mut rng())
+            .unwrap();
+        // With no learned usage the covering set is {home}.
+        assert_eq!(placed, home);
+        assert_eq!(mws.worker_set_size(f(3)), 1);
+    }
+
+    #[test]
+    fn placement_is_consolidated_at_low_load() {
+        let (mut mws, view) = cluster(10, 16);
+        let mut r = rng();
+        let mut targets = std::collections::HashSet::new();
+        for i in 0..50 {
+            let now = SimTime::from_secs(i * 20); // slow arrivals
+            mws.on_arrival(f(9), now);
+            targets.insert(mws.place(now, f(9), 256, &view, &mut r).unwrap());
+        }
+        // Low-rate function stays on very few invokers (warm starts).
+        assert!(targets.len() <= 2, "spread over {} invokers", targets.len());
+    }
+
+    #[test]
+    fn worker_set_grows_with_learned_usage() {
+        let (mut mws, mut view) = cluster(10, 8);
+        let mut r = rng();
+        // Teach the balancer: 10 rps × 8 s × 1 core = 80 cores needed,
+        // which exceeds any single 8-CPU invoker.
+        for _ in 0..20 {
+            mws.on_completion(f(1), SimDuration::from_secs(8), 1.0);
+        }
+        let mut targets = std::collections::HashSet::new();
+        for i in 0..600u64 {
+            let now = SimTime::from_micros(i * 100_000); // 10 rps
+            mws.on_arrival(f(1), now);
+            if let Some(id) = mws.place(now, f(1), 256, &view, &mut r) {
+                // Mimic the controller's optimistic load bookkeeping so
+                // least-loaded selection sees its own placements.
+                let v = view.get_mut(id).unwrap();
+                v.cpu_in_use = (v.cpu_in_use + 0.05).min(f64::from(v.total_cpus));
+                targets.insert(id);
+            }
+        }
+        assert!(
+            mws.worker_set_size(f(1)) >= 5,
+            "set size {}",
+            mws.worker_set_size(f(1))
+        );
+        assert!(targets.len() >= 5, "spread {} invokers", targets.len());
+    }
+
+    #[test]
+    fn shrink_is_damped_to_one_step_per_interval() {
+        let (mut mws, view) = cluster(10, 8);
+        let mut r = rng();
+        // Force a large set.
+        for _ in 0..20 {
+            mws.on_completion(f(1), SimDuration::from_secs(8), 1.0);
+        }
+        for i in 0..600u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            mws.on_arrival(f(1), now);
+            mws.place(now, f(1), 256, &view, &mut r);
+        }
+        let big = mws.worker_set_size(f(1));
+        assert!(big >= 5);
+        // Load vanishes; rate estimator decays. Within the damping window
+        // the set may shrink at most once.
+        let later = SimTime::from_secs(200);
+        mws.place(later, f(1), 256, &view, &mut r);
+        assert!(mws.worker_set_size(f(1)) >= big - 1);
+        // After many damping intervals it shrinks step by step.
+        let mut t = later;
+        for _ in 0..big {
+            t += SimDuration::from_secs(31);
+            mws.place(t, f(1), 256, &view, &mut r);
+        }
+        assert!(
+            mws.worker_set_size(f(1)) < big,
+            "never shrank from {big}"
+        );
+    }
+
+    #[test]
+    fn warned_invokers_are_skipped() {
+        let (mut mws, mut view) = cluster(4, 16);
+        let home = mws.home(f(2)).unwrap();
+        view.get_mut(home).unwrap().eviction_pending = true;
+        let placed = mws
+            .place(SimTime::ZERO, f(2), 256, &view, &mut rng())
+            .unwrap();
+        assert_ne!(placed, home);
+    }
+
+    #[test]
+    fn no_placeable_invokers_returns_none() {
+        let (mut mws, mut view) = cluster(3, 16);
+        for i in 0..3 {
+            view.get_mut(InvokerId(i)).unwrap().healthy = false;
+        }
+        assert!(mws.place(SimTime::ZERO, f(0), 256, &view, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn churn_keeps_most_homes_stable() {
+        let (mut mws, _) = cluster(10, 16);
+        let homes_before: Vec<InvokerId> =
+            (0..500).map(|a| mws.home(f(a)).unwrap()).collect();
+        mws.on_invoker_leave(InvokerId(7));
+        let mut moved = 0;
+        for (a, &before) in homes_before.iter().enumerate() {
+            let after = mws.home(f(a as u32)).unwrap();
+            if after != before {
+                moved += 1;
+                assert_eq!(before, InvokerId(7));
+            }
+        }
+        assert!(moved > 0 && moved < 150, "moved {moved}");
+    }
+
+    #[test]
+    fn least_loaded_member_wins() {
+        let (mut mws, mut view) = cluster(3, 16);
+        // Teach a usage that needs ~2 invokers (20 cores > 16).
+        for _ in 0..10 {
+            mws.on_completion(f(5), SimDuration::from_secs(2), 1.0);
+        }
+        let mut r = rng();
+        for i in 0..300u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            mws.on_arrival(f(5), now);
+            mws.place(now, f(5), 256, &view, &mut r);
+        }
+        let now = SimTime::from_secs(31);
+        // Saturate the home invoker; the alternative must win.
+        let home = mws.home(f(5)).unwrap();
+        view.get_mut(home).unwrap().cpu_in_use = 16.0;
+        let placed = mws.place(now, f(5), 256, &view, &mut r).unwrap();
+        assert_ne!(placed, home);
+    }
+}

@@ -1,0 +1,156 @@
+//! Baseline policies: uniform random and round-robin placement.
+//!
+//! Neither is in the paper's headline comparison, but both are standard
+//! yardsticks for load-balancer evaluations and are used by the ablation
+//! benches to separate "any spreading at all" from CPU-aware spreading.
+
+use hrv_trace::faas::FunctionId;
+use hrv_trace::time::SimTime;
+use rand::RngExt;
+
+use crate::policy::LoadBalancer;
+use crate::view::{ClusterView, InvokerId};
+
+/// Uniform random placement over placeable invokers.
+#[derive(Debug, Default)]
+pub struct Random;
+
+impl Random {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Random
+    }
+}
+
+impl LoadBalancer for Random {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn place(
+        &mut self,
+        _now: SimTime,
+        _function: FunctionId,
+        _memory_mb: u64,
+        view: &ClusterView,
+        rng: &mut dyn rand::Rng,
+    ) -> Option<InvokerId> {
+        let candidates: Vec<InvokerId> = view.placeable().map(|v| v.id).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        }
+    }
+}
+
+/// Round-robin placement over placeable invokers, in id order.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: u64,
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl LoadBalancer for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    fn place(
+        &mut self,
+        _now: SimTime,
+        _function: FunctionId,
+        _memory_mb: u64,
+        view: &ClusterView,
+        _rng: &mut dyn rand::Rng,
+    ) -> Option<InvokerId> {
+        let candidates: Vec<InvokerId> = view.placeable().map(|v| v.id).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[(self.next % candidates.len() as u64) as usize];
+        self.next = self.next.wrapping_add(1);
+        Some(pick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::view::InvokerView;
+
+    fn f() -> FunctionId {
+        FunctionId {
+            app: AppId(0),
+            func: 0,
+        }
+    }
+
+    fn view_of(n: u32) -> ClusterView {
+        let mut view = ClusterView::new();
+        for i in 0..n {
+            view.add(InvokerView::register(
+                InvokerId(i),
+                8,
+                1_024,
+                SimTime::ZERO,
+            ));
+        }
+        view
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let view = view_of(3);
+        let mut lb = RoundRobin::new();
+        let mut r = StdRng::seed_from_u64(0);
+        let picks: Vec<u32> = (0..6)
+            .map(|_| lb.place(SimTime::ZERO, f(), 0, &view, &mut r).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_covers_all_invokers() {
+        let view = view_of(4);
+        let mut lb = Random::new();
+        let mut r = StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(lb.place(SimTime::ZERO, f(), 0, &view, &mut r).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn both_return_none_on_empty_fleet() {
+        let view = ClusterView::new();
+        let mut r = StdRng::seed_from_u64(0);
+        assert!(Random::new().place(SimTime::ZERO, f(), 0, &view, &mut r).is_none());
+        assert!(RoundRobin::new()
+            .place(SimTime::ZERO, f(), 0, &view, &mut r)
+            .is_none());
+    }
+
+    #[test]
+    fn round_robin_skips_warned() {
+        let mut view = view_of(3);
+        view.get_mut(InvokerId(1)).unwrap().eviction_pending = true;
+        let mut lb = RoundRobin::new();
+        let mut r = StdRng::seed_from_u64(0);
+        let picks: Vec<u32> = (0..4)
+            .map(|_| lb.place(SimTime::ZERO, f(), 0, &view, &mut r).unwrap().0)
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+}

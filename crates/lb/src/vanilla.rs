@@ -1,0 +1,256 @@
+//! Vanilla OpenWhisk load balancing (Section 6.1).
+//!
+//! "OpenWhisk by default implements memory bin packing: the Controller
+//! keeps track of memory usage of all pending invocations ... and
+//! iteratively directs all incoming invocations to one Invoker until the
+//! memory quota of that Invoker is exhausted."
+//!
+//! The policy is CPU-blind and harvest-blind: it keeps stuffing the
+//! current invoker while memory remains, even when that invoker's CPUs
+//! have shrunk to a sliver — which is exactly why it saturates at a
+//! fraction of MWS's throughput on heterogeneous clusters (Figure 12).
+
+use hrv_trace::faas::FunctionId;
+use hrv_trace::time::SimTime;
+
+use crate::policy::LoadBalancer;
+use crate::view::{ClusterView, InvokerId};
+
+/// The vanilla OpenWhisk memory bin-packing policy.
+#[derive(Debug, Default)]
+pub struct VanillaOpenWhisk {
+    /// The invoker currently being filled.
+    cursor: Option<InvokerId>,
+    /// Per-invoker user-memory quota; `None` uses the VM's full memory.
+    /// Deployed OpenWhisk configures this (`userMemory`) well below VM
+    /// memory, which bounds how much pending work one invoker absorbs.
+    quota_mb: Option<u64>,
+}
+
+impl VanillaOpenWhisk {
+    /// Creates the policy with the VM's full memory as the quota.
+    pub fn new() -> Self {
+        VanillaOpenWhisk::default()
+    }
+
+    /// Creates the policy with an explicit per-invoker user-memory quota.
+    pub fn with_quota(quota_mb: u64) -> Self {
+        VanillaOpenWhisk {
+            cursor: None,
+            quota_mb: Some(quota_mb),
+        }
+    }
+
+    fn fits(&self, view: &ClusterView, id: InvokerId, memory_mb: u64) -> bool {
+        // OpenWhisk's controller books only *pending invocation* memory
+        // against the invoker quota — warm containers are the invoker's
+        // business. This is why vanilla keeps hammering one invoker long
+        // after its CPUs have saturated.
+        view.get(id)
+            .map(|v| {
+                let quota = self.quota_mb.map_or(v.memory_mb, |q| q.min(v.memory_mb));
+                v.healthy && quota.saturating_sub(v.memory_pending_mb) >= memory_mb
+            })
+            .unwrap_or(false)
+    }
+}
+
+impl LoadBalancer for VanillaOpenWhisk {
+    fn name(&self) -> &'static str {
+        "Vanilla"
+    }
+
+    fn place(
+        &mut self,
+        _now: SimTime,
+        _function: FunctionId,
+        memory_mb: u64,
+        view: &ClusterView,
+        _rng: &mut dyn rand::Rng,
+    ) -> Option<InvokerId> {
+        // Keep filling the current invoker while its memory quota lasts.
+        // Note: vanilla OpenWhisk is not harvest-aware, so it ignores
+        // eviction warnings (only hard unhealthiness stops it).
+        if let Some(cur) = self.cursor {
+            if self.fits(view, cur, memory_mb) {
+                return Some(cur);
+            }
+        }
+        // Memory exhausted (or first placement): advance to the next
+        // invoker with room, scanning in id order from the cursor.
+        let all = view.all();
+        if all.is_empty() {
+            return None;
+        }
+        let start = self
+            .cursor
+            .map(|c| all.partition_point(|v| v.id <= c))
+            .unwrap_or(0);
+        for k in 0..all.len() {
+            let v = &all[(start + k) % all.len()];
+            if self.fits(view, v.id, memory_mb) {
+                self.cursor = Some(v.id);
+                return Some(v.id);
+            }
+        }
+        None
+    }
+
+    fn on_invoker_leave(&mut self, id: InvokerId) {
+        if self.cursor == Some(id) {
+            self.cursor = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod quota_tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::view::InvokerView;
+
+    #[test]
+    fn quota_spills_before_vm_memory() {
+        let mut view = ClusterView::new();
+        for i in 0..2 {
+            view.add(InvokerView::register(
+                InvokerId(i),
+                8,
+                64 * 1024,
+                hrv_trace::time::SimTime::ZERO,
+            ));
+        }
+        let mut lb = VanillaOpenWhisk::with_quota(512);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = FunctionId {
+            app: AppId(0),
+            func: 0,
+        };
+        let mut placements = Vec::new();
+        for _ in 0..4 {
+            let id = lb
+                .place(hrv_trace::time::SimTime::ZERO, f, 256, &view, &mut rng)
+                .unwrap();
+            view.get_mut(id).unwrap().memory_pending_mb += 256;
+            placements.push(id.0);
+        }
+        // 512 MiB quota = two 256 MiB placements per invoker.
+        assert_eq!(placements, vec![0, 0, 1, 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::view::InvokerView;
+
+    fn f() -> FunctionId {
+        FunctionId {
+            app: AppId(0),
+            func: 0,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4)
+    }
+
+    fn small_view(mem_mb: u64) -> ClusterView {
+        let mut view = ClusterView::new();
+        for i in 0..3 {
+            view.add(InvokerView::register(
+                InvokerId(i),
+                8,
+                mem_mb,
+                SimTime::ZERO,
+            ));
+        }
+        view
+    }
+
+    #[test]
+    fn packs_one_invoker_until_memory_exhausted() {
+        let mut view = small_view(1_024);
+        let mut lb = VanillaOpenWhisk::new();
+        let mut r = rng();
+        // Each placement commits 256 MiB (the caller updates the view, as
+        // the controller does).
+        let mut placements = Vec::new();
+        for _ in 0..8 {
+            let id = lb.place(SimTime::ZERO, f(), 256, &view, &mut r).unwrap();
+            view.get_mut(id).unwrap().memory_pending_mb += 256;
+            placements.push(id.0);
+        }
+        assert_eq!(placements, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn ignores_cpu_load_entirely() {
+        let mut view = small_view(64 * 1024);
+        // Invoker 0 is CPU-saturated; vanilla does not care.
+        view.get_mut(InvokerId(0)).unwrap().cpu_in_use = 8.0;
+        let mut lb = VanillaOpenWhisk::new();
+        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_eq!(placed, InvokerId(0));
+    }
+
+    #[test]
+    fn ignores_eviction_warnings() {
+        let mut view = small_view(64 * 1024);
+        view.get_mut(InvokerId(0)).unwrap().eviction_pending = true;
+        let mut lb = VanillaOpenWhisk::new();
+        // Not harvest-aware: still places on the warned invoker.
+        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_eq!(placed, InvokerId(0));
+    }
+
+    #[test]
+    fn skips_unhealthy_invokers() {
+        let mut view = small_view(64 * 1024);
+        view.get_mut(InvokerId(0)).unwrap().healthy = false;
+        let mut lb = VanillaOpenWhisk::new();
+        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_eq!(placed, InvokerId(1));
+    }
+
+    #[test]
+    fn returns_none_when_all_memory_is_full() {
+        let mut view = small_view(256);
+        for i in 0..3 {
+            view.get_mut(InvokerId(i)).unwrap().memory_pending_mb = 256;
+        }
+        let mut lb = VanillaOpenWhisk::new();
+        assert!(lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn warm_container_memory_does_not_stop_packing() {
+        // Only pending (in-flight) memory counts against the quota; the
+        // invoker's warm containers are invisible to the controller's
+        // bin-packing — OpenWhisk semantics.
+        let mut view = small_view(1_024);
+        view.get_mut(InvokerId(0)).unwrap().memory_used_mb = 1_024;
+        let mut lb = VanillaOpenWhisk::new();
+        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_eq!(placed, InvokerId(0));
+    }
+
+    #[test]
+    fn cursor_resets_when_invoker_leaves() {
+        let mut view = small_view(64 * 1024);
+        let mut lb = VanillaOpenWhisk::new();
+        let first = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_eq!(first, InvokerId(0));
+        lb.on_invoker_leave(InvokerId(0));
+        view.remove(InvokerId(0));
+        let next = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        assert_ne!(next, InvokerId(0));
+    }
+}

@@ -1,0 +1,294 @@
+//! The controller's view of the invoker fleet.
+//!
+//! Load-balancing decisions are made against this view, which is fed by
+//! the (simulated) health pings invokers send every second — so it can be
+//! up to a ping interval stale, exactly like the modified OpenWhisk
+//! controller in Section 6.2.
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::time::SimTime;
+
+/// Identifies an invoker (one per VM).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct InvokerId(pub u32);
+
+/// Weights for the CPU/memory utilization mix used as the load metric.
+/// The paper requires `w_cpu > w_mem` "to reflect the scarcity of
+/// allocated CPUs" (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadWeights {
+    /// Weight on CPU utilization.
+    pub cpu: f64,
+    /// Weight on memory utilization.
+    pub mem: f64,
+}
+
+impl Default for LoadWeights {
+    fn default() -> Self {
+        LoadWeights { cpu: 0.8, mem: 0.2 }
+    }
+}
+
+/// One invoker's last-reported state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvokerView {
+    /// Invoker id.
+    pub id: InvokerId,
+    /// CPUs currently allocated to the hosting (Harvest) VM.
+    pub total_cpus: u32,
+    /// Cores in use (running invocations), as last reported.
+    pub cpu_in_use: f64,
+    /// Total memory of the VM in MiB.
+    pub memory_mb: u64,
+    /// Memory held by containers (warm + running) in MiB.
+    pub memory_used_mb: u64,
+    /// Memory committed to in-flight placements the invoker has not yet
+    /// acknowledged, in MiB (controller-side bookkeeping).
+    pub memory_pending_mb: u64,
+    /// Invocations placed on this invoker that have not completed.
+    pub inflight: u32,
+    /// Sum of expected remaining demand of in-flight invocations, in
+    /// CPU-seconds (for the weighted-queue-length JSQ variant).
+    pub inflight_demand_secs: f64,
+    /// True once the VM received its 30-second eviction warning; the
+    /// controller must stop placing work here.
+    pub eviction_pending: bool,
+    /// False when health pings stopped arriving (crashed/evicted VM).
+    pub healthy: bool,
+    /// When the last health ping arrived.
+    pub last_ping: SimTime,
+}
+
+impl InvokerView {
+    /// A fresh view for a just-registered invoker.
+    pub fn register(id: InvokerId, total_cpus: u32, memory_mb: u64, now: SimTime) -> Self {
+        InvokerView {
+            id,
+            total_cpus,
+            cpu_in_use: 0.0,
+            memory_mb,
+            memory_used_mb: 0,
+            memory_pending_mb: 0,
+            inflight: 0,
+            inflight_demand_secs: 0.0,
+            eviction_pending: false,
+            healthy: true,
+            last_ping: now,
+        }
+    }
+
+    /// CPU utilization in `[0, 1]`; an invoker whose VM shrank to zero
+    /// cores while running work reports 1.0 (fully saturated).
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.total_cpus == 0 {
+            if self.inflight == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (self.cpu_in_use / f64::from(self.total_cpus)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Memory utilization in `[0, 1]`, counting pending placements.
+    pub fn memory_utilization(&self) -> f64 {
+        if self.memory_mb == 0 {
+            return 1.0;
+        }
+        ((self.memory_used_mb + self.memory_pending_mb) as f64 / self.memory_mb as f64)
+            .clamp(0.0, 1.0)
+    }
+
+    /// The paper's load metric: `w_c · cpu_util + w_m · mem_util`.
+    pub fn weighted_load(&self, w: LoadWeights) -> f64 {
+        w.cpu * self.cpu_utilization() + w.mem * self.memory_utilization()
+    }
+
+    /// Free memory available for new containers, MiB.
+    pub fn memory_free_mb(&self) -> u64 {
+        self.memory_mb
+            .saturating_sub(self.memory_used_mb)
+            .saturating_sub(self.memory_pending_mb)
+    }
+
+    /// Cores not currently in use — the `usable_resources` term of the MWS
+    /// worker-set growth loop (Algorithm 1).
+    pub fn usable_cpus(&self) -> f64 {
+        (f64::from(self.total_cpus) - self.cpu_in_use).max(0.0)
+    }
+
+    /// True if the controller may place new work here.
+    pub fn placeable(&self) -> bool {
+        self.healthy && !self.eviction_pending
+    }
+}
+
+/// The whole fleet as the controller sees it, ordered by invoker id.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterView {
+    invokers: Vec<InvokerView>,
+}
+
+impl ClusterView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        ClusterView::default()
+    }
+
+    /// Registers a new invoker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered.
+    pub fn add(&mut self, view: InvokerView) {
+        let pos = self.invokers.partition_point(|v| v.id < view.id);
+        assert!(
+            self.invokers.get(pos).map(|v| v.id) != Some(view.id),
+            "invoker {:?} already registered",
+            view.id
+        );
+        self.invokers.insert(pos, view);
+    }
+
+    /// Removes an invoker (VM evicted/crashed). Returns its last view.
+    pub fn remove(&mut self, id: InvokerId) -> Option<InvokerView> {
+        let pos = self.invokers.iter().position(|v| v.id == id)?;
+        Some(self.invokers.remove(pos))
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, id: InvokerId) -> Option<&InvokerView> {
+        self.invokers
+            .binary_search_by_key(&id, |v| v.id)
+            .ok()
+            .map(|i| &self.invokers[i])
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: InvokerId) -> Option<&mut InvokerView> {
+        self.invokers
+            .binary_search_by_key(&id, |v| v.id)
+            .ok()
+            .map(move |i| &mut self.invokers[i])
+    }
+
+    /// All invokers, ordered by id.
+    pub fn all(&self) -> &[InvokerView] {
+        &self.invokers
+    }
+
+    /// Invokers accepting new placements, ordered by id.
+    pub fn placeable(&self) -> impl Iterator<Item = &InvokerView> {
+        self.invokers.iter().filter(|v| v.placeable())
+    }
+
+    /// Number of registered invokers.
+    pub fn len(&self) -> usize {
+        self.invokers.len()
+    }
+
+    /// True when no invokers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.invokers.is_empty()
+    }
+
+    /// Total CPUs across placeable invokers.
+    pub fn total_cpus(&self) -> u32 {
+        self.placeable().map(|v| v.total_cpus).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32, cpus: u32, in_use: f64) -> InvokerView {
+        let mut view = InvokerView::register(InvokerId(id), cpus, 1024, SimTime::ZERO);
+        view.cpu_in_use = in_use;
+        view
+    }
+
+    #[test]
+    fn utilization_clamps_and_handles_zero_cpus() {
+        let mut view = v(0, 4, 2.0);
+        assert!((view.cpu_utilization() - 0.5).abs() < 1e-12);
+        view.cpu_in_use = 10.0;
+        assert_eq!(view.cpu_utilization(), 1.0);
+        view.total_cpus = 0;
+        view.inflight = 1;
+        assert_eq!(view.cpu_utilization(), 1.0);
+        view.inflight = 0;
+        assert_eq!(view.cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn weighted_load_prefers_cpu() {
+        let mut view = v(0, 4, 4.0); // cpu full
+        view.memory_used_mb = 0;
+        let w = LoadWeights::default();
+        let cpu_bound = view.weighted_load(w);
+        view.cpu_in_use = 0.0;
+        view.memory_used_mb = 1024; // mem full
+        let mem_bound = view.weighted_load(w);
+        assert!(cpu_bound > mem_bound);
+    }
+
+    #[test]
+    fn memory_accounting_includes_pending() {
+        let mut view = v(0, 4, 0.0);
+        view.memory_used_mb = 512;
+        view.memory_pending_mb = 256;
+        assert_eq!(view.memory_free_mb(), 256);
+        assert!((view.memory_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placeable_excludes_warned_and_unhealthy() {
+        let mut view = v(0, 4, 0.0);
+        assert!(view.placeable());
+        view.eviction_pending = true;
+        assert!(!view.placeable());
+        view.eviction_pending = false;
+        view.healthy = false;
+        assert!(!view.placeable());
+    }
+
+    #[test]
+    fn cluster_view_crud_stays_sorted() {
+        let mut cv = ClusterView::new();
+        cv.add(v(5, 4, 0.0));
+        cv.add(v(1, 4, 0.0));
+        cv.add(v(3, 4, 0.0));
+        let ids: Vec<u32> = cv.all().iter().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(cv.get(InvokerId(3)).is_some());
+        cv.remove(InvokerId(3)).unwrap();
+        assert!(cv.get(InvokerId(3)).is_none());
+        assert_eq!(cv.len(), 2);
+        cv.get_mut(InvokerId(5)).unwrap().cpu_in_use = 2.0;
+        assert_eq!(cv.get(InvokerId(5)).unwrap().cpu_in_use, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut cv = ClusterView::new();
+        cv.add(v(1, 4, 0.0));
+        cv.add(v(1, 4, 0.0));
+    }
+
+    #[test]
+    fn placeable_iterator_filters() {
+        let mut cv = ClusterView::new();
+        cv.add(v(0, 4, 0.0));
+        let mut warned = v(1, 4, 0.0);
+        warned.eviction_pending = true;
+        cv.add(warned);
+        assert_eq!(cv.placeable().count(), 1);
+        assert_eq!(cv.total_cpus(), 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the load-balancing substrate invariants.
+
+use proptest::prelude::*;
+
+use hrv_lb::estimate::SampleHistogram;
+use hrv_lb::hashring::HashRing;
+use hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
+use hrv_trace::faas::{AppId, FunctionId};
+use hrv_trace::time::SimTime;
+
+fn f(app: u32) -> FunctionId {
+    FunctionId {
+        app: AppId(app),
+        func: 0,
+    }
+}
+
+proptest! {
+    /// Consistent hashing monotonicity: removing one member only moves
+    /// functions whose home *was* that member.
+    #[test]
+    fn ring_removal_is_monotone(
+        members in prop::collection::btree_set(0u32..64, 2..20),
+        victim_idx in 0usize..20,
+        apps in prop::collection::vec(0u32..10_000, 1..100),
+    ) {
+        let members: Vec<u32> = members.into_iter().collect();
+        let victim = members[victim_idx % members.len()];
+        let mut ring = HashRing::new();
+        for &m in &members {
+            ring.add(InvokerId(m));
+        }
+        let before: Vec<InvokerId> =
+            apps.iter().map(|&a| ring.home(f(a)).unwrap()).collect();
+        ring.remove(InvokerId(victim));
+        for (&app, &was) in apps.iter().zip(&before) {
+            let now = ring.home(f(app)).unwrap();
+            if was != InvokerId(victim) {
+                prop_assert_eq!(now, was, "app {} moved without cause", app);
+            } else {
+                prop_assert_ne!(now, InvokerId(victim));
+            }
+        }
+    }
+
+    /// Ring walks enumerate each member exactly once, starting at the home.
+    #[test]
+    fn ring_walk_is_a_permutation(
+        members in prop::collection::btree_set(0u32..256, 1..30),
+        app in 0u32..10_000,
+    ) {
+        let mut ring = HashRing::new();
+        for &m in &members {
+            ring.add(InvokerId(m));
+        }
+        let walk: Vec<InvokerId> = ring.walk(f(app)).collect();
+        prop_assert_eq!(walk.len(), members.len());
+        prop_assert_eq!(walk[0], ring.home(f(app)).unwrap());
+        let mut seen: Vec<u32> = walk.iter().map(|i| i.0).collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = members.into_iter().collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Histogram percentiles are monotone in `p` and bracket the sample
+    /// range (within one bin of slack).
+    #[test]
+    fn histogram_percentiles_are_monotone(
+        samples in prop::collection::vec(0.001f64..3_000.0, 1..300),
+    ) {
+        let mut h = SampleHistogram::for_durations();
+        for &x in &samples {
+            h.record(x);
+        }
+        let ps = [1.0, 25.0, 50.0, 75.0, 99.0, 100.0];
+        let values: Vec<f64> = ps.iter().map(|&p| h.percentile(p).unwrap()).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9, "percentiles not monotone: {:?}", values);
+        }
+        // The mean is exact regardless of binning.
+        let exact = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean().unwrap() - exact).abs() < 1e-9);
+    }
+
+    /// The weighted-load metric is bounded by the weight sum and ordered
+    /// by CPU utilization when memory is equal.
+    #[test]
+    fn weighted_load_is_bounded_and_ordered(
+        cpus in 1u32..64,
+        in_use_a in 0.0f64..64.0,
+        in_use_b in 0.0f64..64.0,
+    ) {
+        let w = LoadWeights::default();
+        let mk = |in_use: f64| {
+            let mut v = InvokerView::register(InvokerId(0), cpus, 1_024, SimTime::ZERO);
+            v.cpu_in_use = in_use;
+            v
+        };
+        let a = mk(in_use_a);
+        let b = mk(in_use_b);
+        prop_assert!(a.weighted_load(w) <= w.cpu + w.mem + 1e-12);
+        prop_assert!(a.weighted_load(w) >= 0.0);
+        if a.cpu_utilization() < b.cpu_utilization() {
+            prop_assert!(a.weighted_load(w) <= b.weighted_load(w));
+        }
+    }
+
+    /// ClusterView stays sorted and consistent under arbitrary add/remove
+    /// sequences.
+    #[test]
+    fn cluster_view_crud_invariants(ops in prop::collection::vec((0u32..32, any::<bool>()), 1..100)) {
+        let mut view = ClusterView::new();
+        let mut model: std::collections::BTreeSet<u32> = Default::default();
+        for (id, add) in ops {
+            if add {
+                if model.insert(id) {
+                    view.add(InvokerView::register(InvokerId(id), 4, 1_024, SimTime::ZERO));
+                }
+            } else if model.remove(&id) {
+                prop_assert!(view.remove(InvokerId(id)).is_some());
+            } else {
+                prop_assert!(view.remove(InvokerId(id)).is_none());
+            }
+            let ids: Vec<u32> = view.all().iter().map(|v| v.id.0).collect();
+            let expect: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(ids, expect);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Platform configuration.
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::time::SimDuration;
+
+/// Template for VMs the resource monitor spins up to backfill capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmTemplate {
+    /// CPUs of a backfill VM.
+    pub cpus: u32,
+    /// Memory of a backfill VM, MiB.
+    pub memory_mb: u64,
+    /// Time from the decision to a ready invoker (VM boot + platform
+    /// install; Section 3.1 measures 10 minutes).
+    pub deploy_delay: SimDuration,
+}
+
+impl Default for VmTemplate {
+    fn default() -> Self {
+        VmTemplate {
+            cpus: 16,
+            memory_mb: 64 * 1024,
+            deploy_delay: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// The Resource Monitor of Section 6.2: tracks total available CPUs and
+/// spins up new VMs when capacity falls below a floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceMonitorConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Minimum pool of placeable CPUs to maintain.
+    pub min_cpus: u32,
+    /// How often the monitor checks.
+    pub interval: SimDuration,
+    /// What it deploys when short.
+    pub template: VmTemplate,
+}
+
+impl Default for ResourceMonitorConfig {
+    fn default() -> Self {
+        ResourceMonitorConfig {
+            enabled: false,
+            min_cpus: 0,
+            interval: SimDuration::from_secs(30),
+            template: VmTemplate::default(),
+        }
+    }
+}
+
+/// Live migration of long invocations off eviction-warned VMs — the
+/// paper's Section 4.4 proposal (nested-VM migration / snapshot-restore),
+/// implemented here as an optional platform feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Master switch (off by default, as in the paper).
+    pub enabled: bool,
+    /// Fixed setup cost before state transfer begins.
+    pub setup: SimDuration,
+    /// Transfer time per GiB of container memory ("the total time for
+    /// which the source VM must be available").
+    pub per_gib: SimDuration,
+    /// Only invocations whose remaining work exceeds this are migrated;
+    /// anything shorter finishes within the eviction grace period anyway.
+    pub min_remaining_secs: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            enabled: false,
+            setup: SimDuration::from_millis(500),
+            per_gib: SimDuration::from_secs(4),
+            min_remaining_secs: 25.0,
+        }
+    }
+}
+
+/// All tunables of the platform model. Defaults follow OpenWhisk defaults
+/// and the paper's setup where stated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Idle container keep-alive (OpenWhisk default: 10 minutes).
+    pub keep_alive: SimDuration,
+    /// Wall-clock delay of a cold container start (image pull cached;
+    /// docker create + runtime init).
+    pub cold_start_delay: SimDuration,
+    /// CPU-seconds burned by a cold start, added to the first invocation's
+    /// demand — cold starts cost capacity, not just latency.
+    pub cold_start_cpu_secs: f64,
+    /// One-way controller↔invoker message latency (the Kafka hop).
+    pub bus_latency: SimDuration,
+    /// Invoker health-ping interval (OpenWhisk: 1 s).
+    pub ping_interval: SimDuration,
+    /// Invoker-side admission threshold: when `cpu demand / allocated
+    /// CPUs` is at or above this, new invocations wait in the invoker
+    /// queue (Section 6.2's admission control).
+    pub admission_pressure: f64,
+    /// How often the controller retries invocations it could not place.
+    pub placement_retry: SimDuration,
+    /// How long an invocation may wait for placement before it is
+    /// rejected.
+    pub placement_timeout: SimDuration,
+    /// Number of controllers in the deployment (scales the per-controller
+    /// arrival-rate estimates; the simulation models one).
+    pub controllers: u32,
+    /// Resource-monitor settings.
+    pub monitor: ResourceMonitorConfig,
+    /// Live-migration settings (Section 4.4 extension).
+    pub migration: MigrationConfig,
+    /// Utilization sampling period for time-series metrics (Figure 20);
+    /// zero disables sampling.
+    pub sample_interval: SimDuration,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            keep_alive: SimDuration::from_mins(10),
+            cold_start_delay: SimDuration::from_millis(2_500),
+            cold_start_cpu_secs: 6.0,
+            bus_latency: SimDuration::from_millis(2),
+            ping_interval: SimDuration::from_secs(1),
+            admission_pressure: 1.0,
+            placement_retry: SimDuration::from_millis(250),
+            placement_timeout: SimDuration::from_secs(60),
+            controllers: 1,
+            monitor: ResourceMonitorConfig::default(),
+            migration: MigrationConfig::default(),
+            sample_interval: SimDuration::ZERO,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Validates invariants; call after hand-building configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(!self.keep_alive.is_zero(), "keep-alive must be positive");
+        assert!(self.admission_pressure > 0.0, "admission threshold must be positive");
+        assert!(!self.ping_interval.is_zero(), "ping interval must be positive");
+        assert!(!self.placement_retry.is_zero(), "retry interval must be positive");
+        assert!(self.controllers >= 1, "need at least one controller");
+        assert!(
+            self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),
+            "bad cold-start tax"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        PlatformConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "keep-alive")]
+    fn zero_keep_alive_is_rejected() {
+        let config = PlatformConfig {
+            keep_alive: SimDuration::ZERO,
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "admission")]
+    fn zero_admission_is_rejected() {
+        let config = PlatformConfig {
+            admission_pressure: 0.0,
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+}

@@ -1,0 +1,424 @@
+//! The controller: receives invocations, runs the load-balancing policy,
+//! and tracks the fleet through health pings and completion reports
+//! (Section 6.2).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hrv_lb::policy::LoadBalancer;
+use hrv_lb::view::{ClusterView, InvokerId, InvokerView};
+use hrv_trace::faas::{FunctionId, Invocation};
+use hrv_trace::time::SimTime;
+
+use crate::event::CompletionReport;
+use crate::invoker::HealthSnapshot;
+
+/// Where an invocation was placed and what the controller committed for it.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementInfo {
+    /// Target invoker.
+    pub invoker: InvokerId,
+    /// Memory committed at placement, MiB.
+    pub memory_mb: u64,
+    /// Expected demand charged to the view, CPU-seconds.
+    pub expected_demand_secs: f64,
+}
+
+/// An invocation waiting for a placeable invoker.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedInvocation {
+    /// The invocation.
+    pub invocation: Invocation,
+    /// When it first failed to place.
+    pub since: SimTime,
+}
+
+/// Result of asking the controller to route one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Placed on this invoker; a delivery message should be sent.
+    Placed(InvokerId),
+    /// No invoker available; the invocation joined the controller queue.
+    Queued,
+}
+
+/// The controller state machine.
+pub struct Controller {
+    /// The fleet as the controller sees it.
+    pub view: ClusterView,
+    lb: Box<dyn LoadBalancer>,
+    queue: VecDeque<QueuedInvocation>,
+    /// In-flight placements by invocation id.
+    inflight: HashMap<u64, PlacementInfo>,
+    /// Simple learned expectation of per-function exec time (seconds) for
+    /// view bookkeeping.
+    expected_secs: HashMap<FunctionId, (u64, f64)>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("policy", &self.lb.name())
+            .field("invokers", &self.view.len())
+            .field("queued", &self.queue.len())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl Controller {
+    /// Creates a controller running `lb`, with its own RNG stream.
+    pub fn new(lb: Box<dyn LoadBalancer>, seed: u64) -> Self {
+        Controller {
+            view: ClusterView::new(),
+            lb,
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            expected_secs: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.lb.name()
+    }
+
+    /// Invocations waiting for placement.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// In-flight placements.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn expected(&self, f: FunctionId) -> f64 {
+        self.expected_secs.get(&f).map(|&(_, m)| m).unwrap_or(1.0)
+    }
+
+    fn learn_expected(&mut self, f: FunctionId, secs: f64) {
+        let e = self.expected_secs.entry(f).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += (secs - e.1) / e.0 as f64;
+    }
+
+    /// Routes a new arrival: placement or controller-side queueing.
+    pub fn route(&mut self, now: SimTime, invocation: Invocation) -> RouteOutcome {
+        self.lb.on_arrival(invocation.function, now);
+        match self.try_place(now, invocation) {
+            Some(id) => RouteOutcome::Placed(id),
+            None => {
+                self.queue.push_back(QueuedInvocation {
+                    invocation,
+                    since: now,
+                });
+                RouteOutcome::Queued
+            }
+        }
+    }
+
+    /// One placement attempt with view bookkeeping.
+    fn try_place(&mut self, now: SimTime, invocation: Invocation) -> Option<InvokerId> {
+        let id = self.lb.place(
+            now,
+            invocation.function,
+            invocation.memory_mb,
+            &self.view,
+            &mut self.rng,
+        )?;
+        let expected = self.expected(invocation.function) * invocation.cpu_demand;
+        let v = self
+            .view
+            .get_mut(id)
+            .expect("policy placed on an unknown invoker");
+        v.memory_pending_mb += invocation.memory_mb;
+        v.inflight += 1;
+        v.inflight_demand_secs += expected;
+        self.inflight.insert(
+            invocation.id,
+            PlacementInfo {
+                invoker: id,
+                memory_mb: invocation.memory_mb,
+                expected_demand_secs: expected,
+            },
+        );
+        Some(id)
+    }
+
+    /// Retries queued invocations. Returns `(placed, rejected)` lists:
+    /// placed invocations must be delivered; rejected ones exceeded
+    /// `timeout` and are dropped.
+    pub fn retry_queue(
+        &mut self,
+        now: SimTime,
+        timeout: hrv_trace::time::SimDuration,
+    ) -> (Vec<(Invocation, InvokerId)>, Vec<QueuedInvocation>) {
+        let mut placed = Vec::new();
+        let mut rejected = Vec::new();
+        let mut keep = VecDeque::new();
+        while let Some(q) = self.queue.pop_front() {
+            if now.since(q.since) >= timeout {
+                rejected.push(q);
+                continue;
+            }
+            match self.try_place(now, q.invocation) {
+                Some(id) => placed.push((q.invocation, id)),
+                None => keep.push_back(q),
+            }
+        }
+        self.queue = keep;
+        (placed, rejected)
+    }
+
+    /// Applies a health ping.
+    pub fn on_ping(&mut self, now: SimTime, invoker: InvokerId, snap: HealthSnapshot) {
+        if let Some(v) = self.view.get_mut(invoker) {
+            v.total_cpus = snap.cpus;
+            v.cpu_in_use = snap.cpus_in_use;
+            v.memory_used_mb = snap.memory_used_mb;
+            v.eviction_pending = snap.eviction_pending;
+            v.healthy = true;
+            v.last_ping = now;
+        }
+    }
+
+    /// Applies a completion report: releases bookkeeping and feeds the
+    /// policy's learned statistics.
+    pub fn on_report(&mut self, report: &CompletionReport) {
+        self.lb
+            .on_completion(report.function, report.exec_duration, report.cpu_cores);
+        self.learn_expected(report.function, report.exec_duration.as_secs_f64());
+        if let Some(info) = self.inflight.remove(&report.invocation) {
+            if let Some(v) = self.view.get_mut(info.invoker) {
+                v.memory_pending_mb = v.memory_pending_mb.saturating_sub(info.memory_mb);
+                v.inflight = v.inflight.saturating_sub(1);
+                v.inflight_demand_secs =
+                    (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
+            }
+        }
+    }
+
+    /// Registers a newly deployed invoker.
+    pub fn on_invoker_up(&mut self, now: SimTime, id: InvokerId, cpus: u32, memory_mb: u64) {
+        self.view
+            .add(InvokerView::register(id, cpus, memory_mb, now));
+        self.lb.on_invoker_join(id);
+    }
+
+    /// Handles an invoker death: drops it from the view and the policy,
+    /// and forgets in-flight placements routed there (their failure
+    /// records come from the eviction path).
+    pub fn on_invoker_down(&mut self, id: InvokerId) {
+        self.view.remove(id);
+        self.lb.on_invoker_leave(id);
+        self.inflight.retain(|_, info| info.invoker != id);
+    }
+
+    /// Drops a single in-flight entry (used when a delivery raced a dead
+    /// invoker). Returns true if it existed.
+    pub fn forget_inflight(&mut self, invocation_id: u64) -> bool {
+        if let Some(info) = self.inflight.remove(&invocation_id) {
+            if let Some(v) = self.view.get_mut(info.invoker) {
+                v.memory_pending_mb = v.memory_pending_mb.saturating_sub(info.memory_mb);
+                v.inflight = v.inflight.saturating_sub(1);
+                v.inflight_demand_secs =
+                    (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-points an in-flight placement to a new invoker after a live
+    /// migration, moving the view bookkeeping with it. Returns false if
+    /// the invocation is unknown (already completed).
+    pub fn migrate_inflight(&mut self, invocation_id: u64, dst: InvokerId) -> bool {
+        let Some(info) = self.inflight.get_mut(&invocation_id) else {
+            return false;
+        };
+        let src = info.invoker;
+        let (memory_mb, expected) = (info.memory_mb, info.expected_demand_secs);
+        info.invoker = dst;
+        if let Some(v) = self.view.get_mut(src) {
+            v.memory_pending_mb = v.memory_pending_mb.saturating_sub(memory_mb);
+            v.inflight = v.inflight.saturating_sub(1);
+            v.inflight_demand_secs = (v.inflight_demand_secs - expected).max(0.0);
+        }
+        if let Some(v) = self.view.get_mut(dst) {
+            v.memory_pending_mb += memory_mb;
+            v.inflight += 1;
+            v.inflight_demand_secs += expected;
+        }
+        true
+    }
+
+    /// The least-loaded placeable invoker other than `exclude` — the
+    /// migration target picker.
+    pub fn migration_target(&self, exclude: InvokerId) -> Option<InvokerId> {
+        self.view
+            .placeable()
+            .filter(|v| v.id != exclude)
+            .min_by(|a, b| {
+                a.weighted_load(hrv_lb::view::LoadWeights::default())
+                    .total_cmp(&b.weighted_load(hrv_lb::view::LoadWeights::default()))
+            })
+            .map(|v| v.id)
+    }
+
+    /// Total placeable CPUs the controller believes exist.
+    pub fn placeable_cpus(&self) -> u32 {
+        self.view.total_cpus()
+    }
+
+    /// Remaining queued invocations (drained at shutdown for censoring).
+    pub fn drain_queue(&mut self) -> Vec<QueuedInvocation> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Remaining in-flight invocation ids (censored at shutdown).
+    pub fn inflight_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_lb::policy::PolicyKind;
+    use hrv_trace::faas::AppId;
+    use hrv_trace::time::SimDuration;
+
+    fn inv(id: u64, app: u32) -> Invocation {
+        Invocation {
+            id,
+            function: FunctionId {
+                app: AppId(app),
+                func: 0,
+            },
+            arrival: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            memory_mb: 256,
+            cpu_demand: 1.0,
+        }
+    }
+
+    fn controller_with(n: u32) -> Controller {
+        let mut c = Controller::new(PolicyKind::Jsq.build(), 7);
+        for i in 0..n {
+            c.on_invoker_up(SimTime::ZERO, InvokerId(i), 8, 64 * 1024);
+        }
+        c
+    }
+
+    #[test]
+    fn route_places_and_bookkeeps() {
+        let mut c = controller_with(2);
+        let out = c.route(SimTime::ZERO, inv(0, 1));
+        let RouteOutcome::Placed(id) = out else {
+            panic!("expected placement")
+        };
+        let v = c.view.get(id).unwrap();
+        assert_eq!(v.memory_pending_mb, 256);
+        assert_eq!(v.inflight, 1);
+        assert_eq!(c.inflight_len(), 1);
+    }
+
+    #[test]
+    fn report_releases_bookkeeping() {
+        let mut c = controller_with(1);
+        let RouteOutcome::Placed(id) = c.route(SimTime::ZERO, inv(0, 1)) else {
+            panic!()
+        };
+        c.on_report(&CompletionReport {
+            function: inv(0, 1).function,
+            invocation: 0,
+            memory_mb: 256,
+            exec_duration: SimDuration::from_secs(2),
+            cpu_cores: 1.0,
+            cold: true,
+            arrival: SimTime::ZERO,
+        });
+        let v = c.view.get(id).unwrap();
+        assert_eq!(v.memory_pending_mb, 0);
+        assert_eq!(v.inflight, 0);
+        assert_eq!(c.inflight_len(), 0);
+        // Expected duration learned.
+        assert!((c.expected(inv(0, 1).function) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fleet_queues_and_retry_places() {
+        let mut c = Controller::new(PolicyKind::Jsq.build(), 7);
+        assert_eq!(c.route(SimTime::ZERO, inv(0, 1)), RouteOutcome::Queued);
+        assert_eq!(c.queue_len(), 1);
+        c.on_invoker_up(SimTime::from_secs(1), InvokerId(0), 8, 64 * 1024);
+        let (placed, rejected) =
+            c.retry_queue(SimTime::from_secs(1), SimDuration::from_secs(60));
+        assert_eq!(placed.len(), 1);
+        assert!(rejected.is_empty());
+        assert_eq!(c.queue_len(), 0);
+    }
+
+    #[test]
+    fn retry_rejects_after_timeout() {
+        let mut c = Controller::new(PolicyKind::Jsq.build(), 7);
+        c.route(SimTime::ZERO, inv(0, 1));
+        let (placed, rejected) =
+            c.retry_queue(SimTime::from_secs(120), SimDuration::from_secs(60));
+        assert!(placed.is_empty());
+        assert_eq!(rejected.len(), 1);
+    }
+
+    #[test]
+    fn ping_updates_view() {
+        let mut c = controller_with(1);
+        c.on_ping(
+            SimTime::from_secs(5),
+            InvokerId(0),
+            HealthSnapshot {
+                cpus: 3,
+                cpus_in_use: 2.5,
+                memory_used_mb: 1_000,
+                eviction_pending: true,
+                pressure: 0.8,
+            },
+        );
+        let v = c.view.get(InvokerId(0)).unwrap();
+        assert_eq!(v.total_cpus, 3);
+        assert_eq!(v.cpu_in_use, 2.5);
+        assert!(v.eviction_pending);
+        assert_eq!(v.last_ping, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn invoker_down_cleans_up() {
+        let mut c = controller_with(2);
+        // Route a few invocations; some land on each invoker.
+        for i in 0..6 {
+            c.route(SimTime::ZERO, inv(i, i as u32));
+        }
+        let before = c.inflight_len();
+        c.on_invoker_down(InvokerId(0));
+        assert!(c.view.get(InvokerId(0)).is_none());
+        assert!(c.inflight_len() < before);
+    }
+
+    #[test]
+    fn forget_inflight_releases_view() {
+        let mut c = controller_with(1);
+        let RouteOutcome::Placed(id) = c.route(SimTime::ZERO, inv(0, 1)) else {
+            panic!()
+        };
+        assert!(c.forget_inflight(0));
+        assert!(!c.forget_inflight(0));
+        assert_eq!(c.view.get(id).unwrap().inflight, 0);
+    }
+}

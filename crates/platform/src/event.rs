@@ -1,0 +1,141 @@
+//! The platform's event vocabulary.
+//!
+//! Every interaction in the system — client arrivals, controller↔invoker
+//! messages, container lifecycle timers, VM resizes and evictions, and
+//! periodic monitors — is one of these events on the shared calendar.
+
+use hrv_trace::faas::{FunctionId, Invocation};
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// Index of an invoker in the platform's invoker table (stable for the
+/// whole run; dead invokers keep their slot).
+pub type InvokerIndex = u32;
+
+/// What an invoker tells the controller when an invocation finishes
+/// (Section 6.2: the response carries measured duration and CPU usage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionReport {
+    /// The finished invocation's function.
+    pub function: FunctionId,
+    /// The invocation id (for metrics joins).
+    pub invocation: u64,
+    /// Memory the placement had reserved, MiB.
+    pub memory_mb: u64,
+    /// Measured execution duration (queueing at the invoker excluded).
+    pub exec_duration: SimDuration,
+    /// Measured CPU usage in cores.
+    pub cpu_cores: f64,
+    /// Whether this invocation cold-started.
+    pub cold: bool,
+    /// When the invocation originally arrived at the controller.
+    pub arrival: SimTime,
+}
+
+/// Every event the platform world can process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A client request reaches the controller (through NGINX).
+    Arrival(Invocation),
+    /// The controller's placement message reaches an invoker.
+    Deliver {
+        /// Target invoker.
+        invoker: InvokerIndex,
+        /// The invocation being delivered.
+        invocation: Invocation,
+    },
+    /// A cold container finished starting and can begin execution.
+    StartupDone {
+        /// Owning invoker.
+        invoker: InvokerIndex,
+        /// The container that finished starting.
+        container: u64,
+    },
+    /// The invoker's processor-sharing queue predicts a completion now.
+    Completion {
+        /// The invoker whose queue should be checked.
+        invoker: InvokerIndex,
+    },
+    /// An idle container's keep-alive expired.
+    KeepAliveExpired {
+        /// Owning invoker.
+        invoker: InvokerIndex,
+        /// The idle container to reap.
+        container: u64,
+    },
+    /// An invoker's periodic health ping reaches the controller.
+    Ping {
+        /// The pinging invoker.
+        invoker: InvokerIndex,
+    },
+    /// An invoker's completion report reaches the controller.
+    Report {
+        /// The reporting invoker.
+        invoker: InvokerIndex,
+        /// The report payload.
+        report: CompletionReport,
+    },
+    /// The controller learns an invoker is gone (ping loss after
+    /// eviction).
+    InvokerDown {
+        /// The dead invoker.
+        invoker: InvokerIndex,
+    },
+    /// A VM (trace-driven or monitor-deployed) becomes ready.
+    VmDeploy {
+        /// The invoker slot coming online.
+        invoker: InvokerIndex,
+    },
+    /// The hosting VM's CPU allocation changed.
+    VmCpu {
+        /// Affected invoker.
+        invoker: InvokerIndex,
+        /// New CPU count.
+        cpus: u32,
+    },
+    /// The hosting VM received its 30-second eviction warning.
+    VmWarn {
+        /// Affected invoker.
+        invoker: InvokerIndex,
+    },
+    /// The hosting VM was evicted; everything on it dies.
+    VmEvict {
+        /// Affected invoker.
+        invoker: InvokerIndex,
+    },
+    /// Deferred migration planning after an eviction warning (waits one
+    /// ping round so other warned VMs are visible in the view).
+    MigratePlan {
+        /// The warned invoker to plan for.
+        invoker: InvokerIndex,
+    },
+    /// A live migration's state transfer finished: hand the invocation
+    /// over from the warned source invoker to the destination.
+    MigrateDone {
+        /// Source invoker (under eviction warning).
+        src: InvokerIndex,
+        /// Destination invoker.
+        dst: InvokerIndex,
+        /// Container id of the migrating invocation on the source.
+        container: u64,
+        /// The invocation id (for controller bookkeeping joins).
+        invocation: u64,
+    },
+    /// The controller retries its queue of unplaced invocations.
+    RetryQueue,
+    /// The resource monitor checks the capacity floor.
+    MonitorTick,
+    /// Metrics sampling tick (utilization time series).
+    Sample,
+}
+
+impl Event {
+    /// The delay this event type typically travels with, given the bus
+    /// latency — a helper so senders agree on message costs.
+    pub fn message_delay(bus_latency: SimDuration, is_message: bool) -> SimDuration {
+        if is_message {
+            bus_latency
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! The invoker: one per VM, owning a container pool and the VM's CPUs.
+//!
+//! Responsibilities (mirroring the modified OpenWhisk invoker of
+//! Section 6.2):
+//!
+//! * container lifecycle — warm reuse, cold starts, keep-alive reaping,
+//!   LRU eviction under memory pressure;
+//! * execution under processor sharing on the VM's *current* CPU
+//!   allocation (the Harvest Monitor's readings);
+//! * admission control — when CPU pressure is at or above the threshold,
+//!   new invocations wait in the invoker queue;
+//! * health snapshots for the controller's pings.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hrv_sim::calendar::{Calendar, EventId};
+use hrv_sim::ps::{JobId, PsQueue};
+use hrv_trace::faas::{FunctionId, Invocation};
+use hrv_trace::time::SimTime;
+
+use crate::config::PlatformConfig;
+use crate::event::{Event, InvokerIndex};
+
+/// Slack for completion detection: the timer is rounded up to the next
+/// microsecond, so finished jobs may retain up to ~rate·1 µs of demand.
+const COMPLETION_SLACK: f64 = 1e-5;
+
+/// Lifecycle state of one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Cold start in progress.
+    Starting,
+    /// Executing an invocation.
+    Busy,
+    /// Warm, waiting for the next invocation (keep-alive running).
+    Idle,
+}
+
+/// One function container.
+#[derive(Debug)]
+pub struct Container {
+    /// Container id (unique within the platform).
+    pub id: u64,
+    /// The function this container serves.
+    pub function: FunctionId,
+    /// Memory footprint, MiB.
+    pub memory_mb: u64,
+    /// Current state.
+    pub state: ContainerState,
+    /// Last time it finished serving (for LRU eviction).
+    pub last_used: SimTime,
+    /// Pending keep-alive timer when idle.
+    pub keepalive: Option<EventId>,
+}
+
+/// An invocation currently executing (or cold-starting).
+#[derive(Debug, Clone, Copy)]
+pub struct RunningInvocation {
+    /// The invocation.
+    pub invocation: Invocation,
+    /// Whether it cold-started.
+    pub cold: bool,
+    /// When execution (or the cold start) began.
+    pub exec_start: SimTime,
+}
+
+/// Work destroyed by a VM eviction.
+#[derive(Debug, Default)]
+pub struct EvictedWork {
+    /// Invocations that had started executing (or cold-starting).
+    pub started: Vec<RunningInvocation>,
+    /// Invocations still waiting in the invoker queue.
+    pub queued: Vec<Invocation>,
+}
+
+/// Health-ping payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Current CPU allocation of the hosting VM.
+    pub cpus: u32,
+    /// Cores in use right now.
+    pub cpus_in_use: f64,
+    /// Memory held by containers, MiB.
+    pub memory_used_mb: u64,
+    /// Whether the VM has been warned of eviction.
+    pub eviction_pending: bool,
+    /// Queue + running pressure (for diagnostics).
+    pub pressure: f64,
+}
+
+/// The invoker state machine.
+#[derive(Debug)]
+pub struct InvokerState {
+    /// Slot index in the platform's invoker table.
+    pub index: InvokerIndex,
+    /// True between deploy and eviction.
+    pub alive: bool,
+    /// True once the 30-second eviction warning arrived.
+    pub warned: bool,
+    /// When the warning arrived (for migration grace budgeting).
+    pub warned_at: Option<SimTime>,
+    /// Memory capacity, MiB.
+    pub memory_mb: u64,
+    ps: PsQueue,
+    containers: BTreeMap<u64, Container>,
+    /// Invocation parked in each starting container.
+    starting: BTreeMap<u64, Invocation>,
+    /// Invocations accepted but not yet started (admission / memory).
+    queue: VecDeque<Invocation>,
+    running: BTreeMap<u64, RunningInvocation>,
+    completion_timer: Option<EventId>,
+    memory_used: u64,
+    next_container: u64,
+    /// Cores committed to containers still cold-starting.
+    starting_cap: f64,
+    /// Total cold starts this invoker performed.
+    pub cold_starts: u64,
+    /// Total warm starts this invoker performed.
+    pub warm_starts: u64,
+}
+
+impl InvokerState {
+    /// Creates a not-yet-deployed invoker slot.
+    pub fn new(index: InvokerIndex, memory_mb: u64) -> Self {
+        InvokerState {
+            index,
+            alive: false,
+            warned: false,
+            warned_at: None,
+            memory_mb,
+            ps: PsQueue::new(0.0),
+            containers: BTreeMap::new(),
+            starting: BTreeMap::new(),
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            completion_timer: None,
+            memory_used: 0,
+            next_container: 0,
+            starting_cap: 0.0,
+            cold_starts: 0,
+            warm_starts: 0,
+        }
+    }
+
+    /// Brings the invoker online with `cpus` CPUs.
+    pub fn deploy(&mut self, now: SimTime, cpus: u32) {
+        assert!(!self.alive, "invoker {} deployed twice", self.index);
+        self.alive = true;
+        self.warned = false;
+        self.ps = PsQueue::new(f64::from(cpus));
+        self.ps.advance(now);
+    }
+
+    /// Current CPU allocation.
+    pub fn cpus(&self) -> u32 {
+        self.ps.capacity() as u32
+    }
+
+    /// Number of invocations waiting in the invoker queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of containers (any state).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Builds the health-ping payload.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            cpus: self.cpus(),
+            cpus_in_use: self.ps.cores_in_use(),
+            memory_used_mb: self.memory_used,
+            eviction_pending: self.warned,
+            pressure: self.ps.pressure(),
+        }
+    }
+
+    /// CPU pressure including containers still cold-starting — the
+    /// admission-control reading (`used + committed` over allocated CPUs).
+    fn admission_pressure_now(&self) -> f64 {
+        let committed = self.ps.cores_in_use() + self.starting_cap;
+        let cap = self.ps.capacity();
+        if cap <= 0.0 {
+            if committed > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            committed / cap
+        }
+    }
+
+    fn container_id(&mut self) -> u64 {
+        let id = (u64::from(self.index) << 32) | self.next_container;
+        self.next_container += 1;
+        id
+    }
+
+    /// Accepts a delivered invocation: queue it and try to start work.
+    pub fn deliver(
+        &mut self,
+        now: SimTime,
+        invocation: Invocation,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        debug_assert!(self.alive, "delivery to dead invoker");
+        self.queue.push_back(invocation);
+        self.drain(now, cal, cfg);
+    }
+
+    /// Starts as many queued invocations as admission and memory allow.
+    fn drain(&mut self, now: SimTime, cal: &mut Calendar<Event>, cfg: &PlatformConfig) {
+        self.ps.advance(now);
+        while let Some(front) = self.queue.front().copied() {
+            // Admission control: delay new work when CPU pressure is at or
+            // above the threshold (counting cold starts in flight).
+            let committed = self.ps.cores_in_use() + self.starting_cap;
+            if self.admission_pressure_now() >= cfg.admission_pressure && committed > 0.0 {
+                break;
+            }
+            if let Some(cid) = self.find_idle_container(front.function) {
+                self.queue.pop_front();
+                self.start_warm(now, cid, front, cal);
+            } else if self.make_room(front.memory_mb, cal) {
+                self.queue.pop_front();
+                self.start_cold(now, front, cal, cfg);
+            } else {
+                // Memory exhausted by busy/starting containers: wait.
+                break;
+            }
+        }
+        self.rearm_completion(cal);
+    }
+
+    /// Finds an idle warm container for `function`.
+    fn find_idle_container(&self, function: FunctionId) -> Option<u64> {
+        self.containers
+            .values()
+            .find(|c| c.state == ContainerState::Idle && c.function == function)
+            .map(|c| c.id)
+    }
+
+    /// Frees memory for a new container by reaping idle (LRU-first)
+    /// containers. Returns false if even that cannot make room.
+    fn make_room(&mut self, needed_mb: u64, cal: &mut Calendar<Event>) -> bool {
+        if needed_mb > self.memory_mb {
+            return false;
+        }
+        while self.memory_mb - self.memory_used < needed_mb {
+            let victim = self
+                .containers
+                .values()
+                .filter(|c| c.state == ContainerState::Idle)
+                .min_by_key(|c| (c.last_used, c.id))
+                .map(|c| c.id);
+            match victim {
+                Some(cid) => self.destroy_container(cid, cal),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn destroy_container(&mut self, cid: u64, cal: &mut Calendar<Event>) {
+        let c = self
+            .containers
+            .remove(&cid)
+            .expect("destroying unknown container");
+        debug_assert_eq!(c.state, ContainerState::Idle, "destroyed a non-idle container");
+        if let Some(ev) = c.keepalive {
+            cal.cancel(ev);
+        }
+        self.memory_used -= c.memory_mb;
+    }
+
+    fn start_warm(
+        &mut self,
+        now: SimTime,
+        cid: u64,
+        invocation: Invocation,
+        cal: &mut Calendar<Event>,
+    ) {
+        let c = self.containers.get_mut(&cid).expect("warm container exists");
+        if let Some(ev) = c.keepalive.take() {
+            cal.cancel(ev);
+        }
+        c.state = ContainerState::Busy;
+        self.warm_starts += 1;
+        self.ps.add(
+            JobId(cid),
+            invocation.duration.as_secs_f64() * invocation.cpu_demand,
+            invocation.cpu_demand,
+        );
+        self.running.insert(
+            cid,
+            RunningInvocation {
+                invocation,
+                cold: false,
+                exec_start: now,
+            },
+        );
+    }
+
+    fn start_cold(
+        &mut self,
+        now: SimTime,
+        invocation: Invocation,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        let cid = self.container_id();
+        self.containers.insert(
+            cid,
+            Container {
+                id: cid,
+                function: invocation.function,
+                memory_mb: invocation.memory_mb,
+                state: ContainerState::Starting,
+                last_used: now,
+                keepalive: None,
+            },
+        );
+        self.memory_used += invocation.memory_mb;
+        self.cold_starts += 1;
+        self.starting.insert(cid, invocation);
+        self.starting_cap += invocation.cpu_demand;
+        cal.schedule(
+            now.saturating_add(cfg.cold_start_delay),
+            Event::StartupDone {
+                invoker: self.index,
+                container: cid,
+            },
+        );
+    }
+
+    /// A cold container finished starting: begin execution.
+    pub fn startup_done(
+        &mut self,
+        now: SimTime,
+        cid: u64,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        if !self.alive {
+            return; // raced with an eviction
+        }
+        let Some(invocation) = self.starting.remove(&cid) else {
+            return; // container was destroyed by eviction handling
+        };
+        self.starting_cap = (self.starting_cap - invocation.cpu_demand).max(0.0);
+        let c = self
+            .containers
+            .get_mut(&cid)
+            .expect("starting container exists");
+        c.state = ContainerState::Busy;
+        self.ps.advance(now);
+        self.ps.add(
+            JobId(cid),
+            invocation.duration.as_secs_f64() * invocation.cpu_demand + cfg.cold_start_cpu_secs,
+            invocation.cpu_demand,
+        );
+        self.running.insert(
+            cid,
+            RunningInvocation {
+                invocation,
+                cold: true,
+                exec_start: now,
+            },
+        );
+        self.rearm_completion(cal);
+    }
+
+    /// Handles a completion-timer tick: harvest finished jobs, park their
+    /// containers as idle, and restart queued work. Returns the finished
+    /// invocations.
+    pub fn completion_tick(
+        &mut self,
+        now: SimTime,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) -> Vec<RunningInvocation> {
+        if !self.alive {
+            return Vec::new();
+        }
+        self.ps.advance(now);
+        let done = self.ps.take_completed(COMPLETION_SLACK);
+        let mut finished = Vec::with_capacity(done.len());
+        for JobId(cid) in done {
+            let run = self
+                .running
+                .remove(&cid)
+                .expect("completed job has a running record");
+            let c = self
+                .containers
+                .get_mut(&cid)
+                .expect("completed job has a container");
+            c.state = ContainerState::Idle;
+            c.last_used = now;
+            c.keepalive = Some(cal.schedule(
+                now.saturating_add(cfg.keep_alive),
+                Event::KeepAliveExpired {
+                    invoker: self.index,
+                    container: cid,
+                },
+            ));
+            finished.push(run);
+        }
+        self.drain(now, cal, cfg);
+        finished
+    }
+
+    /// Reaps an idle container whose keep-alive expired.
+    pub fn keepalive_expired(&mut self, cid: u64, cal: &mut Calendar<Event>) {
+        if !self.alive {
+            return;
+        }
+        // The timer may have been cancelled logically but already popped;
+        // only reap genuinely idle containers.
+        if let Some(c) = self.containers.get_mut(&cid) {
+            if c.state == ContainerState::Idle {
+                c.keepalive = None;
+                self.destroy_container(cid, cal);
+            }
+        }
+    }
+
+    /// Applies a Harvest VM CPU resize.
+    pub fn resize(
+        &mut self,
+        now: SimTime,
+        cpus: u32,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        if !self.alive {
+            return;
+        }
+        self.ps.advance(now);
+        self.ps.set_capacity(f64::from(cpus));
+        // Growth may unblock queued work; shrink re-plans completions.
+        self.drain(now, cal, cfg);
+    }
+
+    /// Records the 30-second eviction warning.
+    pub fn warn(&mut self, now: SimTime) {
+        if self.alive {
+            self.warned = true;
+            self.warned_at = Some(now);
+        }
+    }
+
+    /// Tears the invoker down at eviction time, returning the work that
+    /// dies with it.
+    pub fn evict(&mut self, now: SimTime, cal: &mut Calendar<Event>) -> EvictedWork {
+        if !self.alive {
+            return EvictedWork::default();
+        }
+        self.alive = false;
+        self.warned = false;
+        self.warned_at = None;
+        self.ps.advance(now);
+        if let Some(ev) = self.completion_timer.take() {
+            cal.cancel(ev);
+        }
+        for c in self.containers.values() {
+            if let Some(ev) = c.keepalive {
+                cal.cancel(ev);
+            }
+        }
+        let mut started: Vec<RunningInvocation> =
+            std::mem::take(&mut self.running).into_values().collect();
+        for (_, invocation) in std::mem::take(&mut self.starting) {
+            started.push(RunningInvocation {
+                invocation,
+                cold: true,
+                exec_start: now,
+            });
+        }
+        let queued = std::mem::take(&mut self.queue).into_iter().collect();
+        self.starting_cap = 0.0;
+        self.containers.clear();
+        self.memory_used = 0;
+        self.ps = PsQueue::new(0.0);
+        self.ps.advance(now);
+        EvictedWork { started, queued }
+    }
+
+    /// The running record behind a container, if any.
+    pub fn running_invocation(&self, cid: u64) -> Option<&RunningInvocation> {
+        self.running.get(&cid)
+    }
+
+    /// Lists running invocations whose remaining demand exceeds
+    /// `min_remaining_secs` — the migration candidates when the eviction
+    /// warning arrives. Returns `(container, remaining_secs, memory_mb)`.
+    pub fn migration_candidates(
+        &mut self,
+        now: SimTime,
+        min_remaining_secs: f64,
+    ) -> Vec<(u64, f64, u64)> {
+        if !self.alive {
+            return Vec::new();
+        }
+        self.ps.advance(now);
+        self.running
+            .iter()
+            .filter_map(|(&cid, run)| {
+                let remaining = self.ps.remaining(JobId(cid))?;
+                if remaining / run.invocation.cpu_demand > min_remaining_secs {
+                    Some((cid, remaining, run.invocation.memory_mb))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Extracts a running invocation for migration: removes its job and
+    /// container, returning the invocation state and remaining demand.
+    /// Returns `None` if it already completed (or was never here).
+    pub fn extract_running(
+        &mut self,
+        now: SimTime,
+        cid: u64,
+        cal: &mut Calendar<Event>,
+    ) -> Option<(RunningInvocation, f64)> {
+        if !self.alive {
+            return None;
+        }
+        self.ps.advance(now);
+        let remaining = self.ps.remaining(JobId(cid))?;
+        if remaining <= 0.0 {
+            // Finished while the transfer was in flight; the normal
+            // completion path will deliver it.
+            return None;
+        }
+        self.ps.remove(JobId(cid));
+        let run = self.running.remove(&cid)?;
+        let c = self.containers.remove(&cid).expect("running container exists");
+        debug_assert_eq!(c.state, ContainerState::Busy);
+        self.memory_used -= c.memory_mb;
+        self.rearm_completion(cal);
+        Some((run, remaining))
+    }
+
+    /// Implants a migrated invocation: creates a busy container (making
+    /// room if needed) and resumes the job with its remaining demand.
+    /// Returns false — leaving the caller to fail the invocation — when
+    /// memory cannot be freed.
+    pub fn implant_running(
+        &mut self,
+        now: SimTime,
+        run: RunningInvocation,
+        remaining: f64,
+        cal: &mut Calendar<Event>,
+    ) -> bool {
+        if !self.alive {
+            return false;
+        }
+        self.ps.advance(now);
+        if !self.make_room(run.invocation.memory_mb, cal) {
+            return false;
+        }
+        let cid = self.container_id();
+        self.containers.insert(
+            cid,
+            Container {
+                id: cid,
+                function: run.invocation.function,
+                memory_mb: run.invocation.memory_mb,
+                state: ContainerState::Busy,
+                last_used: now,
+                keepalive: None,
+            },
+        );
+        self.memory_used += run.invocation.memory_mb;
+        self.ps
+            .add(JobId(cid), remaining, run.invocation.cpu_demand);
+        self.running.insert(cid, run);
+        self.rearm_completion(cal);
+        true
+    }
+
+    /// Re-arms the completion timer to the PS queue's next completion.
+    fn rearm_completion(&mut self, cal: &mut Calendar<Event>) {
+        if let Some(ev) = self.completion_timer.take() {
+            cal.cancel(ev);
+        }
+        if let Some((at, _)) = self.ps.next_completion() {
+            self.completion_timer = Some(cal.schedule(
+                at,
+                Event::Completion {
+                    invoker: self.index,
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+    use hrv_trace::time::SimDuration;
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig {
+            cold_start_delay: SimDuration::from_millis(500),
+            cold_start_cpu_secs: 0.0,
+            keep_alive: SimDuration::from_secs(60),
+            ..PlatformConfig::default()
+        }
+    }
+
+    fn inv(id: u64, app: u32, dur_secs: f64, mem: u64) -> Invocation {
+        Invocation {
+            id,
+            function: FunctionId {
+                app: AppId(app),
+                func: 0,
+            },
+            arrival: SimTime::ZERO,
+            duration: SimDuration::from_secs_f64(dur_secs),
+            memory_mb: mem,
+            cpu_demand: 1.0,
+        }
+    }
+
+    fn fresh(cpus: u32, mem: u64) -> (InvokerState, Calendar<Event>) {
+        let mut iv = InvokerState::new(0, mem);
+        let cal = Calendar::new();
+        iv.deploy(SimTime::ZERO, cpus);
+        (iv, cal)
+    }
+
+    /// Drives the invoker's own timers until quiescent, returning all
+    /// finished invocations. Ignores events addressed elsewhere.
+    fn drive(
+        iv: &mut InvokerState,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+        until: SimTime,
+    ) -> Vec<RunningInvocation> {
+        let mut finished = Vec::new();
+        while let Some(at) = cal.peek_time() {
+            if at >= until {
+                break;
+            }
+            let ev = cal.pop().unwrap();
+            match ev.event {
+                Event::StartupDone { container, .. } => {
+                    iv.startup_done(ev.at, container, cal, cfg)
+                }
+                Event::Completion { .. } => finished.extend(iv.completion_tick(ev.at, cal, cfg)),
+                Event::KeepAliveExpired { container, .. } => iv.keepalive_expired(container, cal),
+                _ => {}
+            }
+        }
+        finished
+    }
+
+    #[test]
+    fn cold_then_warm_start() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 1.0, 256), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 1);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(10));
+        assert_eq!(finished.len(), 1);
+        assert!(finished[0].cold);
+        // Second invocation of the same function reuses the container.
+        iv.deliver(SimTime::from_secs(10), inv(1, 1, 1.0, 256), &mut cal, &c);
+        assert_eq!(iv.warm_starts, 1);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(20));
+        assert_eq!(finished.len(), 1);
+        assert!(!finished[0].cold);
+        assert_eq!(iv.container_count(), 1);
+    }
+
+    #[test]
+    fn keep_alive_reaps_idle_containers() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 1.0, 256), &mut cal, &c);
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(500));
+        // Keep-alive (60 s) has long expired.
+        assert_eq!(iv.container_count(), 0);
+        assert_eq!(iv.snapshot().memory_used_mb, 0);
+    }
+
+    #[test]
+    fn memory_pressure_evicts_lru_idle() {
+        // Memory for exactly two 256 MiB containers.
+        let (mut iv, mut cal) = fresh(8, 512);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 0.5, 256), &mut cal, &c);
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(5));
+        iv.deliver(SimTime::from_secs(5), inv(1, 2, 0.5, 256), &mut cal, &c);
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(10));
+        assert_eq!(iv.container_count(), 2);
+        // A third function forces out the LRU idle container (app 1).
+        iv.deliver(SimTime::from_secs(10), inv(2, 3, 0.5, 256), &mut cal, &c);
+        assert_eq!(iv.container_count(), 2);
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(15));
+        // App 1's container is gone: a new call to it cold-starts
+        // (the fourth cold start, after apps 1, 2, and 3).
+        iv.deliver(SimTime::from_secs(15), inv(3, 1, 0.5, 256), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 4);
+    }
+
+    #[test]
+    fn admission_control_queues_under_pressure() {
+        let (mut iv, mut cal) = fresh(2, 64 * 1024);
+        let c = cfg();
+        // Two 10-second jobs saturate 2 CPUs; the third waits.
+        for i in 0..3 {
+            iv.deliver(SimTime::ZERO, inv(i, i as u32, 10.0, 256), &mut cal, &c);
+        }
+        // Cold starts happen for the first two; third stays queued.
+        assert_eq!(iv.cold_starts, 2);
+        assert_eq!(iv.queue_len(), 1);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(60));
+        assert_eq!(finished.len(), 3);
+        assert_eq!(iv.queue_len(), 0);
+    }
+
+    #[test]
+    fn contention_stretches_execution() {
+        let (mut iv, mut cal) = fresh(1, 64 * 1024);
+        let c = PlatformConfig {
+            admission_pressure: 10.0, // let them contend
+            cold_start_delay: SimDuration::ZERO,
+            ..cfg()
+        };
+        // Two 1-core jobs of 2 s on 1 CPU: processor sharing finishes both
+        // at ~4 s.
+        iv.deliver(SimTime::ZERO, inv(0, 1, 2.0, 256), &mut cal, &c);
+        iv.deliver(SimTime::ZERO, inv(1, 2, 2.0, 256), &mut cal, &c);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(60));
+        assert_eq!(finished.len(), 2);
+        assert_eq!(cal.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn resize_to_zero_stalls_and_recovery_resumes() {
+        let (mut iv, mut cal) = fresh(2, 4_096);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 2.0, 256), &mut cal, &c);
+        // Let the cold start complete, then halt all CPUs at t=1.
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(1));
+        iv.resize(SimTime::from_secs(1), 0, &mut cal, &c);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(30));
+        assert!(finished.is_empty(), "job finished with zero CPUs");
+        // CPUs return at t=30: the job resumes and completes.
+        iv.resize(SimTime::from_secs(30), 2, &mut cal, &c);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(60));
+        assert_eq!(finished.len(), 1);
+    }
+
+    #[test]
+    fn eviction_returns_all_work() {
+        let (mut iv, mut cal) = fresh(1, 64 * 1024);
+        let c = cfg();
+        for i in 0..4 {
+            iv.deliver(SimTime::ZERO, inv(i, i as u32, 30.0, 256), &mut cal, &c);
+        }
+        iv.warn(SimTime::from_secs(9));
+        assert!(iv.snapshot().eviction_pending);
+        let work = iv.evict(SimTime::from_secs(10), &mut cal);
+        assert_eq!(work.started.len() + work.queued.len(), 4);
+        assert!(!iv.alive);
+        assert_eq!(iv.container_count(), 0);
+        // Post-eviction timers are ignored gracefully.
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(100));
+        assert!(finished.is_empty());
+    }
+
+    #[test]
+    fn snapshot_reports_state() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 5.0, 512), &mut cal, &c);
+        let snap = iv.snapshot();
+        assert_eq!(snap.cpus, 4);
+        assert_eq!(snap.memory_used_mb, 512);
+        assert!(!snap.eviction_pending);
+    }
+
+    #[test]
+    fn oversized_invocation_never_starts() {
+        let (mut iv, mut cal) = fresh(4, 256);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 1.0, 512), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 0);
+        assert_eq!(iv.queue_len(), 1);
+    }
+}

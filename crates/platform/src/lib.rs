@@ -1,0 +1,20 @@
+//! # hrv-platform
+//!
+//! An OpenWhisk-like FaaS platform model running inside a deterministic
+//! discrete-event simulation: [`controller`] (placement, fleet view,
+//! health pings), [`invoker`] (container pool, processor-sharing CPU
+//! contention, admission control), [`world`] (cluster wiring, VM resize
+//! and eviction handling, resource monitor), [`metrics`], and
+//! [`config`]. The platform is the testbed substitute for the paper's
+//! modified OpenWhisk deployment (Section 6).
+
+pub mod config;
+pub mod controller;
+pub mod event;
+pub mod invoker;
+pub mod metrics;
+pub mod world;
+
+pub use config::{PlatformConfig, ResourceMonitorConfig, VmTemplate};
+pub use metrics::{MetricsCollector, Outcome, RunMetrics};
+pub use world::{ClusterSpec, PlatformWorld, SimOutput, Simulation};

@@ -1,0 +1,271 @@
+//! Metrics collection and aggregation.
+//!
+//! The collector records one row per finished invocation plus optional
+//! utilization samples; [`RunMetrics`] reduces them to the quantities the
+//! paper reports — P99 latency, cold-start rate, failure rate, throughput.
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::stats::Cdf;
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// How one invocation's life ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Finished and reported back.
+    Completed,
+    /// Killed by a VM eviction while running, starting, or queued on the
+    /// evicted invoker.
+    FailedEviction,
+    /// The controller could not place it within the placement timeout.
+    Rejected,
+    /// Still in flight when the measurement window closed (excluded from
+    /// latency statistics).
+    Censored,
+}
+
+/// One finished invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Invocation id from the trace.
+    pub id: u64,
+    /// Arrival time at the controller.
+    pub arrival: SimTime,
+    /// When the record was finalized (completion/failure/rejection).
+    pub finished: SimTime,
+    /// End-to-end latency in seconds (arrival → completion), only
+    /// meaningful for `Completed`.
+    pub latency_secs: f64,
+    /// Pure execution duration in seconds (only for `Completed`).
+    pub exec_secs: f64,
+    /// Whether it cold-started (only meaningful once started).
+    pub cold: bool,
+    /// Whether execution had begun (false for work killed or rejected
+    /// while still queued).
+    pub exec_started: bool,
+    /// Outcome.
+    pub outcome: Outcome,
+}
+
+/// A point of the cluster utilization time series (Figure 20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Total CPUs across live invokers.
+    pub total_cpus: u32,
+    /// Cores in use across live invokers.
+    pub cpus_in_use: f64,
+}
+
+/// Streaming collector filled in by the platform world.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct MetricsCollector {
+    /// Finished invocation rows.
+    pub records: Vec<InvocationRecord>,
+    /// Utilization time series.
+    pub samples: Vec<UtilizationSample>,
+    /// Total arrivals seen by the controller.
+    pub arrivals: u64,
+    /// Warm starts (execution began on an existing container).
+    pub warm_starts: u64,
+    /// Cold starts (execution required a new container).
+    pub cold_starts: u64,
+    /// Number of VM evictions that hit the platform.
+    pub vm_evictions: u64,
+    /// Invocations killed by evictions.
+    pub eviction_failures: u64,
+    /// Invocations rejected at placement.
+    pub rejections: u64,
+    /// Live migrations completed (invocations moved off warned VMs).
+    pub migrations: u64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        MetricsCollector::default()
+    }
+
+    /// Records a finished invocation.
+    pub fn push(&mut self, record: InvocationRecord) {
+        match record.outcome {
+            Outcome::FailedEviction => self.eviction_failures += 1,
+            Outcome::Rejected => self.rejections += 1,
+            Outcome::Completed | Outcome::Censored => {}
+        }
+        self.records.push(record);
+    }
+
+    /// Reduces the raw rows to aggregate metrics over `[warmup, end)`.
+    /// Invocations arriving before `warmup` are discarded (ramp-up bias).
+    pub fn aggregate(&self, warmup: SimTime) -> RunMetrics {
+        let rows: Vec<&InvocationRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.arrival >= warmup)
+            .collect();
+        let completed: Vec<&&InvocationRecord> = rows
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .collect();
+        let latencies: Vec<f64> = completed.iter().map(|r| r.latency_secs).collect();
+        let latency = if latencies.is_empty() {
+            None
+        } else {
+            Some(Cdf::from_samples(latencies))
+        };
+        let started = rows.iter().filter(|r| r.exec_started).count();
+        let cold = rows.iter().filter(|r| r.cold && r.exec_started).count();
+        let failures = rows
+            .iter()
+            .filter(|r| r.outcome == Outcome::FailedEviction)
+            .count();
+        let rejected = rows
+            .iter()
+            .filter(|r| r.outcome == Outcome::Rejected)
+            .count();
+        let span = rows
+            .iter()
+            .map(|r| r.finished)
+            .max()
+            .and_then(|max_t| rows.iter().map(|r| r.arrival).min().map(|min_t| (min_t, max_t)))
+            .map(|(a, b)| b.saturating_since(a))
+            .unwrap_or(SimDuration::ZERO);
+        RunMetrics {
+            arrivals: rows.len() as u64,
+            completed: completed.len() as u64,
+            eviction_failures: failures as u64,
+            rejections: rejected as u64,
+            cold_start_rate: if started == 0 {
+                0.0
+            } else {
+                cold as f64 / started as f64
+            },
+            failure_rate: if rows.is_empty() {
+                0.0
+            } else {
+                failures as f64 / rows.len() as f64
+            },
+            throughput_rps: if span.is_zero() {
+                0.0
+            } else {
+                completed.len() as f64 / span.as_secs_f64()
+            },
+            latency,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Arrivals inside the measurement window.
+    pub arrivals: u64,
+    /// Completed invocations.
+    pub completed: u64,
+    /// Invocations killed by VM evictions.
+    pub eviction_failures: u64,
+    /// Invocations rejected at placement.
+    pub rejections: u64,
+    /// Cold starts over started invocations.
+    pub cold_start_rate: f64,
+    /// Eviction failures over arrivals.
+    pub failure_rate: f64,
+    /// Completions per second over the observed span.
+    pub throughput_rps: f64,
+    /// End-to-end latency distribution of completed invocations.
+    pub latency: Option<Cdf>,
+}
+
+impl RunMetrics {
+    /// P-th percentile of end-to-end latency in seconds (`None` when
+    /// nothing completed).
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        self.latency.as_ref().map(|c| c.percentile(p))
+    }
+
+    /// The paper's SLO metric: P99 latency in seconds.
+    pub fn p99(&self) -> Option<f64> {
+        self.latency_percentile(99.0)
+    }
+
+    /// True if this run met a P99 SLO of `slo_secs`.
+    pub fn meets_slo(&self, slo_secs: f64) -> bool {
+        match self.p99() {
+            Some(p99) => p99 <= slo_secs,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, arrival_s: u64, latency: f64, cold: bool, outcome: Outcome) -> InvocationRecord {
+        InvocationRecord {
+            id,
+            arrival: SimTime::from_secs(arrival_s),
+            finished: SimTime::from_secs(arrival_s) + SimDuration::from_secs_f64(latency),
+            latency_secs: latency,
+            exec_secs: latency * 0.8,
+            cold,
+            exec_started: outcome != Outcome::Rejected,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_rates() {
+        let mut c = MetricsCollector::new();
+        for i in 0..80 {
+            c.push(rec(i, 10 + i, 1.0, i % 4 == 0, Outcome::Completed));
+        }
+        for i in 80..90 {
+            c.push(rec(i, 10 + i, 0.0, true, Outcome::FailedEviction));
+        }
+        for i in 90..100 {
+            c.push(rec(i, 10 + i, 0.0, false, Outcome::Rejected));
+        }
+        let m = c.aggregate(SimTime::ZERO);
+        assert_eq!(m.arrivals, 100);
+        assert_eq!(m.completed, 80);
+        assert_eq!(m.eviction_failures, 10);
+        assert_eq!(m.rejections, 10);
+        assert!((m.failure_rate - 0.1).abs() < 1e-12);
+        // Started = 80 completed + 10 failed; cold = 20 completed + 10 failed.
+        assert!((m.cold_start_rate - 30.0 / 90.0).abs() < 1e-12);
+        assert!(m.p99().is_some());
+    }
+
+    #[test]
+    fn warmup_filters_early_arrivals() {
+        let mut c = MetricsCollector::new();
+        c.push(rec(0, 5, 1.0, true, Outcome::Completed));
+        c.push(rec(1, 50, 1.0, false, Outcome::Completed));
+        let m = c.aggregate(SimTime::from_secs(20));
+        assert_eq!(m.arrivals, 1);
+        assert!((m.cold_start_rate - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_collector_aggregates_safely() {
+        let m = MetricsCollector::new().aggregate(SimTime::ZERO);
+        assert_eq!(m.arrivals, 0);
+        assert!(m.latency.is_none());
+        assert!(!m.meets_slo(50.0));
+        assert_eq!(m.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn slo_check() {
+        let mut c = MetricsCollector::new();
+        for i in 0..100 {
+            c.push(rec(i, i, if i >= 95 { 100.0 } else { 1.0 }, false, Outcome::Completed));
+        }
+        let m = c.aggregate(SimTime::ZERO);
+        assert!(!m.meets_slo(50.0));
+        assert!(m.meets_slo(150.0));
+    }
+}

@@ -1,0 +1,1057 @@
+//! The platform world: wires VM traces, invokers, the controller, and the
+//! workload into one deterministic discrete-event simulation.
+
+use hrv_lb::policy::LoadBalancer;
+use hrv_lb::view::InvokerId;
+use hrv_sim::calendar::{Calendar, Scheduled};
+use hrv_sim::engine::{run_until, RunStats, World};
+use hrv_trace::faas::Invocation;
+use hrv_trace::harvest::{VmEnd, VmTrace};
+use hrv_trace::time::{SimDuration, SimTime};
+
+use crate::config::{PlatformConfig, VmTemplate};
+use crate::controller::{Controller, RouteOutcome};
+use crate::event::{CompletionReport, Event, InvokerIndex};
+use crate::invoker::{InvokerState, RunningInvocation};
+use crate::metrics::{InvocationRecord, MetricsCollector, Outcome, UtilizationSample};
+
+/// The VMs a simulation starts from.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// One VM trace per invoker slot.
+    pub vms: Vec<VmTrace>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n` identical regular VMs that never change or die
+    /// within `horizon`.
+    pub fn regular(n: usize, cpus: u32, memory_mb: u64, horizon: SimDuration) -> Self {
+        let vms = (0..n)
+            .map(|_| {
+                VmTrace::constant(
+                    SimTime::ZERO,
+                    SimTime::ZERO + horizon,
+                    VmEnd::Censored,
+                    cpus,
+                    memory_mb,
+                )
+            })
+            .collect();
+        ClusterSpec { vms }
+    }
+
+    /// A static heterogeneous cluster with the given per-VM CPU counts
+    /// (the paper's "Normal" harvest cluster shape).
+    pub fn from_sizes(sizes: &[u32], memory_mb: u64, horizon: SimDuration) -> Self {
+        let vms = sizes
+            .iter()
+            .map(|&cpus| {
+                VmTrace::constant(
+                    SimTime::ZERO,
+                    SimTime::ZERO + horizon,
+                    VmEnd::Censored,
+                    cpus,
+                    memory_mb,
+                )
+            })
+            .collect();
+        ClusterSpec { vms }
+    }
+
+    /// A cluster driven by arbitrary VM traces (harvest windows, spot
+    /// packings, ...).
+    pub fn from_traces(vms: Vec<VmTrace>) -> Self {
+        ClusterSpec { vms }
+    }
+
+    /// Sum of initial CPU allocations.
+    pub fn total_initial_cpus(&self) -> u32 {
+        self.vms.iter().map(|v| v.initial_cpus).sum()
+    }
+}
+
+/// Where an invoker slot's VM definition came from.
+#[derive(Debug, Clone)]
+enum SlotSource {
+    Trace(VmTrace),
+    Monitor(VmTemplate),
+}
+
+/// The complete simulated platform.
+pub struct PlatformWorld {
+    cfg: PlatformConfig,
+    controller: Controller,
+    invokers: Vec<InvokerState>,
+    slots: Vec<SlotSource>,
+    trace: Vec<Invocation>,
+    cursor: usize,
+    /// Metrics sink.
+    pub metrics: MetricsCollector,
+    retry_armed: bool,
+    monitor_pending_cpus: u32,
+}
+
+impl std::fmt::Debug for PlatformWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformWorld")
+            .field("invokers", &self.invokers.len())
+            .field("cursor", &self.cursor)
+            .field("controller", &self.controller)
+            .finish()
+    }
+}
+
+impl PlatformWorld {
+    /// Builds the world and seeds the calendar with VM lifecycle events,
+    /// the first workload arrival, and periodic ticks.
+    ///
+    /// `workload` must be sorted by arrival time.
+    pub fn new(
+        spec: ClusterSpec,
+        workload: Vec<Invocation>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+    ) -> (Self, Calendar<Event>) {
+        cfg.validate();
+        debug_assert!(
+            workload.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "workload must be sorted by arrival"
+        );
+        let mut cal = Calendar::new();
+        let mut invokers = Vec::with_capacity(spec.vms.len());
+        let mut slots = Vec::with_capacity(spec.vms.len());
+        for (i, vm) in spec.vms.iter().enumerate() {
+            let index = i as InvokerIndex;
+            invokers.push(InvokerState::new(index, vm.memory_mb));
+            slots.push(SlotSource::Trace(vm.clone()));
+            cal.schedule(vm.deploy, Event::VmDeploy { invoker: index });
+            for ch in &vm.cpu_changes {
+                cal.schedule(
+                    ch.at,
+                    Event::VmCpu {
+                        invoker: index,
+                        cpus: ch.cpus,
+                    },
+                );
+            }
+            match vm.ended {
+                VmEnd::Censored => {}
+                VmEnd::Evicted | VmEnd::Removed => {
+                    if let Some(warn_at) = vm.warning_time() {
+                        cal.schedule(warn_at.max(vm.deploy), Event::VmWarn { invoker: index });
+                    }
+                    cal.schedule(vm.end, Event::VmEvict { invoker: index });
+                }
+            }
+        }
+        if let Some(first) = workload.first() {
+            cal.schedule(first.arrival, Event::Arrival(*first));
+        }
+        if cfg.monitor.enabled {
+            cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
+        }
+        if !cfg.sample_interval.is_zero() {
+            cal.schedule(SimTime::ZERO, Event::Sample);
+        }
+        let world = PlatformWorld {
+            controller: Controller::new(policy, seed),
+            cfg,
+            invokers,
+            slots,
+            trace: workload,
+            cursor: 0,
+            metrics: MetricsCollector::new(),
+            retry_armed: false,
+            monitor_pending_cpus: 0,
+        };
+        (world, cal)
+    }
+
+    /// The controller, for post-run inspection.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// The invokers, for post-run inspection.
+    pub fn invokers(&self) -> &[InvokerState] {
+        &self.invokers
+    }
+
+    /// Fleet-wide cold starts counted at the invokers.
+    pub fn total_cold_starts(&self) -> u64 {
+        self.invokers.iter().map(|i| i.cold_starts).sum()
+    }
+
+    /// Fleet-wide warm starts counted at the invokers.
+    pub fn total_warm_starts(&self) -> u64 {
+        self.invokers.iter().map(|i| i.warm_starts).sum()
+    }
+
+    fn schedule_delivery(
+        &mut self,
+        cal: &mut Calendar<Event>,
+        invoker: InvokerId,
+        invocation: Invocation,
+    ) {
+        cal.schedule_after(
+            self.cfg.bus_latency,
+            Event::Deliver {
+                invoker: invoker.0,
+                invocation,
+            },
+        );
+    }
+
+    fn arm_retry(&mut self, cal: &mut Calendar<Event>) {
+        if !self.retry_armed {
+            self.retry_armed = true;
+            cal.schedule_after(self.cfg.placement_retry, Event::RetryQueue);
+        }
+    }
+
+    fn on_arrival(&mut self, now: SimTime, invocation: Invocation, cal: &mut Calendar<Event>) {
+        self.metrics.arrivals += 1;
+        // Feed the next arrival lazily to keep the calendar small.
+        self.cursor += 1;
+        if let Some(next) = self.trace.get(self.cursor) {
+            cal.schedule(next.arrival, Event::Arrival(*next));
+        }
+        match self.controller.route(now, invocation) {
+            RouteOutcome::Placed(id) => self.schedule_delivery(cal, id, invocation),
+            RouteOutcome::Queued => self.arm_retry(cal),
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, idx: InvokerIndex, inv: Invocation, cal: &mut Calendar<Event>) {
+        let invoker = &mut self.invokers[idx as usize];
+        if !invoker.alive {
+            // The VM died while the message was in flight.
+            self.controller.forget_inflight(inv.id);
+            self.metrics.push(InvocationRecord {
+                id: inv.id,
+                arrival: inv.arrival,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: false,
+                exec_started: false,
+                outcome: Outcome::FailedEviction,
+            });
+            return;
+        }
+        invoker.deliver(now, inv, cal, &self.cfg);
+    }
+
+    fn finish_records(
+        &mut self,
+        now: SimTime,
+        idx: InvokerIndex,
+        finished: Vec<RunningInvocation>,
+        cal: &mut Calendar<Event>,
+    ) {
+        for run in finished {
+            let inv = run.invocation;
+            let latency = now.since(inv.arrival).as_secs_f64();
+            let exec = now.since(run.exec_start).as_secs_f64();
+            if run.cold {
+                self.metrics.cold_starts += 1;
+            } else {
+                self.metrics.warm_starts += 1;
+            }
+            self.metrics.push(InvocationRecord {
+                id: inv.id,
+                arrival: inv.arrival,
+                finished: now,
+                latency_secs: latency,
+                exec_secs: exec,
+                cold: run.cold,
+                exec_started: true,
+                outcome: Outcome::Completed,
+            });
+            let report = CompletionReport {
+                function: inv.function,
+                invocation: inv.id,
+                memory_mb: inv.memory_mb,
+                exec_duration: SimDuration::from_secs_f64(exec),
+                // Reported as the cgroup's cores-while-running reading.
+                cpu_cores: inv.cpu_demand,
+                cold: run.cold,
+                arrival: inv.arrival,
+            };
+            cal.schedule_after(
+                self.cfg.bus_latency,
+                Event::Report {
+                    invoker: idx,
+                    report,
+                },
+            );
+        }
+    }
+
+    fn on_evict(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+        let invoker = &mut self.invokers[idx as usize];
+        if !invoker.alive {
+            return;
+        }
+        self.metrics.vm_evictions += 1;
+        let work = invoker.evict(now, cal);
+        for run in work.started {
+            self.controller.forget_inflight(run.invocation.id);
+            self.metrics.push(InvocationRecord {
+                id: run.invocation.id,
+                arrival: run.invocation.arrival,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: run.cold,
+                exec_started: true,
+                outcome: Outcome::FailedEviction,
+            });
+        }
+        for inv in work.queued {
+            self.controller.forget_inflight(inv.id);
+            self.metrics.push(InvocationRecord {
+                id: inv.id,
+                arrival: inv.arrival,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: false,
+                exec_started: false,
+                outcome: Outcome::FailedEviction,
+            });
+        }
+        // The controller notices the dead invoker after a ping interval.
+        cal.schedule_after(
+            self.cfg.ping_interval,
+            Event::InvokerDown { invoker: idx },
+        );
+    }
+
+    fn on_monitor_tick(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let m = self.cfg.monitor;
+        if !m.enabled {
+            return;
+        }
+        let available = self.controller.placeable_cpus() + self.monitor_pending_cpus;
+        if available < m.min_cpus {
+            let shortfall = m.min_cpus - available;
+            let count = shortfall.div_ceil(m.template.cpus);
+            for _ in 0..count {
+                let index = self.invokers.len() as InvokerIndex;
+                self.invokers
+                    .push(InvokerState::new(index, m.template.memory_mb));
+                self.slots.push(SlotSource::Monitor(m.template));
+                self.monitor_pending_cpus += m.template.cpus;
+                cal.schedule(
+                    now.saturating_add(m.template.deploy_delay),
+                    Event::VmDeploy { invoker: index },
+                );
+            }
+        }
+        cal.schedule_after(m.interval, Event::MonitorTick);
+    }
+
+    fn on_deploy(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+        let (cpus, memory_mb) = match &self.slots[idx as usize] {
+            SlotSource::Trace(vm) => (vm.cpus_at(now).max(vm.base_cpus), vm.memory_mb),
+            SlotSource::Monitor(t) => {
+                self.monitor_pending_cpus = self.monitor_pending_cpus.saturating_sub(t.cpus);
+                (t.cpus, t.memory_mb)
+            }
+        };
+        self.invokers[idx as usize].deploy(now, cpus);
+        self.controller
+            .on_invoker_up(now, InvokerId(idx), cpus, memory_mb);
+        cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker: idx });
+        // New capacity may unblock queued placements.
+        self.arm_retry(cal);
+    }
+
+    fn on_sample(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let mut total = 0u32;
+        let mut used = 0.0;
+        for inv in &self.invokers {
+            if inv.alive {
+                total += inv.cpus();
+                used += inv.snapshot().cpus_in_use;
+            }
+        }
+        self.metrics.samples.push(UtilizationSample {
+            at: now,
+            total_cpus: total,
+            cpus_in_use: used,
+        });
+        cal.schedule_after(self.cfg.sample_interval, Event::Sample);
+    }
+
+    /// On an eviction warning, schedules live migrations for the long
+    /// invocations that would otherwise die (Section 4.4 extension).
+    fn plan_migrations(&mut self, now: SimTime, src: InvokerIndex, cal: &mut Calendar<Event>) {
+        let m = self.cfg.migration;
+        if !m.enabled {
+            return;
+        }
+        let grace = hrv_trace::harvest::EVICTION_GRACE;
+        let Some(warned_at) = self.invokers[src as usize].warned_at else {
+            return; // raced with the eviction itself
+        };
+        let deadline = warned_at + grace;
+        if now >= deadline {
+            return;
+        }
+        let candidates = self.invokers[src as usize]
+            .migration_candidates(now, m.min_remaining_secs);
+        for (container, _remaining, memory_mb) in candidates {
+            let Some(run) = self.invokers[src as usize]
+                .running_invocation(container)
+            else {
+                continue;
+            };
+            let invocation = run.invocation.id;
+            let Some(dst) = self
+                .controller
+                .migration_target(hrv_lb::view::InvokerId(src))
+            else {
+                continue;
+            };
+            // Transfer must finish before the source is evicted.
+            let transfer = m.setup
+                + m.per_gib.mul_f64(memory_mb as f64 / 1024.0);
+            if now + transfer >= deadline {
+                continue;
+            }
+            cal.schedule(
+                now + transfer,
+                Event::MigrateDone {
+                    src,
+                    dst: dst.0,
+                    container,
+                    invocation,
+                },
+            );
+        }
+    }
+
+    /// Completes a live migration: hands the (still running) invocation
+    /// from the warned source to the destination invoker.
+    fn on_migrate_done(
+        &mut self,
+        now: SimTime,
+        src: InvokerIndex,
+        dst: InvokerIndex,
+        container: u64,
+        invocation: u64,
+        cal: &mut Calendar<Event>,
+    ) {
+        if !self.invokers[dst as usize].alive {
+            return; // destination died; the invocation stays on the source
+        }
+        let Some((run, remaining)) =
+            self.invokers[src as usize].extract_running(now, container, cal)
+        else {
+            return; // completed or source already evicted
+        };
+        if self.invokers[dst as usize].implant_running(now, run, remaining, cal) {
+            self.metrics.migrations += 1;
+            self.controller
+                .migrate_inflight(invocation, hrv_lb::view::InvokerId(dst));
+        } else {
+            // No room at the destination: put it back on the source.
+            let ok = self.invokers[src as usize].implant_running(now, run, remaining, cal);
+            debug_assert!(ok, "re-implant on source failed");
+        }
+    }
+
+    /// Marks everything still in flight as censored (call after the run).
+    pub fn censor_remaining(&mut self, now: SimTime) {
+        for q in self.controller.drain_queue() {
+            self.metrics.push(InvocationRecord {
+                id: q.invocation.id,
+                arrival: q.invocation.arrival,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: false,
+                exec_started: false,
+                outcome: Outcome::Censored,
+            });
+        }
+        for id in self.controller.inflight_ids() {
+            self.metrics.push(InvocationRecord {
+                id,
+                arrival: now,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: false,
+                exec_started: false,
+                outcome: Outcome::Censored,
+            });
+        }
+    }
+}
+
+impl World for PlatformWorld {
+    type Event = Event;
+
+    fn handle(&mut self, ev: Scheduled<Event>, cal: &mut Calendar<Event>) {
+        let now = ev.at;
+        match ev.event {
+            Event::Arrival(inv) => self.on_arrival(now, inv, cal),
+            Event::Deliver {
+                invoker,
+                invocation,
+            } => self.on_deliver(now, invoker, invocation, cal),
+            Event::StartupDone { invoker, container } => {
+                self.invokers[invoker as usize].startup_done(now, container, cal, &self.cfg);
+            }
+            Event::Completion { invoker } => {
+                let finished =
+                    self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
+                self.finish_records(now, invoker, finished, cal);
+            }
+            Event::KeepAliveExpired { invoker, container } => {
+                self.invokers[invoker as usize].keepalive_expired(container, cal);
+            }
+            Event::Ping { invoker } => {
+                let inv = &self.invokers[invoker as usize];
+                if inv.alive {
+                    let snap = inv.snapshot();
+                    self.controller.on_ping(now, InvokerId(invoker), snap);
+                    cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker });
+                }
+            }
+            Event::Report { report, .. } => self.controller.on_report(&report),
+            Event::InvokerDown { invoker } => {
+                self.controller.on_invoker_down(InvokerId(invoker));
+            }
+            Event::VmDeploy { invoker } => self.on_deploy(now, invoker, cal),
+            Event::VmCpu { invoker, cpus } => {
+                self.invokers[invoker as usize].resize(now, cpus, cal, &self.cfg);
+            }
+            Event::VmWarn { invoker } => {
+                self.invokers[invoker as usize].warn(now);
+                if self.cfg.migration.enabled {
+                    // Defer planning one ping round so the controller's
+                    // view reflects every VM warned in the same burst —
+                    // otherwise storm migrations land on doomed peers.
+                    cal.schedule_after(
+                        self.cfg.ping_interval,
+                        Event::MigratePlan { invoker },
+                    );
+                }
+            }
+            Event::MigratePlan { invoker } => self.plan_migrations(now, invoker, cal),
+            Event::MigrateDone {
+                src,
+                dst,
+                container,
+                invocation,
+            } => self.on_migrate_done(now, src, dst, container, invocation, cal),
+            Event::VmEvict { invoker } => self.on_evict(now, invoker, cal),
+            Event::RetryQueue => {
+                self.retry_armed = false;
+                let (placed, rejected) = self
+                    .controller
+                    .retry_queue(now, self.cfg.placement_timeout);
+                for (inv, id) in placed {
+                    self.schedule_delivery(cal, id, inv);
+                }
+                for q in rejected {
+                    self.metrics.push(InvocationRecord {
+                        id: q.invocation.id,
+                        arrival: q.invocation.arrival,
+                        finished: now,
+                        latency_secs: 0.0,
+                        exec_secs: 0.0,
+                        cold: false,
+                        exec_started: false,
+                        outcome: Outcome::Rejected,
+                    });
+                }
+                if self.controller.queue_len() > 0 {
+                    self.arm_retry(cal);
+                }
+            }
+            Event::MonitorTick => self.on_monitor_tick(now, cal),
+            Event::Sample => self.on_sample(now, cal),
+        }
+    }
+}
+
+/// One packaged simulation run.
+pub struct Simulation {
+    world: PlatformWorld,
+    calendar: Calendar<Event>,
+}
+
+/// Results of a completed run.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Raw per-invocation records and counters.
+    pub collector: MetricsCollector,
+    /// Engine statistics.
+    pub run: RunStats,
+    /// Fleet-wide cold starts (invoker-counted).
+    pub cold_starts: u64,
+    /// Fleet-wide warm starts (invoker-counted).
+    pub warm_starts: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation from a cluster, a workload trace, and a policy.
+    pub fn new(
+        spec: ClusterSpec,
+        workload: Vec<Invocation>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+    ) -> Self {
+        let (world, calendar) = PlatformWorld::new(spec, workload, policy, cfg, seed);
+        Simulation { world, calendar }
+    }
+
+    /// Runs until `horizon`, returning collected metrics.
+    pub fn run(self, horizon: SimDuration) -> SimOutput {
+        self.run_with_budget(horizon, u64::MAX)
+    }
+
+    /// Runs with an explicit event budget (for tests of runaway configs).
+    pub fn run_with_budget(mut self, horizon: SimDuration, max_events: u64) -> SimOutput {
+        let end = SimTime::ZERO + horizon;
+        let run = run_until(&mut self.world, &mut self.calendar, end, max_events);
+        self.world.censor_remaining(self.calendar.now());
+        SimOutput {
+            cold_starts: self.world.total_cold_starts(),
+            warm_starts: self.world.total_warm_starts(),
+            collector: self.world.metrics,
+            run,
+        }
+    }
+
+    /// Access to the world before running (for test instrumentation).
+    pub fn world_mut(&mut self) -> &mut PlatformWorld {
+        &mut self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_lb::policy::PolicyKind;
+    use hrv_trace::faas::{Workload, WorkloadSpec};
+    use hrv_trace::harvest::{CpuChange, VmEnd};
+    use hrv_trace::rng::SeedFactory;
+
+    fn workload(rps: f64, horizon: SimDuration) -> Vec<Invocation> {
+        let spec = WorkloadSpec::paper_fsmall().scaled(30, rps);
+        Workload::generate(&spec, &SeedFactory::new(11)).invocations(horizon, &SeedFactory::new(11))
+    }
+
+    fn run(policy: PolicyKind, spec: ClusterSpec, rps: f64, horizon_s: u64) -> SimOutput {
+        let horizon = SimDuration::from_secs(horizon_s);
+        Simulation::new(
+            spec,
+            workload(rps, horizon),
+            policy.build(),
+            PlatformConfig::default(),
+            42,
+        )
+        .run(horizon + SimDuration::from_secs(120))
+    }
+
+    #[test]
+    fn smoke_mws_on_regular_cluster() {
+        let spec = ClusterSpec::regular(4, 16, 64 * 1024, SimDuration::from_secs(720));
+        let out = run(PolicyKind::Mws, spec, 5.0, 600);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        assert!(m.arrivals > 2_000, "arrivals {}", m.arrivals);
+        // Nearly everything completes on an unloaded dedicated cluster.
+        assert!(
+            m.completed as f64 / m.arrivals as f64 > 0.99,
+            "completed {}/{}",
+            m.completed,
+            m.arrivals
+        );
+        assert_eq!(m.eviction_failures, 0);
+        // The F_small-shaped workload has a heavy duration tail (P99 exec
+        // can approach a minute); at low load, end-to-end latency should
+        // track execution closely rather than queueing on top of it.
+        let p50 = m.latency_percentile(50.0).unwrap();
+        assert!(p50 < 3.0, "median latency {p50}");
+        let overhead: Vec<f64> = out
+            .collector
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .map(|r| r.latency_secs - r.exec_secs)
+            .collect();
+        let mean_overhead = overhead.iter().sum::<f64>() / overhead.len() as f64;
+        assert!(mean_overhead < 2.0, "mean queue+start overhead {mean_overhead}");
+        // MWS consolidates: cold start rate stays low.
+        assert!(m.cold_start_rate < 0.2, "cold rate {}", m.cold_start_rate);
+    }
+
+    #[test]
+    fn all_policies_complete_work() {
+        for policy in [
+            PolicyKind::Mws,
+            PolicyKind::Jsq,
+            PolicyKind::JsqSampled(2),
+            PolicyKind::Vanilla,
+            PolicyKind::Random,
+            PolicyKind::RoundRobin,
+        ] {
+            let spec = ClusterSpec::regular(4, 16, 64 * 1024, SimDuration::from_secs(400));
+            let out = run(policy, spec, 2.0, 300);
+            let m = out.collector.aggregate(SimTime::ZERO);
+            assert!(
+                m.completed as f64 / m.arrivals.max(1) as f64 > 0.95,
+                "{}: {}/{}",
+                policy.label(),
+                m.completed,
+                m.arrivals
+            );
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_byte_identical() {
+        let mk = || {
+            let spec = ClusterSpec::regular(3, 8, 32 * 1024, SimDuration::from_secs(400));
+            run(PolicyKind::Mws, spec, 3.0, 300)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.collector.records, b.collector.records);
+        assert_eq!(a.cold_starts, b.cold_starts);
+    }
+
+    #[test]
+    fn eviction_kills_running_work_and_fleet_recovers() {
+        // One VM dies at t=60 with a 30 s warning; another survives.
+        let horizon = SimDuration::from_secs(400);
+        let dying = VmTrace {
+            deploy: SimTime::ZERO,
+            end: SimTime::from_secs(60),
+            ended: VmEnd::Evicted,
+            base_cpus: 8,
+            max_cpus: 8,
+            initial_cpus: 8,
+            memory_mb: 32 * 1024,
+            cpu_changes: vec![],
+        };
+        let survivor = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + horizon,
+            VmEnd::Censored,
+            8,
+            32 * 1024,
+        );
+        let out = Simulation::new(
+            ClusterSpec::from_traces(vec![dying, survivor]),
+            workload(4.0, SimDuration::from_secs(300)),
+            PolicyKind::Jsq.build(),
+            PlatformConfig::default(),
+            1,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        assert_eq!(out.collector.vm_evictions, 1);
+        // Work continues on the survivor.
+        assert!(m.completed > 500, "completed {}", m.completed);
+        // The warning window keeps failures low but long invocations on
+        // the dying VM may still be killed.
+        assert!(m.failure_rate < 0.05, "failure rate {}", m.failure_rate);
+    }
+
+    #[test]
+    fn warned_vm_stops_receiving_placements() {
+        // A VM under warning for its whole (short) life should get almost
+        // nothing once the controller sees the warning via pings.
+        let horizon = SimDuration::from_secs(200);
+        let warned = VmTrace {
+            deploy: SimTime::ZERO,
+            end: SimTime::from_secs(190),
+            ended: VmEnd::Evicted,
+            base_cpus: 16,
+            max_cpus: 16,
+            initial_cpus: 16,
+            memory_mb: 64 * 1024,
+            cpu_changes: vec![],
+        };
+        // Warning fires at end-30s = 160 s; before that it is placeable.
+        let healthy = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + horizon,
+            VmEnd::Censored,
+            16,
+            64 * 1024,
+        );
+        let mut sim = Simulation::new(
+            ClusterSpec::from_traces(vec![warned, healthy]),
+            workload(3.0, horizon),
+            PolicyKind::Jsq.build(),
+            PlatformConfig::default(),
+            1,
+        );
+        let _ = sim.world_mut();
+        let out = sim.run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        // Failures only among invocations running at eviction.
+        assert!(m.eviction_failures < 30, "failures {}", m.eviction_failures);
+        assert!(m.completed > 400);
+    }
+
+    #[test]
+    fn cpu_shrink_slows_completion() {
+        // 8 CPUs shrink to 1 at t=10 while a burst of work is in flight.
+        let horizon = SimDuration::from_secs(300);
+        let vm = VmTrace {
+            deploy: SimTime::ZERO,
+            end: SimTime::ZERO + horizon,
+            ended: VmEnd::Censored,
+            base_cpus: 1,
+            max_cpus: 8,
+            initial_cpus: 8,
+            memory_mb: 32 * 1024,
+            cpu_changes: vec![CpuChange {
+                at: SimTime::from_secs(10),
+                cpus: 1,
+            }],
+        };
+        let out = Simulation::new(
+            ClusterSpec::from_traces(vec![vm]),
+            workload(2.0, SimDuration::from_secs(120)),
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            1,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        // The shrunken CPU can serve only a fraction of the offered load:
+        // some work finishes, the rest censors at the horizon, and the
+        // tail stretches far beyond what an unshrunken VM would show.
+        assert!(m.completed > 30, "completed {}", m.completed);
+        assert!(
+            (m.completed as f64) < 0.8 * m.arrivals as f64,
+            "shrink did not bite: {}/{}",
+            m.completed,
+            m.arrivals
+        );
+        assert!(m.p99().unwrap() > 5.0, "p99 {:?}", m.p99());
+    }
+
+    #[test]
+    fn resource_monitor_backfills_capacity() {
+        // The only VM dies at t=60; the monitor (floor: 8 CPUs) deploys a
+        // replacement that comes up after its deploy delay.
+        let dying = VmTrace {
+            deploy: SimTime::ZERO,
+            end: SimTime::from_secs(60),
+            ended: VmEnd::Evicted,
+            base_cpus: 8,
+            max_cpus: 8,
+            initial_cpus: 8,
+            memory_mb: 32 * 1024,
+            cpu_changes: vec![],
+        };
+        let cfg = PlatformConfig {
+            monitor: crate::config::ResourceMonitorConfig {
+                enabled: true,
+                min_cpus: 8,
+                interval: SimDuration::from_secs(10),
+                template: VmTemplate {
+                    cpus: 8,
+                    memory_mb: 32 * 1024,
+                    deploy_delay: SimDuration::from_secs(60),
+                },
+            },
+            ..PlatformConfig::default()
+        };
+        let horizon = SimDuration::from_secs(600);
+        let out = Simulation::new(
+            ClusterSpec::from_traces(vec![dying]),
+            workload(1.0, SimDuration::from_secs(500)),
+            PolicyKind::Jsq.build(),
+            cfg,
+            1,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        // Invocations arriving after the replacement deploys complete.
+        let late_completed = out
+            .collector
+            .records
+            .iter()
+            .filter(|r| {
+                r.arrival > SimTime::from_secs(150)
+                    && r.outcome == crate::metrics::Outcome::Completed
+            })
+            .count();
+        assert!(late_completed > 100, "late completions {late_completed}");
+        assert!(m.rejections < m.arrivals / 4);
+    }
+
+    #[test]
+    fn utilization_sampling_produces_series() {
+        let cfg = PlatformConfig {
+            sample_interval: SimDuration::from_secs(5),
+            ..PlatformConfig::default()
+        };
+        let horizon = SimDuration::from_secs(100);
+        let out = Simulation::new(
+            ClusterSpec::regular(2, 8, 32 * 1024, horizon),
+            workload(2.0, horizon),
+            PolicyKind::Mws.build(),
+            cfg,
+            1,
+        )
+        .run(horizon);
+        assert!(out.collector.samples.len() >= 19, "{}", out.collector.samples.len());
+        for s in &out.collector.samples {
+            assert_eq!(s.total_cpus, 16);
+            assert!(s.cpus_in_use <= 16.0);
+        }
+    }
+
+    #[test]
+    fn overload_blows_the_slo() {
+        // 2 CPUs against ~8 cores of demand: the queue grows without
+        // bound and P99 explodes — the saturation signature of Figure 12.
+        let horizon = SimDuration::from_secs(600);
+        let out = Simulation::new(
+            ClusterSpec::regular(1, 2, 8 * 1024, horizon),
+            workload(8.0, SimDuration::from_secs(500)),
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            1,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::from_secs(60));
+        assert!(
+            m.p99().unwrap_or(f64::INFINITY) > 50.0,
+            "p99 {:?} should blow the 50 s SLO",
+            m.p99()
+        );
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use super::*;
+    use crate::config::MigrationConfig;
+    use hrv_lb::policy::PolicyKind;
+    use hrv_trace::faas::{AppId, FunctionId};
+
+    fn long_invocation(id: u64, at_secs: u64, dur_secs: f64) -> Invocation {
+        Invocation {
+            id,
+            function: FunctionId {
+                app: AppId(id as u32),
+                func: 0,
+            },
+            arrival: SimTime::from_secs(at_secs),
+            duration: SimDuration::from_secs_f64(dur_secs),
+            memory_mb: 512,
+            cpu_demand: 1.0,
+        }
+    }
+
+    fn dying_and_safe(horizon: SimDuration) -> ClusterSpec {
+        let dying = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            VmEnd::Evicted,
+            8,
+            16 * 1024,
+        );
+        let safe = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + horizon,
+            VmEnd::Censored,
+            8,
+            16 * 1024,
+        );
+        ClusterSpec::from_traces(vec![dying, safe])
+    }
+
+    fn run_with_migration(enabled: bool) -> SimOutput {
+        let horizon = SimDuration::from_mins(10);
+        let cfg = PlatformConfig {
+            migration: MigrationConfig {
+                enabled,
+                ..MigrationConfig::default()
+            },
+            ..PlatformConfig::default()
+        };
+        // Long invocations arrive just before the warning (t=30): they
+        // cannot finish within the grace period and die without
+        // migration. JSQ's utilization metric keeps them on the dying
+        // invoker only if it is the less loaded one; pin them there by
+        // letting them arrive when both invokers are empty and checking
+        // aggregate failures instead of per-invoker placement.
+        let trace: Vec<Invocation> = (0..8)
+            .map(|i| long_invocation(i, 10 + i, 120.0))
+            .collect();
+        Simulation::new(
+            dying_and_safe(horizon),
+            trace,
+            PolicyKind::Jsq.build(),
+            cfg,
+            5,
+        )
+        .run(horizon)
+    }
+
+    #[test]
+    fn migration_rescues_long_invocations() {
+        let without = run_with_migration(false);
+        let with = run_with_migration(true);
+        assert_eq!(without.collector.migrations, 0);
+        assert!(
+            without.collector.eviction_failures > 0,
+            "baseline must lose work to the eviction"
+        );
+        assert!(with.collector.migrations > 0, "no migrations happened");
+        assert!(
+            with.collector.eviction_failures < without.collector.eviction_failures,
+            "migration did not reduce failures: {} vs {}",
+            with.collector.eviction_failures,
+            without.collector.eviction_failures
+        );
+        // Everything that migrated eventually completes.
+        let completed_with = with.collector.aggregate(SimTime::ZERO).completed;
+        let completed_without = without.collector.aggregate(SimTime::ZERO).completed;
+        assert!(completed_with > completed_without);
+    }
+
+    #[test]
+    fn migration_respects_the_grace_period() {
+        // A migration whose transfer cannot finish inside 30 s never
+        // starts: with an absurdly slow link, behavior matches disabled.
+        let horizon = SimDuration::from_mins(10);
+        let cfg = PlatformConfig {
+            migration: MigrationConfig {
+                enabled: true,
+                per_gib: SimDuration::from_secs(120),
+                ..MigrationConfig::default()
+            },
+            ..PlatformConfig::default()
+        };
+        let trace: Vec<Invocation> = (0..4)
+            .map(|i| long_invocation(i, 10 + i, 120.0))
+            .collect();
+        let out = Simulation::new(
+            dying_and_safe(horizon),
+            trace,
+            PolicyKind::Jsq.build(),
+            cfg,
+            5,
+        )
+        .run(horizon);
+        assert_eq!(out.collector.migrations, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The event calendar: a cancellable priority queue of timestamped events.
+//!
+//! Determinism contract: events are delivered in `(time, sequence)` order,
+//! where the sequence number is assigned at scheduling time. Two events
+//! scheduled for the same instant are therefore delivered in the order they
+//! were scheduled, on every platform, independent of hash seeds or
+//! allocation order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event popped from the calendar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Delivery time.
+    pub at: SimTime,
+    /// The handle it was scheduled under.
+    pub id: EventId,
+    /// The payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order entries so the *smallest* (time, seq) is the greatest for
+// `BinaryHeap`'s max-heap semantics.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A cancellable, deterministic event calendar with a simulation clock.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_sim::calendar::Calendar;
+/// use hrv_trace::time::{SimDuration, SimTime};
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule_after(SimDuration::from_secs(5), "later");
+/// cal.schedule_after(SimDuration::from_secs(1), "sooner");
+/// let first = cal.pop().unwrap();
+/// assert_eq!(first.event, "sooner");
+/// assert_eq!(cal.now(), SimTime::from_secs(1));
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Ids scheduled but neither delivered nor cancelled yet.
+    pending: HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar with the clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Calendar {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time (the delivery time of the last popped
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — the engine never travels backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending. Cancelling twice, or cancelling an already
+    /// delivered event, returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Delivery time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event, advancing the clock to its delivery time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.skim_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.pending.remove(&entry.seq);
+        self.now = entry.at;
+        self.processed += 1;
+        Some(Scheduled {
+            at: entry.at,
+            id: EventId(entry.seq),
+            event: entry.event,
+        })
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), "c");
+        cal.schedule(SimTime::from_secs(1), "a");
+        cal.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_time() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(5), ());
+        cal.schedule(SimTime::from_secs(5), ());
+        cal.schedule(SimTime::from_secs(9), ());
+        let mut prev = SimTime::ZERO;
+        while let Some(ev) = cal.pop() {
+            assert!(ev.at >= prev);
+            assert_eq!(cal.now(), ev.at);
+            prev = ev.at;
+        }
+        assert_eq!(cal.processed(), 3);
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut cal = Calendar::new();
+        let keep = cal.schedule(SimTime::from_secs(1), "keep");
+        let drop = cal.schedule(SimTime::from_secs(2), "drop");
+        assert_eq!(cal.len(), 2);
+        assert!(cal.cancel(drop));
+        assert!(!cal.cancel(drop), "double cancel must be a no-op");
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().unwrap().event, "keep");
+        assert!(cal.pop().is_none());
+        assert!(!cal.cancel(keep), "cancel after delivery must fail");
+    }
+
+    #[test]
+    fn cancelled_head_is_skipped_by_peek() {
+        let mut cal = Calendar::new();
+        let first = cal.schedule(SimTime::from_secs(1), 1);
+        cal.schedule(SimTime::from_secs(2), 2);
+        cal.cancel(first);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(cal.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(10), "first");
+        cal.pop();
+        cal.schedule_after(SimDuration::from_secs(5), "second");
+        let ev = cal.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventId(42)));
+    }
+}

@@ -1,0 +1,10 @@
+//! # hrv-sim
+//!
+//! Deterministic discrete-event simulation engine used by the FaaS
+//! platform model: a cancellable event [`calendar`], a run-loop
+//! [`engine`], and a processor-sharing service queue [`ps`] modelling CPU
+//! contention on resizable Harvest VMs.
+
+pub mod calendar;
+pub mod engine;
+pub mod ps;

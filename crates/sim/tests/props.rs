@@ -1,0 +1,114 @@
+//! Property-based tests of the simulation engine invariants.
+
+use proptest::prelude::*;
+
+use hrv_sim::calendar::Calendar;
+use hrv_sim::ps::{JobId, PsQueue};
+use hrv_trace::time::SimTime;
+
+proptest! {
+    /// Events always pop in (time, insertion) order, whatever the
+    /// scheduling order was.
+    #[test]
+    fn calendar_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = cal.pop() {
+            popped.push((ev.at, ev.event));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                // FIFO among equal timestamps.
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events and
+    /// nothing else.
+    #[test]
+    fn calendar_cancellation_is_exact(
+        times in prop::collection::vec(0u64..100_000, 1..100),
+        kill_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if kill_mask[*i % kill_mask.len()] {
+                prop_assert!(cal.cancel(*id));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some(ev) = cal.pop() {
+            popped.push(ev.event);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Processor sharing conserves work: total service delivered over any
+    /// schedule of advances equals the integral of occupied capacity.
+    #[test]
+    fn ps_conserves_work(
+        demands in prop::collection::vec(0.1f64..20.0, 1..20),
+        caps in prop::collection::vec(0u32..16, 1..10),
+        dt_ms in prop::collection::vec(1u64..5_000, 1..10),
+    ) {
+        let mut q = PsQueue::new(4.0);
+        let total_demand: f64 = demands.iter().sum();
+        for (i, &d) in demands.iter().enumerate() {
+            q.add(JobId(i as u64), d, 1.0);
+        }
+        let mut now = SimTime::ZERO;
+        for (i, &ms) in dt_ms.iter().enumerate() {
+            now += hrv_trace::time::SimDuration::from_millis(ms);
+            q.advance(now);
+            q.set_capacity(f64::from(caps[i % caps.len()]));
+            q.take_completed(1e-9);
+        }
+        q.advance(now + hrv_trace::time::SimDuration::from_secs(1));
+        let remaining: f64 = q
+            .job_ids()
+            .iter()
+            .filter_map(|&id| q.remaining(id))
+            .sum();
+        let done = total_demand - remaining;
+        prop_assert!((done - q.busy_core_seconds()).abs() < 1e-6,
+            "done {} vs busy {}", done, q.busy_core_seconds());
+        prop_assert!(remaining >= -1e-9);
+    }
+
+    /// The next-completion estimate is never earlier than the true finish:
+    /// advancing exactly to it always completes at least one job.
+    #[test]
+    fn ps_completion_estimate_is_safe(
+        demands in prop::collection::vec(0.001f64..5.0, 1..12),
+        capacity in 1u32..16,
+    ) {
+        let mut q = PsQueue::new(f64::from(capacity));
+        for (i, &d) in demands.iter().enumerate() {
+            q.add(JobId(i as u64), d, 1.0);
+        }
+        let mut completed = 0;
+        while let Some((at, _)) = q.next_completion() {
+            q.advance(at);
+            let done = q.take_completed(1e-5);
+            prop_assert!(!done.is_empty(), "estimate fired early");
+            completed += done.len();
+        }
+        prop_assert_eq!(completed, demands.len());
+    }
+}

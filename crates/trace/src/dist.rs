@@ -1,0 +1,543 @@
+//! Probability distributions used by the trace generators.
+//!
+//! Implemented from scratch on top of uniform variates from `rand` so the
+//! workspace needs no extra statistics dependency and every sampler is
+//! auditable against the paper's published statistics. All continuous
+//! samplers return `f64` values in the unit of the model (seconds for
+//! durations, CPUs for change sizes); [`DurationSampler`] adapts them to
+//! [`SimDuration`].
+
+use std::fmt;
+
+use rand::RngExt;
+
+use crate::time::SimDuration;
+
+/// A source of i.i.d. `f64` samples.
+pub trait Sampler: fmt::Debug + Send + Sync {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64;
+
+    /// The analytic mean of the distribution, if known in closed form.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Draws a uniform variate in the open interval (0, 1).
+///
+/// Excluding 0 keeps `ln(u)` finite for inverse-transform sampling.
+fn open_unit(rng: &mut dyn rand::Rng) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// A distribution that always returns the same value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sampler for Constant {
+    fn sample(&self, _rng: &mut dyn rand::Rng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDist {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformDist {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad bounds");
+        UniformDist { lo, hi }
+    }
+}
+
+impl Sampler for UniformDist {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.random_range(self.lo..self.hi)
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+}
+
+/// Log-uniform ("reciprocal") distribution on `[lo, hi)`: the logarithm of
+/// the variate is uniform. Matches straight-line segments on the log-x CDF
+/// plots the paper uses (Figures 1, 2, 4–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUniform {
+    ln_lo: f64,
+    ln_hi: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl LogUniform {
+    /// Creates a log-uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, bounds are not finite, or `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo > 0.0 && hi.is_finite() && lo <= hi,
+            "log-uniform needs 0 < lo <= hi, got [{lo}, {hi})"
+        );
+        LogUniform {
+            ln_lo: lo.ln(),
+            ln_hi: hi.ln(),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Sampler for LogUniform {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.random_range(self.ln_lo..self.ln_hi).exp()
+    }
+    fn mean(&self) -> Option<f64> {
+        if self.lo == self.hi {
+            return Some(self.lo);
+        }
+        Some((self.hi - self.lo) / (self.ln_hi - self.ln_lo))
+    }
+}
+
+/// Exponential distribution with the given mean (inverse transform).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "bad mean {mean}");
+        Exponential { mean }
+    }
+
+    /// Creates an exponential distribution with rate `rate` (mean `1/rate`).
+    pub fn with_rate(rate: f64) -> Self {
+        Exponential::with_mean(1.0 / rate)
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        -self.mean * open_unit(rng).ln()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// `mu`/`sigma` (Box–Muller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or parameters are not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal from its median and the underlying `sigma`.
+    /// The median of a log-normal is `exp(mu)`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draws a standard normal variate via Box–Muller.
+    fn standard_normal(rng: &mut dyn rand::Rng) -> f64 {
+        let u1 = open_unit(rng);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + 0.5 * self.sigma * self.sigma).exp())
+    }
+}
+
+/// Pareto distribution truncated to `[lo, hi]` — the standard model for the
+/// heavy tails of invocation durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bad bounded pareto");
+        BoundedPareto { lo, hi, alpha }
+    }
+}
+
+impl Sampler for BoundedPareto {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        // Inverse transform of the truncated CDF.
+        let u: f64 = rng.random_range(0.0..1.0);
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        let x = (la / (1.0 - u * (1.0 - la / ha))).powf(1.0 / self.alpha);
+        x.min(self.hi)
+    }
+    fn mean(&self) -> Option<f64> {
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        if (a - 1.0).abs() < 1e-12 {
+            // alpha == 1 special case.
+            let la = l;
+            let ha = h;
+            Some((ha.ln() - la.ln()) * l / (1.0 - l / h))
+        } else {
+            let num = l.powf(a) * a / (a - 1.0) * (l.powf(1.0 - a) - h.powf(1.0 - a));
+            Some(num / (1.0 - (l / h).powf(a)))
+        }
+    }
+}
+
+/// A weighted mixture of component distributions.
+#[derive(Debug)]
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Sampler>)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs.
+    ///
+    /// Weights need not sum to one; they are normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any weight is negative / non-finite.
+    pub fn new(components: Vec<(f64, Box<dyn Sampler>)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs >= 1 component");
+        let total_weight: f64 = components
+            .iter()
+            .map(|(w, _)| {
+                assert!(w.is_finite() && *w >= 0.0, "bad weight {w}");
+                *w
+            })
+            .sum();
+        assert!(total_weight > 0.0, "mixture weights sum to zero");
+        Mixture {
+            components,
+            total_weight,
+        }
+    }
+}
+
+impl Sampler for Mixture {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        let mut pick = rng.random_range(0.0..self.total_weight);
+        for (w, c) in &self.components {
+            if pick < *w {
+                return c.sample(rng);
+            }
+            pick -= w;
+        }
+        // Floating-point edge: fall through to the last component.
+        self.components
+            .last()
+            .expect("mixture is non-empty")
+            .1
+            .sample(rng)
+    }
+    fn mean(&self) -> Option<f64> {
+        let mut acc = 0.0;
+        for (w, c) in &self.components {
+            acc += w / self.total_weight * c.mean()?;
+        }
+        Some(acc)
+    }
+}
+
+/// Empirical distribution: samples uniformly from recorded values
+/// (bootstrap resampling of a trace).
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical needs >= 1 value");
+        Empirical { values }
+    }
+}
+
+impl Sampler for Empirical {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        let i = rng.random_range(0..self.values.len());
+        self.values[i]
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+}
+
+/// Clamps an inner sampler's output to `[lo, hi]`.
+#[derive(Debug)]
+pub struct Clamped {
+    inner: Box<dyn Sampler>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Clamped {
+    /// Wraps `inner` so every sample is clamped to `[lo, hi]`.
+    pub fn new(inner: Box<dyn Sampler>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "bad clamp bounds");
+        Clamped { inner, lo, hi }
+    }
+}
+
+impl Sampler for Clamped {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Adapts a [`Sampler`] whose output is in seconds into [`SimDuration`]s.
+#[derive(Debug)]
+pub struct DurationSampler {
+    inner: Box<dyn Sampler>,
+    min: SimDuration,
+}
+
+impl DurationSampler {
+    /// Wraps a seconds-valued sampler. Samples are floored at `min`
+    /// (durations of zero break FIFO service ordering assumptions).
+    pub fn new(inner: Box<dyn Sampler>, min: SimDuration) -> Self {
+        DurationSampler { inner, min }
+    }
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut dyn rand::Rng) -> SimDuration {
+        SimDuration::from_secs_f64(self.inner.sample(rng)).max(self.min)
+    }
+}
+
+/// Flips a biased coin.
+pub fn bernoulli(rng: &mut dyn rand::Rng, p: f64) -> bool {
+    rng.random_range(0.0..1.0) < p
+}
+
+/// Draws from a discrete distribution given `(value, weight)` pairs.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or weights are all zero.
+pub fn weighted_choice<'a, T>(rng: &mut dyn rand::Rng, items: &'a [(T, f64)]) -> &'a T {
+    assert!(!items.is_empty());
+    let total: f64 = items.iter().map(|(_, w)| *w).sum();
+    assert!(total > 0.0, "all weights zero");
+    let mut pick = rng.random_range(0.0..total);
+    for (v, w) in items {
+        if pick < *w {
+            return v;
+        }
+        pick -= w;
+    }
+    &items.last().expect("items is non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    fn sample_mean(s: &dyn Sampler, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| s.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let c = Constant(3.5);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(c.sample(&mut r), 3.5);
+        }
+        assert_eq!(c.mean(), Some(3.5));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_matches_mean() {
+        let u = UniformDist::new(2.0, 6.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = u.sample(&mut r);
+            assert!((2.0..6.0).contains(&x));
+        }
+        let m = sample_mean(&u, 20_000);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let e = Exponential::with_mean(5.0);
+        let m = sample_mean(&e, 50_000);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+        assert_eq!(Exponential::with_rate(0.2).mean(), Some(5.0));
+    }
+
+    #[test]
+    fn log_uniform_bounds_and_mean() {
+        let lu = LogUniform::new(1.0, 100.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = lu.sample(&mut r);
+            assert!((1.0..100.0).contains(&x));
+        }
+        // Analytic mean (hi-lo)/ln(hi/lo) = 99/ln(100) ~= 21.5.
+        let analytic = lu.mean().unwrap();
+        assert!((analytic - 21.497).abs() < 0.01);
+        let m = sample_mean(&lu, 50_000);
+        assert!((m - analytic).abs() / analytic < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_median_and_mean() {
+        let ln = LogNormal::from_median(2.0, 0.5);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[10_000];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+        let analytic = ln.mean().unwrap();
+        let m = sample_mean(&ln, 50_000);
+        assert!((m - analytic).abs() / analytic < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn bounded_pareto_bounds_and_mean() {
+        let bp = BoundedPareto::new(30.0, 600.0, 1.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = bp.sample(&mut r);
+            assert!((30.0..=600.0).contains(&x), "{x}");
+        }
+        let analytic = bp.mean().unwrap();
+        let m = sample_mean(&bp, 100_000);
+        assert!(
+            (m - analytic).abs() / analytic < 0.05,
+            "mean {m} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn mixture_weights_components() {
+        let mix = Mixture::new(vec![
+            (0.25, Box::new(Constant(0.0)) as Box<dyn Sampler>),
+            (0.75, Box::new(Constant(1.0))),
+        ]);
+        let m = sample_mean(&mix, 50_000);
+        assert!((m - 0.75).abs() < 0.01, "mean {m}");
+        assert_eq!(mix.mean(), Some(0.75));
+    }
+
+    #[test]
+    fn empirical_resamples_values() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0]);
+        let mut r = rng();
+        for _ in 0..100 {
+            let x = e.sample(&mut r);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+        assert_eq!(e.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let c = Clamped::new(Box::new(Exponential::with_mean(10.0)), 1.0, 2.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = c.sample(&mut r);
+            assert!((1.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn duration_sampler_floors_at_min() {
+        let ds = DurationSampler::new(Box::new(Constant(0.0)), SimDuration::from_millis(1));
+        let mut r = rng();
+        assert_eq!(ds.sample(&mut r), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let items = [("a", 0.0), ("b", 1.0)];
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(*weighted_choice(&mut r, &items), "b");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! # hrv-trace
+//!
+//! Workload and VM trace models for serverless computing on harvested
+//! resources — the data layer of the SOSP 2021 "Faster and Cheaper
+//! Serverless Computing on Harvested Resources" reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — integer microsecond time types shared by the whole
+//!   workspace;
+//! * [`rng`] — labelled, reproducible RNG streams;
+//! * [`dist`] — from-scratch probability distributions;
+//! * [`stats`] — CDFs, percentiles, and histograms;
+//! * [`arrival`] — Poisson and time-varying Poisson arrival processes;
+//! * [`harvest`] — Harvest VM lifetime / CPU-variation / fleet models
+//!   calibrated to the paper's Figures 1–3 and 8;
+//! * [`faas`] — Azure-Functions-like workload generator calibrated to
+//!   Figures 4–7 and 9.
+
+pub mod arrival;
+pub mod dist;
+pub mod faas;
+pub mod harvest;
+pub mod physical;
+pub mod rng;
+pub mod stats;
+pub mod time;

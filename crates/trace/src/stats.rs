@@ -1,0 +1,404 @@
+//! Descriptive statistics: empirical CDFs, percentiles, online moments, and
+//! log-scale histograms. These back both the characterization figures
+//! (Figures 1–9) and the metric reports of the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free input assumed), or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An empirical cumulative distribution built from a finite sample.
+///
+/// Percentiles use nearest-rank interpolation, which matches how the paper
+/// reads "P99" style statistics off its traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. NaNs are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "CDF needs at least one sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(f64::total_cmp);
+        Cdf { sorted: samples }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly greater than `x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.fraction_at_or_below(x)
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), linear interpolation
+    /// between closest ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evaluates the CDF at a ladder of points, producing `(x, fraction)`
+    /// rows — the exact series a figure plots.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+/// A histogram over logarithmically spaced bins, mirroring the log-x axes
+/// of the paper's duration plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[lo, hi)` with `bins` log-spaced bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && bins > 0, "bad histogram spec");
+        LogHistogram {
+            lo,
+            ratio: (hi / lo).powf(1.0 / bins as f64),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (x / self.lo).ln() / self.ratio.ln();
+        let idx = idx as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the lowest bin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the highest bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bin_lower_bound, count)`.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+    }
+}
+
+/// Renders an ASCII sparkline of a CDF over log-spaced points — used by the
+/// `experiments` binary to eyeball distribution shapes in a terminal.
+pub fn ascii_cdf(cdf: &Cdf, lo: f64, hi: f64, cols: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    assert!(lo > 0.0 && hi > lo && cols > 0);
+    let ratio = (hi / lo).powf(1.0 / cols.max(1) as f64);
+    let mut out = String::with_capacity(cols * 3);
+    let mut x = lo;
+    for _ in 0..cols {
+        let f = cdf.fraction_at_or_below(x);
+        let idx = ((f * 8.0) as usize).min(7);
+        out.push(BARS[idx]);
+        x *= ratio;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn cdf_percentiles() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.min(), 1.0);
+        assert_eq!(cdf.max(), 100.0);
+        assert!((cdf.median() - 50.5).abs() < 1e-9);
+        assert!((cdf.percentile(99.0) - 99.01).abs() < 0.02);
+        assert_eq!(cdf.percentile(0.0), 1.0);
+        assert_eq!(cdf.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(3.0), 1.0);
+        assert_eq!(cdf.fraction_above(2.0), 0.25);
+    }
+
+    #[test]
+    fn cdf_single_sample() {
+        let cdf = Cdf::from_samples(vec![7.0]);
+        assert_eq!(cdf.percentile(37.0), 7.0);
+        assert_eq!(cdf.median(), 7.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = Cdf::from_samples((0..50).map(|i| 1.2f64.powi(i)).collect());
+        let pts: Vec<f64> = (0..20).map(|i| 1.5f64.powi(i)).collect();
+        let series = cdf.series(&pts);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        for x in [0.5, 1.5, 15.0, 150.0, 1500.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        let counts: Vec<u64> = h.bins().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+        let bounds: Vec<f64> = h.bins().map(|(b, _)| b).collect();
+        assert!((bounds[0] - 1.0).abs() < 1e-9);
+        assert!((bounds[1] - 10.0).abs() < 1e-9);
+        assert!((bounds[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_cdf_renders() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        let art = ascii_cdf(&cdf, 1.0, 100.0, 10);
+        assert_eq!(art.chars().count(), 10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Eviction handling (Section 4): compare the three provisioning
+//! strategies — conservative splits vs running everything on Harvest VMs.
+//!
+//! ```sh
+//! cargo run --release --example eviction_reliability
+//! ```
+
+use harvest_faas::experiment::reliability;
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
+use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace, Storm};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+use harvest_faas::provision::{capacity_split, strategy2_sweep, Assignment, Strategy};
+use harvest_faas::report::{pct, Table};
+
+fn main() {
+    let seeds = SeedFactory::new(41);
+
+    // A 2-hour, sped-up F_small-shaped workload.
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, 20.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(SimDuration::from_hours(2), &seeds);
+    println!("workload: {} invocations over 2 h\n", trace.len());
+
+    // Strategy 1: no failures, but little capacity moves to harvest.
+    let s1 = Assignment::from_trace(&trace, Strategy::NoFailures);
+    let split = capacity_split(&trace, &s1, SimDuration::from_mins(10));
+    let (regular_apps, harvest_apps) = s1.counts();
+    println!(
+        "Strategy 1: {regular_apps} apps pinned to regular VMs, {harvest_apps} on harvest;\n  capacity on harvest = {} (paper: 12.0%)\n",
+        pct(split.harvest_fraction()),
+    );
+
+    // Strategy 2: sweep the decision percentile (Figure 10).
+    let sweep = strategy2_sweep(
+        &trace,
+        SimDuration::from_mins(10),
+        &[95.0, 97.0, 99.0, 99.9],
+    );
+    let mut t = Table::new(
+        "Strategy 2 — capacity on harvest vs failure bound",
+        &["decision percentile", "failure bound", "capacity on harvest"],
+    );
+    for (p, frac) in sweep {
+        t.row(vec![format!("P{p:.1}"), pct(1.0 - p / 100.0), pct(frac)]);
+    }
+    println!("{}", t.render());
+
+    // Strategy 3: everything on Harvest VMs, through an eviction storm.
+    let config = FleetConfig {
+        horizon: SimDuration::from_days(8),
+        initial_population: 40,
+        final_population: 50,
+        forced_storms: vec![Storm {
+            at: SimTime::ZERO + SimDuration::from_days(4),
+            fraction: 0.85,
+        }],
+        ..FleetConfig::default()
+    };
+    let fleet = FleetTrace::generate(&config, &seeds.child("fleet"));
+    let window = SimDuration::from_days(2);
+    let worst = fleet.worst_window(window, SimDuration::from_days(1));
+    let vms = fleet.extract(worst.start, window);
+    println!(
+        "Strategy 3 window: {} VMs, eviction rate {} (the storm window)",
+        vms.len(),
+        pct(worst.eviction_rate),
+    );
+    let platform = PlatformConfig {
+        ping_interval: SimDuration::from_secs(60),
+        ..PlatformConfig::default()
+    };
+    let result = reliability(
+        &vms,
+        &WorkloadSpec::paper_fsmall().scaled(119, 6.0),
+        window,
+        3,
+        PolicyKind::Random,
+        &platform,
+        7,
+    );
+    println!(
+        "Strategy 3: {} invocations, {} VM evictions, {} failures -> failure rate {} (paper worst case: 0.0015%)",
+        result.invocations,
+        result.vm_evictions,
+        result.eviction_failures,
+        pct(result.failure_rate),
+    );
+}

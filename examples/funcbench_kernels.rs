@@ -1,0 +1,73 @@
+//! Runs the real FunctionBench-style compute kernels (Table 2) on this
+//! machine and prints measured durations — the "actual work" behind the
+//! service-demand profiles the simulations use.
+//!
+//! ```sh
+//! cargo run --release --example funcbench_kernels
+//! ```
+
+use std::time::Instant;
+
+use harvest_faas::funcbench::{
+    floatop, image_pipeline, linpack, logistic_regression, matmult, render_table,
+    stream_cipher, video_pipeline, Family,
+};
+use harvest_faas::report::Table;
+
+fn timed<F: FnOnce() -> R, R: std::fmt::Debug>(f: F) -> (String, f64) {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    (format!("{out:?}"), secs)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "FunctionBench kernels (Table 2) on this machine",
+        &["family", "workload", "result", "duration"],
+    );
+    let runs: Vec<(Family, &str, (String, f64))> = vec![
+        (
+            Family::Floatop,
+            "5M sin/cos/sqrt",
+            timed(|| floatop(5_000_000) as i64),
+        ),
+        (Family::Matmult, "256x256 matmul", timed(|| matmult(256) as i64)),
+        (Family::Linpack, "256x256 solve", timed(|| linpack(256) as i64)),
+        (
+            Family::Chameleon,
+            "400x40 HTML table",
+            timed(|| render_table(400, 40)),
+        ),
+        (
+            Family::Pyaes,
+            "4 MiB cipher round trip",
+            timed(|| stream_cipher(4 << 20, 0xC0FFEE)),
+        ),
+        (
+            Family::ImageProcessing,
+            "1024x768 flip+rotate+blur",
+            timed(|| image_pipeline(1024, 768)),
+        ),
+        (
+            Family::VideoProcessing,
+            "24 frames of 320x240",
+            timed(|| video_pipeline(320, 240, 24)),
+        ),
+        (
+            Family::TextClassification,
+            "logreg 2000x32, 300 epochs",
+            timed(|| format!("{:.3}", logistic_regression(2_000, 32, 300))),
+        ),
+    ];
+    for (family, workload, (result, secs)) in runs {
+        t.row(vec![
+            family.name().into(),
+            workload.into(),
+            result,
+            format!("{:.1} ms", secs * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(image-classification is represented in simulations by its duration profile only)");
+}

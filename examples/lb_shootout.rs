@@ -1,0 +1,81 @@
+//! Load-balancer shootout (the Figure 12 experiment, scaled down):
+//! MWS vs JSQ vs vanilla OpenWhisk on a CPU-asymmetric cluster.
+//!
+//! ```sh
+//! cargo run --release --example lb_shootout
+//! ```
+
+use harvest_faas::experiment::{latency_sweep, SweepConfig, P99_SLO_SECS};
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::world::ClusterSpec;
+use harvest_faas::hrv_trace::harvest::heterogeneous_sizes;
+use harvest_faas::hrv_trace::time::SimDuration;
+use harvest_faas::report::{pct, ratio, secs, Table};
+
+fn main() {
+    let cfg = SweepConfig {
+        n_functions: 200,
+        rps_points: vec![0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0],
+        duration: SimDuration::from_mins(8),
+        warmup: SimDuration::from_mins(2),
+        ..SweepConfig::quick()
+    };
+    let horizon = cfg.duration + SimDuration::from_mins(5);
+    // The paper's Section 7.2 cluster shape: 10 invokers, 5–28 CPUs each.
+    let sizes = heterogeneous_sizes(10, 5, 28, 180);
+    let cluster = ClusterSpec::from_sizes(&sizes, 32 * 1024, horizon);
+
+    let policies = [
+        (PolicyKind::Mws, "MWS"),
+        (PolicyKind::Jsq, "JSQ"),
+        (PolicyKind::Vanilla, "Vanilla"),
+    ];
+    let sweeps: Vec<_> = policies
+        .iter()
+        .map(|&(p, label)| latency_sweep(&cluster, p, label, &cfg))
+        .collect();
+
+    let mut table = Table::new(
+        "P99 latency (s) vs offered load",
+        &["rps", "MWS", "JSQ", "Vanilla"],
+    );
+    for (i, point) in sweeps[0].points.iter().enumerate() {
+        table.row(vec![
+            format!("{:.1}", point.rps),
+            secs(point.p99),
+            secs(sweeps[1].points[i].p99),
+            secs(sweeps[2].points[i].p99),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut cold = Table::new(
+        "cold-start rate vs offered load",
+        &["rps", "MWS", "JSQ", "Vanilla"],
+    );
+    for (i, point) in sweeps[0].points.iter().enumerate() {
+        cold.row(vec![
+            format!("{:.1}", point.rps),
+            pct(point.cold_rate),
+            pct(sweeps[1].points[i].cold_rate),
+            pct(sweeps[2].points[i].cold_rate),
+        ]);
+    }
+    println!("{}", cold.render());
+
+    let thr: Vec<f64> = sweeps
+        .iter()
+        .map(|s| s.max_rps_under_slo(P99_SLO_SECS))
+        .collect();
+    println!(
+        "SLO throughput (P99 <= 50 s): MWS {:.1} | JSQ {:.1} | Vanilla {:.1} rps",
+        thr[0], thr[1], thr[2]
+    );
+    if thr[1] > 0.0 && thr[2] > 0.0 {
+        println!(
+            "MWS/JSQ = {} (paper: 1.6x) | MWS/Vanilla = {} (paper: 22.6x)",
+            ratio(thr[0] / thr[1]),
+            ratio(thr[0] / thr[2]),
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests of the cost model against generated VM traces:
+//! budget provisioning (Table 3), amortized pricing (Section 7.5), and
+//! the capacity-split accounting that drives Figure 10.
+
+use harvest_faas::cost::{
+    amortized_core_price, saving, BudgetModel, Discounts, REGULAR_CORE_HOUR,
+};
+use harvest_faas::hrv_trace::harvest::INSTALL_TIME;
+use harvest_faas::hrv_trace::physical::{
+    usable_cpu_seconds, PhysicalCluster, PhysicalClusterConfig,
+};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::SimDuration;
+
+fn physical() -> PhysicalCluster {
+    let config = PhysicalClusterConfig {
+        nodes: 12,
+        horizon: SimDuration::from_days(2),
+        ..PhysicalClusterConfig::default()
+    };
+    PhysicalCluster::generate(&config, &SeedFactory::new(14))
+}
+
+#[test]
+fn harvest_beats_spot_on_price_and_capture() {
+    let cluster = physical();
+    let idle = cluster.idle_cpu_seconds();
+    let d = Discounts::TYPICAL;
+
+    let harvest = cluster.pack_harvest(2, 16 * 1024);
+    let spot_small = cluster.pack_spot(2, 4 * 1024);
+    let spot_large = cluster.pack_spot(48, 4 * 1024);
+
+    // Capacity capture ordering (Figure 18 CPUs × time panel).
+    let cap = |vms: &[harvest_faas::hrv_trace::harvest::VmTrace]| {
+        usable_cpu_seconds(vms, INSTALL_TIME) / idle
+    };
+    let h = cap(&harvest);
+    let s2 = cap(&spot_small);
+    let s48 = cap(&spot_large);
+    assert!(h > s2, "harvest {h} vs S2 {s2}");
+    assert!(s2 > s48, "S2 {s2} vs S48 {s48}");
+    assert!(h > 0.9, "harvest captured only {h}");
+
+    // Harvest's amortized price beats the per-core regular price by far.
+    let price = amortized_core_price(&harvest, d, INSTALL_TIME).unwrap();
+    assert!(price < 0.5 * REGULAR_CORE_HOUR, "price {price}");
+}
+
+#[test]
+fn budget_model_scales_with_discounts() {
+    let model = BudgetModel::default();
+    let rows = model.table();
+    // Budget is conserved: every harvest row's cost fits the baseline.
+    for row in rows.iter().skip(1) {
+        let rate = harvest_faas::cost::harvest_vm_rate(
+            model.harvest_base_cpus,
+            model.avg_harvested,
+            row.discounts,
+        );
+        let total = rate * f64::from(row.vms);
+        assert!(
+            total <= model.budget() + 1e-9,
+            "{}: cost {total} exceeds budget {}",
+            row.discounts.label,
+            model.budget()
+        );
+        // And one more VM would not fit.
+        assert!(total + rate > model.budget());
+    }
+    // Headline: the Best configuration buys ~10x the CPUs.
+    let best = rows.last().unwrap();
+    assert!(best.cpu_ratio > 7.0, "{}", best.cpu_ratio);
+}
+
+#[test]
+fn same_resources_cost_savings_match_paper_band() {
+    // 180 CPUs as harvest VMs (base 2 + 16 harvested each) vs regular.
+    let regular = harvest_faas::cost::regular_vm_rate(180);
+    for (d, lo, hi) in [
+        (Discounts::LOWEST, 0.40, 0.60),
+        (Discounts::TYPICAL, 0.70, 0.85),
+        (Discounts::HIGH, 0.80, 0.92),
+        (Discounts::BEST, 0.85, 0.95),
+    ] {
+        let harvest = 10.0 * harvest_faas::cost::harvest_vm_rate(2, 16.0, d);
+        let s = saving(harvest, regular);
+        assert!(
+            (lo..=hi).contains(&s),
+            "{}: saving {s} outside [{lo}, {hi}] (paper: 48%-89%)",
+            d.label
+        );
+    }
+}
+
+#[test]
+fn spot_price_includes_install_waste() {
+    // A churny spot fleet (many short-lived VMs) pays more per useful
+    // core-hour than the nominal discount implies.
+    let cluster = physical();
+    let spot = cluster.pack_spot(16, 4 * 1024);
+    let nominal = harvest_faas::cost::spot_vm_rate(1, Discounts::TYPICAL) * REGULAR_CORE_HOUR;
+    let total: f64 = spot
+        .iter()
+        .map(harvest_faas::hrv_trace::harvest::VmTrace::cpu_seconds)
+        .sum();
+    let useful = usable_cpu_seconds(&spot, INSTALL_TIME);
+    assert!(useful < total, "install overhead must reduce useful time");
+    let effective = total * harvest_faas::cost::spot_vm_rate(1, Discounts::TYPICAL)
+        / useful
+        * REGULAR_CORE_HOUR;
+    assert!(effective > nominal, "effective {effective} nominal {nominal}");
+}
+
+#[test]
+fn capacity_split_is_conserved() {
+    use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
+    use harvest_faas::provision::{capacity_split, Assignment, Strategy};
+    let seeds = SeedFactory::new(31);
+    let spec = WorkloadSpec::paper_fsmall().scaled(60, 10.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(SimDuration::from_mins(40), &seeds);
+    let busy_total: f64 = trace.iter().map(|i| i.duration.as_secs_f64()).sum();
+    for strategy in [
+        Strategy::NoFailures,
+        Strategy::BoundedFailures { percentile: 99.0 },
+        Strategy::LiveAndLetDie,
+    ] {
+        let a = Assignment::from_trace(&trace, strategy);
+        let split = capacity_split(&trace, &a, SimDuration::from_mins(10));
+        // Busy time is partitioned exactly.
+        let busy = split.regular_busy_secs + split.harvest_busy_secs;
+        assert!((busy - busy_total).abs() < 1e-6, "{strategy:?}");
+        // Container time dominates busy time (keep-alive overhead).
+        let containers = split.regular_container_secs + split.harvest_container_secs;
+        assert!(containers > busy, "{strategy:?}");
+    }
+}

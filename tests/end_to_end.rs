@@ -1,0 +1,96 @@
+//! End-to-end integration: fleet generation → window extraction → platform
+//! simulation → metric aggregation, across all workspace crates.
+
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_platform::metrics::Outcome;
+use harvest_faas::hrv_platform::world::{ClusterSpec, Simulation};
+use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
+use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace, Storm};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+
+fn small_fleet_window() -> (Vec<harvest_faas::hrv_trace::harvest::VmTrace>, SimDuration) {
+    let config = FleetConfig {
+        horizon: SimDuration::from_days(10),
+        initial_population: 30,
+        final_population: 40,
+        forced_storms: vec![Storm {
+            at: SimTime::ZERO + SimDuration::from_days(5),
+            fraction: 0.6,
+        }],
+        ..FleetConfig::default()
+    };
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(91));
+    let window = SimDuration::from_days(2);
+    let worst = fleet.worst_window(window, SimDuration::from_days(1));
+    (fleet.extract(worst.start, window), window)
+}
+
+#[test]
+fn harvest_window_hosts_a_full_workload() {
+    let (vms, window) = small_fleet_window();
+    assert!(vms.len() >= 20, "window too small: {}", vms.len());
+    let seeds = SeedFactory::new(17);
+    let spec = WorkloadSpec::paper_fsmall().scaled(60, 4.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(window, &seeds);
+    let n_invocations = trace.len();
+    let platform = PlatformConfig {
+        ping_interval: SimDuration::from_secs(60),
+        ..PlatformConfig::default()
+    };
+    let out = Simulation::new(
+        ClusterSpec::from_traces(vms),
+        trace,
+        PolicyKind::Mws.build(),
+        platform,
+        3,
+    )
+    .run(window + SimDuration::from_mins(10));
+    let m = out.collector.aggregate(SimTime::ZERO);
+    assert!(m.arrivals as usize >= n_invocations * 95 / 100);
+    // The storm window evicts many VMs, yet almost everything completes.
+    assert!(out.collector.vm_evictions > 5, "{}", out.collector.vm_evictions);
+    let success = m.completed as f64 / m.arrivals as f64;
+    assert!(success > 0.98, "success rate {success}");
+    // Eviction failures, if any, are a minuscule fraction.
+    assert!(m.failure_rate < 0.005, "failure rate {}", m.failure_rate);
+    // Latency is dominated by execution at this load.
+    assert!(m.latency_percentile(50.0).unwrap() < 5.0);
+}
+
+#[test]
+fn outcomes_partition_the_arrivals() {
+    let (vms, window) = small_fleet_window();
+    let seeds = SeedFactory::new(23);
+    let spec = WorkloadSpec::paper_fsmall().scaled(30, 3.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(window, &seeds);
+    let platform = PlatformConfig {
+        ping_interval: SimDuration::from_secs(60),
+        ..PlatformConfig::default()
+    };
+    let out = Simulation::new(
+        ClusterSpec::from_traces(vms),
+        trace,
+        PolicyKind::Jsq.build(),
+        platform,
+        3,
+    )
+    .run(window + SimDuration::from_mins(30));
+    // Every record id is unique: nothing is double-finalized.
+    let mut ids: Vec<u64> = out.collector.records.iter().map(|r| r.id).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate invocation records");
+    // Records cover ~every arrival (a handful may still be in flight).
+    let finalized = out
+        .collector
+        .records
+        .iter()
+        .filter(|r| r.outcome != Outcome::Censored)
+        .count() as u64;
+    assert!(finalized + 50 >= out.collector.arrivals);
+}

@@ -1,0 +1,118 @@
+//! Integration-level calibration checks: the synthetic traces reproduce
+//! the paper's published statistics when generated at realistic scale and
+//! consumed through the public API.
+
+use harvest_faas::hrv_trace::faas::{
+    duration_cdf, inter_arrival_cdfs, Workload, WorkloadSpec, WorkloadStats,
+};
+use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace};
+use harvest_faas::hrv_trace::physical::{PhysicalCluster, PhysicalClusterConfig};
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+
+#[test]
+fn fsmall_statistics_hold_at_scale() {
+    let seeds = SeedFactory::new(1001);
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, 40.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(SimDuration::from_hours(2), &seeds);
+    assert!(trace.len() > 200_000);
+
+    let cdf = duration_cdf(&trace);
+    assert!(cdf.fraction_at_or_below(1.0) > 0.80);
+    assert!(cdf.fraction_at_or_below(30.0) > 0.93);
+    assert!(cdf.max() <= 580.0);
+
+    let stats = WorkloadStats::from_trace(&trace);
+    assert!((stats.frac_long_invocations - 0.041).abs() < 0.02);
+    assert!((stats.frac_long_apps - 0.487).abs() < 0.12);
+    assert!(stats.time_share_long_apps > 0.95);
+}
+
+#[test]
+fn fleet_eviction_rates_bracket_the_paper() {
+    let config = FleetConfig {
+        horizon: SimDuration::from_days(80),
+        initial_population: 150,
+        final_population: 220,
+        ..FleetConfig::default()
+    };
+    let mut config = config;
+    // Keep the forced storm inside the shortened horizon.
+    config.forced_storms[0].at = SimTime::ZERO + SimDuration::from_days(50);
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(2002));
+    let windows = fleet.windows(SimDuration::from_days(14), SimDuration::from_days(1));
+    let mean =
+        windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
+    // Paper: average 13.1 % — accept a generous band.
+    assert!((0.04..=0.30).contains(&mean), "mean window rate {mean}");
+    let worst = fleet.worst_window(SimDuration::from_days(14), SimDuration::from_days(1));
+    assert!(worst.eviction_rate > 0.5, "worst {}", worst.eviction_rate);
+    let typical =
+        fleet.typical_window(SimDuration::from_days(14), SimDuration::from_days(1));
+    assert!(
+        typical.eviction_rate < 0.3,
+        "typical {}",
+        typical.eviction_rate
+    );
+}
+
+#[test]
+fn inter_arrival_shape_survives_the_public_pipeline() {
+    let seeds = SeedFactory::new(3003);
+    let spec = WorkloadSpec::paper_fsmall().scaled(119, 4.0);
+    let workload = Workload::generate(&spec, &seeds);
+    let trace = workload.invocations(SimDuration::from_hours(4), &seeds);
+    let (short, long) = inter_arrival_cdfs(&trace, &workload);
+    let (short, long) = (short.unwrap(), long.unwrap());
+    assert!(short.fraction_at_or_below(10.0) > long.fraction_at_or_below(10.0));
+}
+
+#[test]
+fn physical_cluster_idle_is_conserved_by_harvest_packing() {
+    let config = PhysicalClusterConfig {
+        nodes: 8,
+        horizon: SimDuration::from_days(1),
+        ..PhysicalClusterConfig::default()
+    };
+    let cluster = PhysicalCluster::generate(&config, &SeedFactory::new(4004));
+    let idle = cluster.idle_cpu_seconds();
+    for base in [2u32, 4, 8] {
+        let vms = cluster.pack_harvest(base, 16 * 1024);
+        let captured: f64 = vms
+            .iter()
+            .map(harvest_faas::hrv_trace::harvest::VmTrace::cpu_seconds)
+            .sum();
+        // Harvest packing never exceeds the idle supply, and larger base
+        // sizes capture less (more sub-base idle periods are unusable).
+        assert!(captured <= idle + 1e-6, "base {base}");
+        assert!(captured / idle > 0.5, "base {base}: {}", captured / idle);
+    }
+    let h2: f64 = cluster
+        .pack_harvest(2, 16 * 1024)
+        .iter()
+        .map(harvest_faas::hrv_trace::harvest::VmTrace::cpu_seconds)
+        .sum();
+    let h8: f64 = cluster
+        .pack_harvest(8, 16 * 1024)
+        .iter()
+        .map(harvest_faas::hrv_trace::harvest::VmTrace::cpu_seconds)
+        .sum();
+    assert!(h2 >= h8, "H2 {h2} < H8 {h8}");
+}
+
+#[test]
+fn vm_windows_round_trip_through_serde() {
+    // Traces are serde-serializable for persistence: round-trip one.
+    let config = FleetConfig {
+        horizon: SimDuration::from_days(5),
+        initial_population: 10,
+        final_population: 12,
+        forced_storms: vec![],
+        ..FleetConfig::default()
+    };
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(5005));
+    let json = serde_json::to_string(&fleet).expect("serialize");
+    let back: FleetTrace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(fleet.vms, back.vms);
+}
