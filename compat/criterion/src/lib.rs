@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use:
+//! the [`Criterion`] builder (`sample_size`, `warm_up_time`,
+//! `measurement_time`), `bench_function` with a [`Bencher`] whose `iter`
+//! times the closure, and the `criterion_group!`/`criterion_main!`
+//! macros (both the plain and the `name/config/targets` forms).
+//!
+//! Statistics are intentionally simple — median and min/max over timed
+//! batches printed to stdout — with no plotting, no regression analysis,
+//! and no saved baselines. Honors `--bench` (ignored) and treats any
+//! trailing CLI token as a substring filter like the real harness.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the measured samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reads a name filter from the command line (last free argument),
+    /// matching criterion's substring behavior.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" || arg == "--test" || arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        self.filter = filter;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            spent: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+        // Calibrate per-call cost from the warm-up, then measure.
+        let per_call = if b.iters > 0 {
+            b.spent / b.iters.max(1) as u32
+        } else {
+            Duration::from_nanos(1)
+        };
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let calls_per_sample = if per_call.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as usize
+        };
+        for _ in 0..self.sample_size {
+            let mut s = Bencher {
+                spent: Duration::ZERO,
+                iters: 0,
+            };
+            for _ in 0..calls_per_sample {
+                f(&mut s);
+            }
+            if s.iters > 0 {
+                samples.push(s.spent / s.iters as u32);
+            }
+        }
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("{name}: no samples");
+            return self;
+        }
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+        self
+    }
+
+    /// Final-summary hook; the stand-in prints nothing extra.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures on behalf of a benchmark body.
+pub struct Bencher {
+    spent: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `routine` and accumulates it.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.spent += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            c = c.configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_samples() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the one piece this workspace uses: `channel::bounded`, a
+//! multi-producer multi-consumer bounded queue with cloneable endpoints
+//! and timeout-aware receives. Built on `Mutex` + two `Condvar`s — not
+//! lock-free like the real crossbeam, but semantically equivalent:
+//! `send` blocks when full, `recv_timeout` reports `Disconnected` once
+//! every sender is gone and the queue has drained.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates a bounded MPMC channel of the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(4_096))),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Why a `send` failed: the message comes back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // No `T: Debug` bound — matches crossbeam, whose SendError hides the
+    // payload, so `.expect()` works for non-Debug message types.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Why a `recv_timeout` failed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Producing endpoint; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Consuming endpoint; clone freely.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until space is available, then enqueues. Errors if all
+        /// receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if queue.len() < self.shared.capacity {
+                    queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = self.shared.not_full.wait(queue).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, wait) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap();
+                queue = q;
+                if wait.timed_out() && queue.is_empty() {
+                    // Re-check disconnect before reporting a timeout.
+                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                queue = self.shared.not_empty.wait(queue).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake receivers so they observe disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn mpmc_delivers_every_message_once() {
+            let (tx, rx) = bounded::<u64>(8);
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 1_000 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            loop {
+                match rx.recv_timeout(Duration::from_secs(5)) {
+                    Ok(v) => got.push(v),
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => panic!("stalled"),
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), 400);
+        }
+
+        #[test]
+        fn timeout_fires_on_empty_connected_channel() {
+            let (_tx, rx) = bounded::<u8>(1);
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drops() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}

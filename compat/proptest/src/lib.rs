@@ -1,0 +1,419 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API the workspace's property
+//! tests use: the `proptest!` macro over `arg in strategy` signatures,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, range and tuple
+//! strategies, `any::<T>()`, and `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from the real proptest, deliberately accepted:
+//! no shrinking (failures print the seed and case number instead), no
+//! persisted regression files, and a default of 64 cases per property
+//! (override with `PROPTEST_CASES`). Case generation is fully
+//! deterministic: the seed is derived from the test's name, so a failure
+//! reproduces by rerunning the same test binary.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A property-test failure carrying its assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The word source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a value uniformly from `range`.
+    pub fn random_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.random_range(range)
+    }
+
+    /// Draws a full-domain value.
+    pub fn random<T: rand::Standard>(&mut self) -> T {
+        self.inner.random()
+    }
+}
+
+/// Generators of test inputs.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Full-domain strategy for `T`, as in `any::<bool>()`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Builds the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary: Sized {
+    /// Draws one value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, f64);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_set`).
+    pub mod collection {
+        pub use crate::collection::*;
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Number-of-elements specification: an exact size or a half-open
+    /// range, as the real proptest's `Into<SizeRange>` accepts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn draw(self, rng: &mut TestRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s of `element` with a size drawn from `size`.
+    /// If the element domain is too small to reach the target size, the
+    /// set is as large as the domain allows (bounded retries).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            let max_attempts = target * 32 + 128;
+            while set.len() < target && attempts < max_attempts {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub use collection::SizeRange;
+
+/// Runs `case` for the configured number of generated inputs; used by
+/// the `proptest!` macro, not called directly.
+pub fn run_property<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let base_seed = fnv1a(name.as_bytes());
+    for i in 0..cases {
+        let seed = base_seed ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}/{cases} (seed {seed:#x}):\n{e}");
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__pt_rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __pt_rng);)+
+                        let mut __pt_case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __pt_case()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current property case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Generated values respect their strategy bounds.
+        #[test]
+        fn ranges_and_collections_respect_bounds(
+            n in 3u32..9,
+            x in -2.0f64..2.0,
+            xs in prop::collection::vec(0u64..100, 1..20),
+            mask in prop::collection::vec(any::<bool>(), 5),
+            set in prop::collection::btree_set(0u32..64, 2..10),
+            pair in (1u64..5, 10i64..20),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&v| v < 100));
+            prop_assert_eq!(mask.len(), 5);
+            prop_assert!(set.len() >= 2 && set.len() < 10);
+            prop_assert!(pair.0 >= 1 && pair.0 < 5);
+            prop_assert_ne!(pair.1, 100);
+        }
+    }
+
+    #[test]
+    fn failures_report_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", |_rng| {
+                Err(crate::TestCaseError::fail("nope"))
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_name_generates_same_inputs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_property("det", |rng| {
+            a.push(rng.random::<u64>());
+            Ok(())
+        });
+        crate::run_property("det", |rng| {
+            b.push(rng.random::<u64>());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

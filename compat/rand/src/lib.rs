@@ -1,0 +1,266 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the exact API surface the workspace uses: a dyn-safe [`Rng`] core
+//! trait, the [`RngExt`] extension trait (`random`, `random_range`),
+//! [`SeedableRng`], and a deterministic [`rngs::StdRng`] built on
+//! xoshiro256++ seeded through SplitMix64.
+//!
+//! Determinism contract: `StdRng::seed_from_u64(s)` produces the same
+//! stream on every platform and every build, forever. Simulation results
+//! hang off this property — do not change the generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A dyn-safe source of random 64-bit words.
+pub trait Rng {
+    /// The next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 finalizer, used to expand seeds into generator state.
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast, and with more than enough statistical quality for
+    /// discrete-event simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut z);
+            }
+            // An all-zero state would be a fixed point; splitmix64 of any
+            // seed cannot produce four zero words, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly over their whole domain via `random::<T>()`.
+pub trait Standard: Sized {
+    /// Draws one value using the supplied word source.
+    fn generate(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn generate(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn generate(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn generate(next: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(next())
+    }
+}
+
+/// Maps a word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types `random_range` can sample uniformly.
+///
+/// One *generic* `SampleRange` impl per range shape delegates here, so
+/// type inference can unify an unannotated literal like `0.0..1.0` with
+/// a `T` constrained by the surrounding expression — mirroring the real
+/// rand's `SampleUniform`/`SampleRange` split.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draws from `[lo, hi)`, or `[lo, hi]` when `inclusive`. The caller
+    /// guarantees the range is non-empty.
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                next: &mut dyn FnMut() -> u64,
+            ) -> Self {
+                let span = hi.wrapping_sub(lo) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return next() as $t;
+                    }
+                    lo.wrapping_add((next() % (span + 1)) as $t)
+                } else {
+                    lo.wrapping_add((next() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform(lo: Self, hi: Self, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+        let v = lo + unit_f64(next()) * (hi - lo);
+        // Float rounding can land exactly on `hi`; fold it back.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform(lo: Self, hi: Self, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self {
+        let v = lo + (unit_f64(next()) as f32) * (hi - lo);
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+/// Ranges samplable by `random_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using the supplied word source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_uniform(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_uniform(lo, hi, true, next)
+    }
+}
+
+/// Convenience sampling methods over any [`Rng`], including `dyn Rng`.
+pub trait RngExt: Rng {
+    /// Draws a uniformly distributed value over `T`'s whole domain
+    /// (`[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::generate(&mut || self.next_u64())
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut || self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            let n: u32 = r.random_range(3..9);
+            assert!((3..9).contains(&n));
+            let m: usize = r.random_range(0..=4);
+            assert!(m <= 4);
+            let s: i64 = r.random_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_supports_ext_methods() {
+        let mut r = StdRng::seed_from_u64(1);
+        let dyn_r: &mut dyn Rng = &mut r;
+        let x = dyn_r.random_range(0..10u64);
+        assert!(x < 10);
+        let _: u64 = dyn_r.random();
+    }
+
+    #[test]
+    fn unit_f64_covers_unit_interval() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the value-model
+//! traits of the sibling `serde` compat crate. The parser is hand-rolled
+//! over `proc_macro::TokenTree` (no `syn`/`quote` available offline) and
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs (incl. `#[serde(transparent)]`) → the inner value;
+//! * tuple structs → JSON arrays;
+//! * enums with unit / tuple / struct variants → serde's externally
+//!   tagged convention (`"Variant"` or `{"Variant": ...}`).
+//!
+//! Generic types are rejected with a clear compile error; nothing in the
+//! workspace derives on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-model flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-model flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is (name, shape).
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parse"),
+    }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+                         // Outer attribute bodies are bracket groups.
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde_derive: expected identifier, got {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (offline stand-in) does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("serde_derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("serde_derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde_derive: cannot derive on `{other}`")),
+    }
+}
+
+/// Extracts field names from `a: T, pub b: U, ...`, skipping types with
+/// nested generics (commas inside `<...>` are not separators).
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive: expected `:` after field, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        skip_type_until_comma(&mut c);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the next top-level `,` (angle
+/// brackets tracked by depth; bracketed groups arrive pre-nested).
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in ts {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible `= discriminant` and the separating comma.
+        skip_type_until_comma(&mut c);
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Map(vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Seq(vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),")
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![({v:?}\
+                             .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{}\n}}\n\
+                   }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         ::serde::Error::msg(concat!(\"missing field `\", {f:?}, \"` in \", \
+                         {name:?})))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::serde::Result<Self> {{\n\
+                     Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(v: &::serde::Value) -> ::serde::Result<Self> {{\n\
+                 Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::serde::Result<Self> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Seq(items) if items.len() == {arity} => \
+                         Ok({name}({})),\n\
+                       other => Err(::serde::Error::msg(format!(\
+                         \"expected {arity}-element array for {name}, got {{other:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_v: &::serde::Value) -> ::serde::Result<Self> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match inner {{\n\
+                               ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}::{v}({})),\n\
+                               other => Err(::serde::Error::msg(format!(\
+                                 \"expected {n}-element array for variant {v}, got \
+                                 {{other:?}}\"))),\n\
+                             }},",
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get({f:?})\
+                                     .ok_or_else(|| ::serde::Error::msg(concat!(\"missing \
+                                     field `\", {f:?}, \"` in variant \", {v:?})))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::serde::Result<Self> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::msg(format!(\
+                           \"unknown variant `{{other}}` of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                           {}\n\
+                           other => Err(::serde::Error::msg(format!(\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       other => Err(::serde::Error::msg(format!(\
+                         \"expected string or single-key object for {name}, got \
+                         {{other:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}

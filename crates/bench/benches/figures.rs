@@ -14,8 +14,7 @@ use harvest_faas::hrv_platform::config::PlatformConfig;
 use harvest_faas::hrv_platform::world::ClusterSpec;
 use harvest_faas::hrv_trace::faas::{duration_cdf, Workload, WorkloadSpec, WorkloadStats};
 use harvest_faas::hrv_trace::harvest::{
-    active_cluster, heterogeneous_sizes, CpuChangeModel, FleetConfig, FleetTrace,
-    LifetimeModel,
+    active_cluster, heterogeneous_sizes, CpuChangeModel, FleetConfig, FleetTrace, LifetimeModel,
 };
 use harvest_faas::hrv_trace::physical::{PhysicalCluster, PhysicalClusterConfig};
 use harvest_faas::hrv_trace::rng::SeedFactory;
@@ -110,9 +109,7 @@ fn strat1_fig10_capacity(c: &mut Criterion) {
     let trace = wl.invocations(SimDuration::from_mins(20), &seeds());
     c.bench_function("strat1_fig10/capacity_split", |b| {
         b.iter(|| {
-            let a = Assignment::from_trace(&trace, Strategy::BoundedFailures {
-                percentile: 99.0,
-            });
+            let a = Assignment::from_trace(&trace, Strategy::BoundedFailures { percentile: 99.0 });
             black_box(capacity_split(&trace, &a, SimDuration::from_mins(10)).harvest_fraction())
         })
     });

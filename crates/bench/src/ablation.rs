@@ -94,8 +94,7 @@ pub fn power_of_d(scale: Scale) -> String {
         ("d = 2".to_string(), PolicyKind::JsqSampled(2)),
         ("d = 1 (random)".to_string(), PolicyKind::JsqSampled(1)),
     ] {
-        let sweep =
-            harvest_faas::experiment::latency_sweep(&cluster, policy, &name, &cfg);
+        let sweep = harvest_faas::experiment::latency_sweep(&cluster, policy, &name, &cfg);
         let at15 = sweep
             .points
             .iter()

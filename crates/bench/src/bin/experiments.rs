@@ -44,7 +44,10 @@ fn main() {
                 eprintln!("[{name}] done in {:.1}s", started.elapsed().as_secs_f64());
             }
             None => {
-                eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                eprintln!(
+                    "unknown experiment {name:?}; known: {}",
+                    EXPERIMENTS.join(" ")
+                );
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,194 @@
+//! Perf-smoke harness: quick wall-clock numbers for the simulator's hot
+//! paths, written to `BENCH_perfsmoke.json` at the repo root.
+//!
+//! Three probes, each seconds-scale so the whole run stays under a
+//! minute:
+//!
+//! 1. **calendar** — schedule/cancel/pop churn through the event
+//!    calendar, the data structure every simulated event crosses;
+//! 2. **ps** — completion throughput of the virtual-time [`PsQueue`]
+//!    against the segment-walking reference implementation at 10, 100,
+//!    1 000 and 10 000 concurrent jobs (the rewrite must clear 3× at
+//!    1 000);
+//! 3. **replay** — a short end-to-end MWS replay on the Harvest cluster,
+//!    the closest thing to "how fast do real experiments run".
+//!
+//! Usage: `cargo run --release -p hrv-bench --bin perfsmoke`
+
+use std::time::Instant;
+
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_platform::world::Simulation;
+use harvest_faas::hrv_trace::rng::SeedFactory;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+use hrv_bench::replay;
+use hrv_sim::calendar::Calendar;
+
+/// Calendar churn: a rolling window of pending timers where half of all
+/// scheduled events are cancelled before they fire — the invoker
+/// completion-timer pattern at fleet scale.
+fn bench_calendar(total_events: usize) -> (f64, f64) {
+    let start = Instant::now();
+    let mut cal: Calendar<u64> = Calendar::with_capacity(4_096);
+    let mut armed: Vec<hrv_sim::calendar::EventId> = Vec::with_capacity(64);
+    let mut popped = 0u64;
+    let mut i = 0u64;
+    while (popped as usize) < total_events {
+        // Schedule a burst, cancel every other handle from the last burst.
+        for k in 0..64u64 {
+            let at = SimTime::from_micros(i * 64 + k + 1);
+            let id = cal.schedule(at, i * 64 + k);
+            if k % 2 == 0 {
+                armed.push(id);
+            }
+        }
+        for id in armed.drain(..) {
+            cal.cancel(id);
+        }
+        for _ in 0..32 {
+            if cal.pop().is_some() {
+                popped += 1;
+            }
+        }
+        i += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs, popped as f64 / secs)
+}
+
+/// Drives a PS queue at steady `concurrency`: every completion is
+/// immediately replaced by a fresh job, with a capacity resize every 64
+/// steps to exercise the harvest path. Shared between the virtual-time
+/// queue and the reference via a macro because the two types are
+/// intentionally distinct.
+macro_rules! ps_driver {
+    ($name:ident, $ps:ty, $job:path) => {
+        fn $name(concurrency: usize, completions: u64) -> f64 {
+            let base_cap = (concurrency as f64 / 2.0).max(1.0);
+            let mut ps = <$ps>::new(base_cap);
+            for i in 0..concurrency as u64 {
+                ps.add($job(i), 1.0 + (i % 997) as f64 * 0.003, 1.0);
+            }
+            let mut next_id = concurrency as u64;
+            let mut done = 0u64;
+            let mut steps = 0u64;
+            let start = Instant::now();
+            while done < completions {
+                let Some((at, _)) = ps.next_completion() else {
+                    break;
+                };
+                ps.advance(at);
+                let finished = ps.take_completed(1e-5);
+                done += finished.len() as u64;
+                for _ in finished {
+                    ps.add($job(next_id), 1.0 + (next_id % 997) as f64 * 0.003, 1.0);
+                    next_id += 1;
+                }
+                steps += 1;
+                if steps % 64 == 0 {
+                    let scale = 0.5 + (steps / 64 % 4) as f64 * 0.25;
+                    ps.set_capacity(base_cap * scale);
+                }
+            }
+            done as f64 / start.elapsed().as_secs_f64()
+        }
+    };
+}
+
+ps_driver!(drive_new, hrv_sim::ps::PsQueue, hrv_sim::ps::JobId);
+ps_driver!(
+    drive_reference,
+    hrv_sim::ps_reference::PsQueue,
+    hrv_sim::ps_reference::JobId
+);
+
+/// One row of the PS comparison.
+struct PsRow {
+    concurrency: usize,
+    completions: u64,
+    new_per_sec: f64,
+    reference_per_sec: f64,
+}
+
+fn bench_ps() -> Vec<PsRow> {
+    [(10, 50_000), (100, 20_000), (1_000, 5_000), (10_000, 2_000)]
+        .into_iter()
+        .map(|(concurrency, completions)| PsRow {
+            concurrency,
+            completions,
+            new_per_sec: drive_new(concurrency, completions),
+            reference_per_sec: drive_reference(concurrency, completions),
+        })
+        .collect()
+}
+
+/// Short end-to-end replay: 10 minutes of the Section 7.6 Harvest
+/// cluster under MWS.
+fn bench_replay() -> (f64, u64, u64) {
+    let h = SimDuration::from_mins(10);
+    let seeds = SeedFactory::new(76);
+    let trace = replay::replay_trace(h, &seeds);
+    let sim = Simulation::new(
+        replay::cluster("Harvest", h, &seeds),
+        trace,
+        PolicyKind::Mws.build(),
+        PlatformConfig::default(),
+        seeds.seed_for("perfsmoke"),
+    );
+    let start = Instant::now();
+    let out = sim.run(h + SimDuration::from_mins(2));
+    let secs = start.elapsed().as_secs_f64();
+    (
+        secs,
+        out.run.events,
+        out.collector.aggregate(SimTime::ZERO).completed,
+    )
+}
+
+fn main() {
+    let calendar_events = 1_000_000usize;
+    eprintln!("perfsmoke: calendar churn ({calendar_events} pops)...");
+    let (cal_secs, cal_rate) = bench_calendar(calendar_events);
+
+    eprintln!("perfsmoke: ps queue new vs reference...");
+    let ps_rows = bench_ps();
+
+    eprintln!("perfsmoke: 10-minute MWS replay...");
+    let (replay_secs, replay_events, replay_completed) = bench_replay();
+
+    let mut ps_json = String::new();
+    for (i, r) in ps_rows.iter().enumerate() {
+        if i > 0 {
+            ps_json.push_str(",\n");
+        }
+        let speedup = r.new_per_sec / r.reference_per_sec;
+        ps_json.push_str(&format!(
+            "    {{ \"concurrency\": {}, \"completions\": {}, \
+             \"new_completions_per_sec\": {:.0}, \
+             \"reference_completions_per_sec\": {:.0}, \
+             \"speedup\": {:.2} }}",
+            r.concurrency, r.completions, r.new_per_sec, r.reference_per_sec, speedup
+        ));
+    }
+    let json = format!(
+        "{{\n  \"calendar\": {{ \"pops\": {calendar_events}, \"wall_secs\": {cal_secs:.3}, \
+         \"pops_per_sec\": {cal_rate:.0} }},\n  \"ps\": [\n{ps_json}\n  ],\n  \
+         \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
+         \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
+         \"completed_invocations\": {replay_completed} }}\n}}\n",
+        replay_events as f64 / replay_secs
+    );
+
+    // The binary lives two levels below the workspace root.
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perfsmoke.json");
+    std::fs::write(out_path, &json).expect("writing BENCH_perfsmoke.json");
+    println!("{json}");
+    for r in &ps_rows {
+        let speedup = r.new_per_sec / r.reference_per_sec;
+        eprintln!(
+            "ps @ {:>6} jobs: new {:>12.0}/s  reference {:>12.0}/s  ({speedup:.1}x)",
+            r.concurrency, r.new_per_sec, r.reference_per_sec
+        );
+    }
+}

@@ -103,8 +103,7 @@ fn main() {
         "workload" => {
             let spec = WorkloadSpec::paper_fsmall().scaled(args.apps, args.rps);
             let workload = Workload::generate(&spec, &seeds);
-            let trace =
-                workload.invocations(SimDuration::from_hours(args.hours), &seeds);
+            let trace = workload.invocations(SimDuration::from_hours(args.hours), &seeds);
             eprintln!(
                 "workload: {} invocations over {} h ({} apps, {} rps)",
                 trace.len(),

@@ -18,7 +18,14 @@ pub fn table3() -> String {
     let model = BudgetModel::default();
     let mut t = Table::new(
         "Table 3 — VMs affordable with the same budget per discount level",
-        &["discount", "d_evict", "d_harv", "#VMs", "total_cpus", "cpu_ratio"],
+        &[
+            "discount",
+            "d_evict",
+            "d_harv",
+            "#VMs",
+            "total_cpus",
+            "cpu_ratio",
+        ],
     );
     for row in model.table() {
         t.row(vec![
@@ -41,12 +48,7 @@ pub fn table3() -> String {
 /// heterogeneous sizes summing to the row's total CPUs.
 pub fn cluster_for(row: &BudgetRow, horizon: SimDuration) -> ClusterSpec {
     if row.vms <= 1 {
-        return ClusterSpec::regular(
-            row.vms as usize,
-            row.total_cpus,
-            64 * 1024,
-            horizon,
-        );
+        return ClusterSpec::regular(row.vms as usize, row.total_cpus, 64 * 1024, horizon);
     }
     let n = row.vms as usize;
     let avg = row.total_cpus / row.vms;
@@ -63,7 +65,9 @@ pub fn sweeps(scale: Scale) -> Vec<(BudgetRow, SweepResult)> {
     // The Best cluster is ~10x the baseline: extend the probe range so its
     // saturation point is visible.
     cfg.rps_points = match scale {
-        Scale::Quick => vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0],
+        Scale::Quick => vec![
+            0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0,
+        ],
         Scale::Full => vec![
             0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0, 35.0, 40.0,
         ],

@@ -1,9 +1,7 @@
 //! Regenerators for the characterization artifacts: Figures 1–9 and
 //! Table 1 (Section 3).
 
-use harvest_faas::hrv_trace::faas::{
-    self, Workload, WorkloadSpec, WorkloadStats,
-};
+use harvest_faas::hrv_trace::faas::{self, Workload, WorkloadSpec, WorkloadStats};
 use harvest_faas::hrv_trace::harvest::{CpuChangeModel, FleetConfig, FleetTrace, LifetimeModel};
 use harvest_faas::hrv_trace::rng::SeedFactory;
 use harvest_faas::hrv_trace::stats::Cdf;
@@ -82,14 +80,7 @@ pub fn fig3(scale: Scale) -> String {
     let mut never = 0u32;
     for i in 0..n_vms {
         let mut rng = seeds().stream_indexed("fig3", i);
-        let events = model.generate(
-            &mut rng,
-            SimTime::ZERO,
-            SimTime::ZERO + horizon,
-            2,
-            32,
-            17,
-        );
+        let events = model.generate(&mut rng, SimTime::ZERO, SimTime::ZERO + horizon, 2, 32, 17);
         if events.is_empty() {
             never += 1;
             continue;
@@ -141,8 +132,7 @@ pub fn table1(scale: Scale) -> String {
     let (small_trace, _) = traces(scale);
     let large_spec = WorkloadSpec::paper_flarge_scaled(scale.pick(500, 2_000));
     let large_wl = Workload::generate(&large_spec, &seeds().child("flarge"));
-    let large_trace =
-        large_wl.invocations(SimDuration::from_mins(30), &seeds().child("flarge"));
+    let large_trace = large_wl.invocations(SimDuration::from_mins(30), &seeds().child("flarge"));
     let mut t = Table::new(
         "Table 1 — synthetic stand-ins for the two FaaS traces",
         &["trace", "apps", "invocations", "notes"],
@@ -212,8 +202,7 @@ pub fn fig5(scale: Scale) -> String {
     let (small_trace, _) = traces(scale);
     let large_spec = WorkloadSpec::paper_flarge_scaled(scale.pick(400, 2_000));
     let large_wl = Workload::generate(&large_spec, &seeds().child("fig5"));
-    let large_trace =
-        large_wl.invocations(SimDuration::from_mins(40), &seeds().child("fig5"));
+    let large_trace = large_wl.invocations(SimDuration::from_mins(40), &seeds().child("fig5"));
     let mut t = Table::new(
         "Figure 5 — per-app duration tails: F_large vs F_small",
         &["percentile", "F_large >30s", "F_small >30s"],
@@ -307,7 +296,13 @@ pub fn fig8(scale: Scale) -> String {
     let windows = fleet.windows(window, stride);
     let mut t = Table::new(
         "Figure 8 — 14-day windows over the Harvest fleet trace",
-        &["start_day", "existing", "deploys", "evictions", "eviction_rate"],
+        &[
+            "start_day",
+            "existing",
+            "deploys",
+            "evictions",
+            "eviction_rate",
+        ],
     );
     for w in windows.iter().step_by(4) {
         t.row(vec![
@@ -320,8 +315,7 @@ pub fn fig8(scale: Scale) -> String {
     }
     let worst = fleet.worst_window(window, stride);
     let typical = fleet.typical_window(window, stride);
-    let mean_rate =
-        windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
+    let mean_rate = windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
     let mut out = t.render();
     out.push_str(&format!(
         "mean window eviction rate = {} (paper: 13.1%)\nWorst window: day {:.0}, rate {} (paper: 86.4%)\nTypical window: day {:.0}, rate {} (paper: 8.4%)\n",

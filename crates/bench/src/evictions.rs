@@ -32,13 +32,8 @@ pub fn strategy1(scale: Scale) -> String {
         ("24h", SimDuration::from_hours(24)),
     ] {
         let split = capacity_split(&trace, &assignment, ka);
-        let busy = split.harvest_busy_secs
-            / (split.harvest_busy_secs + split.regular_busy_secs);
-        t.row(vec![
-            label.into(),
-            pct(split.harvest_fraction()),
-            pct(busy),
-        ]);
+        let busy = split.harvest_busy_secs / (split.harvest_busy_secs + split.regular_busy_secs);
+        t.row(vec![label.into(), pct(split.harvest_fraction()), pct(busy)]);
     }
     let (regular_apps, harvest_apps) = assignment.counts();
     let mut out = t.render();

@@ -20,9 +20,26 @@ use scale::Scale;
 
 /// Every named experiment, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "strategy1", "fig10", "strategy3", "fig12", "fig15", "fig17", "fig18", "fig19",
-    "migration", "ablation",
+    "fig1",
+    "fig2",
+    "fig3",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "strategy1",
+    "fig10",
+    "strategy3",
+    "fig12",
+    "fig15",
+    "fig17",
+    "fig18",
+    "fig19",
+    "migration",
+    "ablation",
 ];
 
 /// Runs one experiment by name, returning its report.

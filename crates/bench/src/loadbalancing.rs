@@ -128,7 +128,9 @@ pub fn render_fig13(results: &[SweepResult]) -> String {
 pub fn render_fig14(results: &[SweepResult]) -> String {
     let mut t = Table::new(
         "Figure 14 — low-percentile latency (s), MWS vs JSQ",
-        &["rps", "P25 MWS", "P25 JSQ", "P50 MWS", "P50 JSQ", "P75 MWS", "P75 JSQ"],
+        &[
+            "rps", "P25 MWS", "P25 JSQ", "P50 MWS", "P50 JSQ", "P75 MWS", "P75 JSQ",
+        ],
     );
     for (i, point) in results[0].points.iter().enumerate() {
         let jsq = results[1].points[i];

@@ -69,7 +69,13 @@ pub fn migration(scale: Scale) -> String {
     }
     let mut t = Table::new(
         "Extension (Section 4.4) — live migration off warned VMs, storm window",
-        &["variant", "invocations", "failures", "failure_rate", "migrations"],
+        &[
+            "variant",
+            "invocations",
+            "failures",
+            "failure_rate",
+            "migrations",
+        ],
     );
     for (label, arrivals, failures, migrations) in &rows {
         t.row(vec![

@@ -74,9 +74,7 @@ pub fn replay_trace(h: SimDuration, seeds: &SeedFactory) -> Vec<Invocation> {
         let app = &workload.apps[app_idx];
         // Stretch durations toward the multi-second loops of the paper's
         // replay (floor at 2 s).
-        let d = app
-            .sample_duration(&mut rng)
-            .max(SimDuration::from_secs(2));
+        let d = app.sample_duration(&mut rng).max(SimDuration::from_secs(2));
         out.push(Invocation {
             id: i as u64,
             function: harvest_faas::hrv_trace::faas::FunctionId {
@@ -104,8 +102,7 @@ pub fn cluster(kind: &str, h: SimDuration, seeds: &SeedFactory) -> ClusterSpec {
                 .map(|i| {
                     let mut rng = seeds.stream_indexed("replay-harvest", i);
                     let initial = rng.random_range(2..=6u32);
-                    let changes =
-                        model.generate(&mut rng, SimTime::ZERO, end, 2, 6, initial);
+                    let changes = model.generate(&mut rng, SimTime::ZERO, end, 2, 6, initial);
                     VmTrace {
                         deploy: SimTime::ZERO,
                         end,
@@ -163,10 +160,7 @@ pub fn run_all(scale: Scale) -> Vec<(String, SimOutput)> {
                     platform,
                     seeds.seed_for(kind),
                 );
-                (
-                    kind.to_string(),
-                    sim.run(h + SimDuration::from_mins(5)),
-                )
+                (kind.to_string(), sim.run(h + SimDuration::from_mins(5)))
             }
         })
         .collect();
@@ -234,8 +228,7 @@ pub fn all(scale: Scale) -> String {
         .min()
         .unwrap_or(0);
     for i in (0..n_samples).step_by(6) {
-        let frac =
-            results[0].1.collector.samples[i].at.as_secs_f64() / h.as_secs_f64();
+        let frac = results[0].1.collector.samples[i].at.as_secs_f64() / h.as_secs_f64();
         let mut row = vec![format!("{frac:.2}")];
         for (_, o) in &results {
             let s = o.collector.samples[i];
@@ -254,7 +247,13 @@ pub fn all(scale: Scale) -> String {
         .collect();
     let mut t21 = Table::new(
         "Figure 21 — response latency percentiles (s)",
-        &["percentile", "Harvest+MWS", "Regular+vanilla", "Spot-4+MWS", "Spot-48+MWS"],
+        &[
+            "percentile",
+            "Harvest+MWS",
+            "Regular+vanilla",
+            "Spot-4+MWS",
+            "Spot-48+MWS",
+        ],
     );
     let percentiles = [25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
     for &p in &percentiles {
@@ -270,7 +269,13 @@ pub fn all(scale: Scale) -> String {
     // Table 5: latency reductions vs the regular cluster.
     let mut t5 = Table::new(
         "Table 5 — latency reduction over the regular VM cluster",
-        &["percentile", "Harvest", "Spot-4", "Spot-48", "paper Harvest"],
+        &[
+            "percentile",
+            "Harvest",
+            "Spot-4",
+            "Spot-48",
+            "paper Harvest",
+        ],
     );
     let paper_harvest = ["56%", "47%", "32%", "41%", "74%", "62%"];
     let regular = cdfs[1].1.as_ref();
@@ -329,10 +334,7 @@ mod tests {
         for kind in ["Harvest", "Regular", "Spot-4", "Spot-48"] {
             let c = cluster(kind, SimDuration::from_mins(30), &seeds);
             let total = c.total_initial_cpus();
-            assert!(
-                (120..=160).contains(&total),
-                "{kind} has {total} CPUs"
-            );
+            assert!((120..=160).contains(&total), "{kind} has {total} CPUs");
         }
     }
 

@@ -42,11 +42,7 @@ pub fn rows(scale: Scale) -> Vec<SpotCompareRow> {
         ));
     }
     for size in [2u32, 4, 8, 16, 32, 48] {
-        jobs.push((
-            format!("S{size}"),
-            cluster.pack_spot(size, 4 * 1024),
-            false,
-        ));
+        jobs.push((format!("S{size}"), cluster.pack_spot(size, 4 * 1024), false));
     }
     let jobs: Vec<_> = jobs
         .into_iter()

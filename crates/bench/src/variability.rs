@@ -66,7 +66,14 @@ pub fn fig15_16(scale: Scale) -> String {
     let results = sweeps(scale);
     let mut t = Table::new(
         "Figure 15 — P99 latency (s) vs load under resource variability",
-        &["rps", "Active MWS", "Normal MWS", "Dedicated MWS", "Active vanilla", "Dedicated vanilla"],
+        &[
+            "rps",
+            "Active MWS",
+            "Normal MWS",
+            "Dedicated MWS",
+            "Active vanilla",
+            "Dedicated vanilla",
+        ],
     );
     for (i, p) in results[0].points.iter().enumerate() {
         t.row(vec![

@@ -77,8 +77,14 @@ impl Discounts {
     ///
     /// Panics when a discount is outside `[0, 1)`.
     pub fn validate(&self) {
-        assert!((0.0..1.0).contains(&self.evictable), "bad evictable discount");
-        assert!((0.0..1.0).contains(&self.harvested), "bad harvested discount");
+        assert!(
+            (0.0..1.0).contains(&self.evictable),
+            "bad evictable discount"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.harvested),
+            "bad harvested discount"
+        );
     }
 
     /// Relative price of one evictable (base) core-hour.
@@ -204,11 +210,7 @@ impl BudgetModel {
 /// multiplied by [`REGULAR_CORE_HOUR`] to report dollars per CPU-hour.
 /// Fleet installs burn `install` of each VM's life without serving work,
 /// which is why frequently evicted Spot fleets pay more per useful core.
-pub fn amortized_core_price(
-    vms: &[VmTrace],
-    d: Discounts,
-    install: SimDuration,
-) -> Option<f64> {
+pub fn amortized_core_price(vms: &[VmTrace], d: Discounts, install: SimDuration) -> Option<f64> {
     d.validate();
     let mut base_secs = 0.0;
     let mut harvest_secs = 0.0;
@@ -340,8 +342,9 @@ mod tests {
             4,
             16_384,
         );
-        assert!(amortized_core_price(&[vm], Discounts::TYPICAL, SimDuration::from_mins(10))
-            .is_none());
+        assert!(
+            amortized_core_price(&[vm], Discounts::TYPICAL, SimDuration::from_mins(10)).is_none()
+        );
     }
 
     #[test]

@@ -17,25 +17,81 @@ use crate::funcbench;
 /// The paper's SLO: P99 end-to-end latency of 50 seconds (Section 7.1).
 pub const P99_SLO_SECS: f64 = 50.0;
 
-/// Runs independent jobs on OS threads and collects results in order.
+/// Runs independent jobs on a bounded worker pool and collects results
+/// in input order.
 ///
 /// Simulations are single-threaded and deterministic, so fan-out across
-/// seeds/points is embarrassingly parallel.
+/// seeds/points is embarrassingly parallel. The pool is sized to the
+/// machine (`available_parallelism`), never to the job count: a 256-point
+/// sweep spawns a handful of threads, not 256.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    run_parallel_with(workers, jobs)
+}
+
+/// [`run_parallel`] with an explicit worker count.
+///
+/// Workers self-schedule over the job list (atomic index claim), so an
+/// unlucky long job never stalls the rest of the batch behind a static
+/// partition. Results land in per-job slots: the output order — and, for
+/// deterministic jobs, every byte of the output — is identical for any
+/// worker count, including 1.
+///
+/// # Panics
+///
+/// Propagates the first observed job panic after all workers stop.
+pub fn run_parallel_with<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        // Degenerate pool: run inline on this thread.
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let workers = workers.min(n);
+    let next = AtomicUsize::new(0);
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(job))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = jobs[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("job index claimed twice");
+                    *slots[i].lock().unwrap() = Some(job());
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment job panicked"))
-            .collect()
-    })
+        for h in handles {
+            h.join().expect("experiment job panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("worker poisoned a result slot")
+                .expect("claimed job left no result")
+        })
+        .collect()
 }
 
 /// One measured operating point of a latency-vs-load sweep.
@@ -79,8 +135,7 @@ impl SweepResult {
             .filter(|p| {
                 // A point that completed almost nothing is saturated even
                 // if the few completions were fast.
-                let goodput_ok =
-                    p.arrivals == 0 || p.completed as f64 >= 0.9 * p.arrivals as f64;
+                let goodput_ok = p.arrivals == 0 || p.completed as f64 >= 0.9 * p.arrivals as f64;
                 goodput_ok && p.p99.map(|v| v <= slo_secs).unwrap_or(false)
             })
             .map(|p| p.rps)
@@ -347,6 +402,40 @@ mod tests {
     fn run_parallel_preserves_order() {
         let jobs: Vec<_> = (0..8).map(|i| move || i * 10).collect();
         assert_eq!(run_parallel(jobs), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_parallel_bounds_threads_below_job_count() {
+        // 100 jobs on 3 workers: with one thread per job this would spawn
+        // 100 threads; the pool must still claim every index exactly once.
+        let jobs: Vec<_> = (0..100u64).map(|i| move || i * i).collect();
+        let out = run_parallel_with(3, jobs);
+        assert_eq!(out, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_is_deterministic_across_worker_counts() {
+        // Float-heavy jobs whose results depend on evaluation order if the
+        // executor were to shuffle outputs: the logistic map diverges fast,
+        // so any slot mix-up produces wildly different bits.
+        fn job(seed: u64) -> impl FnOnce() -> f64 + Send {
+            move || {
+                let mut x = (seed as f64 + 0.5) / 1_000.0;
+                for _ in 0..10_000 {
+                    x = 3.999 * x * (1.0 - x);
+                }
+                x
+            }
+        }
+        let serial = run_parallel_with(1, (0..64).map(job).collect());
+        for workers in [2, 5, 16] {
+            let parallel = run_parallel_with(workers, (0..64).map(job).collect());
+            let same = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "results differ between 1 and {workers} workers");
+        }
     }
 
     #[test]

@@ -263,9 +263,9 @@ pub fn stream_cipher(len: usize, key: u64) -> u64 {
     let mut ks = keystream(key | 1);
     let round: Vec<u8> = cipher.iter().map(|&b| b ^ ks()).collect();
     assert_eq!(plain, round, "cipher round trip failed");
-    cipher
-        .iter()
-        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(u64::from(b)))
+    cipher.iter().fold(0u64, |acc, &b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(b))
+    })
 }
 
 /// A tiny grayscale image type for the image/video kernels.
@@ -300,8 +300,7 @@ impl Image {
         let mut out = self.clone();
         for y in 0..self.height {
             for x in 0..self.width {
-                out.pixels[y * self.width + x] =
-                    self.pixels[y * self.width + (self.width - 1 - x)];
+                out.pixels[y * self.width + x] = self.pixels[y * self.width + (self.width - 1 - x)];
             }
         }
         out
@@ -312,8 +311,7 @@ impl Image {
         let mut pixels = vec![0u8; self.width * self.height];
         for y in 0..self.height {
             for x in 0..self.width {
-                pixels[x * self.height + (self.height - 1 - y)] =
-                    self.pixels[y * self.width + x];
+                pixels[x * self.height + (self.height - 1 - y)] = self.pixels[y * self.width + x];
             }
         }
         Image {
@@ -334,8 +332,7 @@ impl Image {
                     for dx in -1i64..=1 {
                         let yy = y as i64 + dy;
                         let xx = x as i64 + dx;
-                        if yy >= 0 && yy < self.height as i64 && xx >= 0 && xx < self.width as i64
-                        {
+                        if yy >= 0 && yy < self.height as i64 && xx >= 0 && xx < self.width as i64 {
                             sum += u32::from(self.pixels[yy as usize * self.width + xx as usize]);
                             n += 1;
                         }
@@ -501,10 +498,7 @@ mod tests {
         // Double flip is identity.
         assert_eq!(img.flip().flip(), img);
         // Four rotations are identity.
-        assert_eq!(
-            img.rotate90().rotate90().rotate90().rotate90(),
-            img
-        );
+        assert_eq!(img.rotate90().rotate90().rotate90().rotate90(), img);
     }
 
     #[test]

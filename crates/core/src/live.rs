@@ -231,9 +231,7 @@ impl LiveCluster {
                             app: AppId(r.id as u32 % 1_000),
                             func: 0,
                         },
-                        hrv_trace::time::SimDuration::from_micros(
-                            r.latency.as_micros() as u64
-                        ),
+                        hrv_trace::time::SimDuration::from_micros(r.latency.as_micros() as u64),
                         1.0,
                     );
                     records.push(r);
@@ -370,7 +368,10 @@ mod tests {
         assert_eq!(records.len(), 60);
         // Both invokers did something.
         let on_zero = records.iter().filter(|r| r.invoker == InvokerId(0)).count();
-        assert!(on_zero > 0 && on_zero < 60, "all work on one invoker: {on_zero}");
+        assert!(
+            on_zero > 0 && on_zero < 60,
+            "all work on one invoker: {on_zero}"
+        );
         // With 10 functions over 2 invokers, most executions are warm.
         let cold = records.iter().filter(|r| r.cold).count();
         assert!(cold >= 10, "at least one cold start per function: {cold}");

@@ -125,11 +125,7 @@ impl Assignment {
 
     /// Number of apps per pool: `(regular, harvest)`.
     pub fn counts(&self) -> (usize, usize) {
-        let regular = self
-            .pools
-            .values()
-            .filter(|&&p| p == Pool::Regular)
-            .count();
+        let regular = self.pools.values().filter(|&&p| p == Pool::Regular).count();
         (regular, self.pools.len() - regular)
     }
 
@@ -199,9 +195,9 @@ pub fn capacity_split(
     };
     // Accumulate per-container footprints on retirement.
     let charge = |function: hrv_trace::faas::FunctionId,
-                      slot: Slot,
-                      last_end: SimTime,
-                      split: &mut CapacitySplit| {
+                  slot: Slot,
+                  last_end: SimTime,
+                  split: &mut CapacitySplit| {
         let footprint = (last_end + keep_alive).since(slot.born).as_secs_f64();
         match assignment.pool_of(function.app) {
             Pool::Regular => split.regular_container_secs += footprint,
@@ -378,7 +374,10 @@ mod tests {
         let busy_frac =
             split.harvest_busy_secs / (split.harvest_busy_secs + split.regular_busy_secs);
         let cap_frac = split.harvest_fraction();
-        assert!(cap_frac > 3.0 * busy_frac, "busy {busy_frac} cap {cap_frac}");
+        assert!(
+            cap_frac > 3.0 * busy_frac,
+            "busy {busy_frac} cap {cap_frac}"
+        );
         // And the paper's headline: only a small fraction of capacity can
         // move to Harvest VMs under Strategy 1.
         assert!(cap_frac < 0.40, "capacity fraction {cap_frac}");

@@ -164,7 +164,9 @@ mod tests {
     fn picks_least_utilized() {
         let view = view_of(&[(0, 8, 6.0), (1, 8, 2.0), (2, 8, 7.0)]);
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, None);
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(1));
     }
 
@@ -175,7 +177,9 @@ mod tests {
         // the shrunken invoker 1 only when its relative load is higher.
         let view = view_of(&[(0, 32, 24.0), (1, 4, 3.5)]);
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, None);
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(0), "0 is 75% utilized, 1 is 87.5%");
     }
 
@@ -187,7 +191,9 @@ mod tests {
         let mut jsq = Jsq::new(JsqMetric::QueueLength, None);
         // Queue length sends work to the tiny VM — exactly the failure
         // mode the paper calls out.
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(1));
     }
 
@@ -197,7 +203,9 @@ mod tests {
         view.get_mut(InvokerId(0)).unwrap().inflight_demand_secs = 16.0; // 0.5 s/cpu
         view.get_mut(InvokerId(1)).unwrap().inflight_demand_secs = 4.0; // 2.0 s/cpu
         let mut jsq = Jsq::new(JsqMetric::WeightedQueueLength, None);
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(0));
     }
 
@@ -206,7 +214,9 @@ mod tests {
         let mut view = view_of(&[(0, 8, 0.0), (1, 8, 5.0)]);
         view.get_mut(InvokerId(0)).unwrap().eviction_pending = true;
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, None);
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(1));
     }
 
@@ -214,7 +224,9 @@ mod tests {
     fn empty_fleet_returns_none() {
         let view = ClusterView::new();
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, None);
-        assert!(jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).is_none());
+        assert!(jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .is_none());
     }
 
     #[test]
@@ -232,7 +244,9 @@ mod tests {
     fn sampled_d_larger_than_fleet_degenerates_to_full_scan() {
         let view = view_of(&[(0, 8, 6.0), (1, 8, 1.0)]);
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, Some(10));
-        let placed = jsq.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = jsq
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(1));
     }
 

@@ -319,10 +319,7 @@ mod tests {
             t += SimDuration::from_secs(31);
             mws.place(t, f(1), 256, &view, &mut r);
         }
-        assert!(
-            mws.worker_set_size(f(1)) < big,
-            "never shrank from {big}"
-        );
+        assert!(mws.worker_set_size(f(1)) < big, "never shrank from {big}");
     }
 
     #[test]
@@ -342,14 +339,15 @@ mod tests {
         for i in 0..3 {
             view.get_mut(InvokerId(i)).unwrap().healthy = false;
         }
-        assert!(mws.place(SimTime::ZERO, f(0), 256, &view, &mut rng()).is_none());
+        assert!(mws
+            .place(SimTime::ZERO, f(0), 256, &view, &mut rng())
+            .is_none());
     }
 
     #[test]
     fn churn_keeps_most_homes_stable() {
         let (mut mws, _) = cluster(10, 16);
-        let homes_before: Vec<InvokerId> =
-            (0..500).map(|a| mws.home(f(a)).unwrap()).collect();
+        let homes_before: Vec<InvokerId> = (0..500).map(|a| mws.home(f(a)).unwrap()).collect();
         mws.on_invoker_leave(InvokerId(7));
         let mut moved = 0;
         for (a, &before) in homes_before.iter().enumerate() {

@@ -99,12 +99,7 @@ mod tests {
     fn view_of(n: u32) -> ClusterView {
         let mut view = ClusterView::new();
         for i in 0..n {
-            view.add(InvokerView::register(
-                InvokerId(i),
-                8,
-                1_024,
-                SimTime::ZERO,
-            ));
+            view.add(InvokerView::register(InvokerId(i), 8, 1_024, SimTime::ZERO));
         }
         view
     }
@@ -136,7 +131,9 @@ mod tests {
     fn both_return_none_on_empty_fleet() {
         let view = ClusterView::new();
         let mut r = StdRng::seed_from_u64(0);
-        assert!(Random::new().place(SimTime::ZERO, f(), 0, &view, &mut r).is_none());
+        assert!(Random::new()
+            .place(SimTime::ZERO, f(), 0, &view, &mut r)
+            .is_none());
         assert!(RoundRobin::new()
             .place(SimTime::ZERO, f(), 0, &view, &mut r)
             .is_none());

@@ -197,7 +197,9 @@ mod tests {
         // Invoker 0 is CPU-saturated; vanilla does not care.
         view.get_mut(InvokerId(0)).unwrap().cpu_in_use = 8.0;
         let mut lb = VanillaOpenWhisk::new();
-        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(0));
     }
 
@@ -207,7 +209,9 @@ mod tests {
         view.get_mut(InvokerId(0)).unwrap().eviction_pending = true;
         let mut lb = VanillaOpenWhisk::new();
         // Not harvest-aware: still places on the warned invoker.
-        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(0));
     }
 
@@ -216,7 +220,9 @@ mod tests {
         let mut view = small_view(64 * 1024);
         view.get_mut(InvokerId(0)).unwrap().healthy = false;
         let mut lb = VanillaOpenWhisk::new();
-        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(1));
     }
 
@@ -227,7 +233,9 @@ mod tests {
             view.get_mut(InvokerId(i)).unwrap().memory_pending_mb = 256;
         }
         let mut lb = VanillaOpenWhisk::new();
-        assert!(lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).is_none());
+        assert!(lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .is_none());
     }
 
     #[test]
@@ -238,7 +246,9 @@ mod tests {
         let mut view = small_view(1_024);
         view.get_mut(InvokerId(0)).unwrap().memory_used_mb = 1_024;
         let mut lb = VanillaOpenWhisk::new();
-        let placed = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let placed = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(placed, InvokerId(0));
     }
 
@@ -246,11 +256,15 @@ mod tests {
     fn cursor_resets_when_invoker_leaves() {
         let mut view = small_view(64 * 1024);
         let mut lb = VanillaOpenWhisk::new();
-        let first = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let first = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_eq!(first, InvokerId(0));
         lb.on_invoker_leave(InvokerId(0));
         view.remove(InvokerId(0));
-        let next = lb.place(SimTime::ZERO, f(), 256, &view, &mut rng()).unwrap();
+        let next = lb
+            .place(SimTime::ZERO, f(), 256, &view, &mut rng())
+            .unwrap();
         assert_ne!(next, InvokerId(0));
     }
 }

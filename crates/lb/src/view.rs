@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use hrv_trace::time::SimTime;
 
 /// Identifies an invoker (one per VM).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InvokerId(pub u32);
 
 /// Weights for the CPU/memory utilization mix used as the load metric.

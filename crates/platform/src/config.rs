@@ -143,9 +143,18 @@ impl PlatformConfig {
     /// Panics on nonsensical settings.
     pub fn validate(&self) {
         assert!(!self.keep_alive.is_zero(), "keep-alive must be positive");
-        assert!(self.admission_pressure > 0.0, "admission threshold must be positive");
-        assert!(!self.ping_interval.is_zero(), "ping interval must be positive");
-        assert!(!self.placement_retry.is_zero(), "retry interval must be positive");
+        assert!(
+            self.admission_pressure > 0.0,
+            "admission threshold must be positive"
+        );
+        assert!(
+            !self.ping_interval.is_zero(),
+            "ping interval must be positive"
+        );
+        assert!(
+            !self.placement_retry.is_zero(),
+            "retry interval must be positive"
+        );
         assert!(self.controllers >= 1, "need at least one controller");
         assert!(
             self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),

@@ -360,8 +360,7 @@ mod tests {
         assert_eq!(c.route(SimTime::ZERO, inv(0, 1)), RouteOutcome::Queued);
         assert_eq!(c.queue_len(), 1);
         c.on_invoker_up(SimTime::from_secs(1), InvokerId(0), 8, 64 * 1024);
-        let (placed, rejected) =
-            c.retry_queue(SimTime::from_secs(1), SimDuration::from_secs(60));
+        let (placed, rejected) = c.retry_queue(SimTime::from_secs(1), SimDuration::from_secs(60));
         assert_eq!(placed.len(), 1);
         assert!(rejected.is_empty());
         assert_eq!(c.queue_len(), 0);
@@ -371,8 +370,7 @@ mod tests {
     fn retry_rejects_after_timeout() {
         let mut c = Controller::new(PolicyKind::Jsq.build(), 7);
         c.route(SimTime::ZERO, inv(0, 1));
-        let (placed, rejected) =
-            c.retry_queue(SimTime::from_secs(120), SimDuration::from_secs(60));
+        let (placed, rejected) = c.retry_queue(SimTime::from_secs(120), SimDuration::from_secs(60));
         assert!(placed.is_empty());
         assert_eq!(rejected.len(), 1);
     }

@@ -109,6 +109,11 @@ pub struct InvokerState {
     queue: VecDeque<Invocation>,
     running: BTreeMap<u64, RunningInvocation>,
     completion_timer: Option<EventId>,
+    /// The `(time, job)` pair the completion timer is armed for. Kept so
+    /// `rearm_completion` can skip the cancel + reschedule when the PS
+    /// queue's next completion has not actually changed — on a hot path
+    /// (every deliver/resize/drain) this avoids most calendar churn.
+    armed: Option<(SimTime, JobId)>,
     memory_used: u64,
     next_container: u64,
     /// Cores committed to containers still cold-starting.
@@ -134,6 +139,7 @@ impl InvokerState {
             queue: VecDeque::new(),
             running: BTreeMap::new(),
             completion_timer: None,
+            armed: None,
             memory_used: 0,
             next_container: 0,
             starting_cap: 0.0,
@@ -270,7 +276,11 @@ impl InvokerState {
             .containers
             .remove(&cid)
             .expect("destroying unknown container");
-        debug_assert_eq!(c.state, ContainerState::Idle, "destroyed a non-idle container");
+        debug_assert_eq!(
+            c.state,
+            ContainerState::Idle,
+            "destroyed a non-idle container"
+        );
         if let Some(ev) = c.keepalive {
             cal.cancel(ev);
         }
@@ -284,7 +294,10 @@ impl InvokerState {
         invocation: Invocation,
         cal: &mut Calendar<Event>,
     ) {
-        let c = self.containers.get_mut(&cid).expect("warm container exists");
+        let c = self
+            .containers
+            .get_mut(&cid)
+            .expect("warm container exists");
         if let Some(ev) = c.keepalive.take() {
             cal.cancel(ev);
         }
@@ -386,6 +399,11 @@ impl InvokerState {
         if !self.alive {
             return Vec::new();
         }
+        // The event driving this tick is the armed timer (stale timers are
+        // always cancelled before re-arming, so they never fire); it has
+        // been consumed by the calendar.
+        self.completion_timer = None;
+        self.armed = None;
         self.ps.advance(now);
         let done = self.ps.take_completed(COMPLETION_SLACK);
         let mut finished = Vec::with_capacity(done.len());
@@ -466,6 +484,7 @@ impl InvokerState {
         if let Some(ev) = self.completion_timer.take() {
             cal.cancel(ev);
         }
+        self.armed = None;
         for c in self.containers.values() {
             if let Some(ev) = c.keepalive {
                 cal.cancel(ev);
@@ -540,7 +559,10 @@ impl InvokerState {
         }
         self.ps.remove(JobId(cid));
         let run = self.running.remove(&cid)?;
-        let c = self.containers.remove(&cid).expect("running container exists");
+        let c = self
+            .containers
+            .remove(&cid)
+            .expect("running container exists");
         debug_assert_eq!(c.state, ContainerState::Busy);
         self.memory_used -= c.memory_mb;
         self.rearm_completion(cal);
@@ -586,17 +608,35 @@ impl InvokerState {
     }
 
     /// Re-arms the completion timer to the PS queue's next completion.
+    ///
+    /// Only touches the calendar when the next completion `(time, job)`
+    /// actually differs from the armed one: an unchanged head means the
+    /// pending timer is still correct and cancel + reschedule would be
+    /// pure churn. This matters because `drain` — and through it every
+    /// delivery and resize — ends here.
     fn rearm_completion(&mut self, cal: &mut Calendar<Event>) {
-        if let Some(ev) = self.completion_timer.take() {
-            cal.cancel(ev);
-        }
-        if let Some((at, _)) = self.ps.next_completion() {
-            self.completion_timer = Some(cal.schedule(
-                at,
-                Event::Completion {
-                    invoker: self.index,
-                },
-            ));
+        match self.ps.next_completion() {
+            Some(next) => {
+                if self.completion_timer.is_some() && self.armed == Some(next) {
+                    return;
+                }
+                if let Some(ev) = self.completion_timer.take() {
+                    cal.cancel(ev);
+                }
+                self.completion_timer = Some(cal.schedule(
+                    next.0,
+                    Event::Completion {
+                        invoker: self.index,
+                    },
+                ));
+                self.armed = Some(next);
+            }
+            None => {
+                if let Some(ev) = self.completion_timer.take() {
+                    cal.cancel(ev);
+                }
+                self.armed = None;
+            }
         }
     }
 }
@@ -652,9 +692,7 @@ mod tests {
             }
             let ev = cal.pop().unwrap();
             match ev.event {
-                Event::StartupDone { container, .. } => {
-                    iv.startup_done(ev.at, container, cal, cfg)
-                }
+                Event::StartupDone { container, .. } => iv.startup_done(ev.at, container, cal, cfg),
                 Event::Completion { .. } => finished.extend(iv.completion_tick(ev.at, cal, cfg)),
                 Event::KeepAliveExpired { container, .. } => iv.keepalive_expired(container, cal),
                 _ => {}

@@ -129,7 +129,12 @@ impl MetricsCollector {
             .iter()
             .map(|r| r.finished)
             .max()
-            .and_then(|max_t| rows.iter().map(|r| r.arrival).min().map(|min_t| (min_t, max_t)))
+            .and_then(|max_t| {
+                rows.iter()
+                    .map(|r| r.arrival)
+                    .min()
+                    .map(|min_t| (min_t, max_t))
+            })
             .map(|(a, b)| b.saturating_since(a))
             .unwrap_or(SimDuration::ZERO);
         RunMetrics {
@@ -203,7 +208,13 @@ impl RunMetrics {
 mod tests {
     use super::*;
 
-    fn rec(id: u64, arrival_s: u64, latency: f64, cold: bool, outcome: Outcome) -> InvocationRecord {
+    fn rec(
+        id: u64,
+        arrival_s: u64,
+        latency: f64,
+        cold: bool,
+        outcome: Outcome,
+    ) -> InvocationRecord {
         InvocationRecord {
             id,
             arrival: SimTime::from_secs(arrival_s),
@@ -262,7 +273,13 @@ mod tests {
     fn slo_check() {
         let mut c = MetricsCollector::new();
         for i in 0..100 {
-            c.push(rec(i, i, if i >= 95 { 100.0 } else { 1.0 }, false, Outcome::Completed));
+            c.push(rec(
+                i,
+                i,
+                if i >= 95 { 100.0 } else { 1.0 },
+                false,
+                Outcome::Completed,
+            ));
         }
         let m = c.aggregate(SimTime::ZERO);
         assert!(!m.meets_slo(50.0));

@@ -223,7 +223,13 @@ impl PlatformWorld {
         }
     }
 
-    fn on_deliver(&mut self, now: SimTime, idx: InvokerIndex, inv: Invocation, cal: &mut Calendar<Event>) {
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        idx: InvokerIndex,
+        inv: Invocation,
+        cal: &mut Calendar<Event>,
+    ) {
         let invoker = &mut self.invokers[idx as usize];
         if !invoker.alive {
             // The VM died while the message was in flight.
@@ -323,10 +329,7 @@ impl PlatformWorld {
             });
         }
         // The controller notices the dead invoker after a ping interval.
-        cal.schedule_after(
-            self.cfg.ping_interval,
-            Event::InvokerDown { invoker: idx },
-        );
+        cal.schedule_after(self.cfg.ping_interval, Event::InvokerDown { invoker: idx });
     }
 
     fn on_monitor_tick(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
@@ -401,12 +404,10 @@ impl PlatformWorld {
         if now >= deadline {
             return;
         }
-        let candidates = self.invokers[src as usize]
-            .migration_candidates(now, m.min_remaining_secs);
+        let candidates =
+            self.invokers[src as usize].migration_candidates(now, m.min_remaining_secs);
         for (container, _remaining, memory_mb) in candidates {
-            let Some(run) = self.invokers[src as usize]
-                .running_invocation(container)
-            else {
+            let Some(run) = self.invokers[src as usize].running_invocation(container) else {
                 continue;
             };
             let invocation = run.invocation.id;
@@ -417,8 +418,7 @@ impl PlatformWorld {
                 continue;
             };
             // Transfer must finish before the source is evicted.
-            let transfer = m.setup
-                + m.per_gib.mul_f64(memory_mb as f64 / 1024.0);
+            let transfer = m.setup + m.per_gib.mul_f64(memory_mb as f64 / 1024.0);
             if now + transfer >= deadline {
                 continue;
             }
@@ -508,8 +508,7 @@ impl World for PlatformWorld {
                 self.invokers[invoker as usize].startup_done(now, container, cal, &self.cfg);
             }
             Event::Completion { invoker } => {
-                let finished =
-                    self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
+                let finished = self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
                 self.finish_records(now, invoker, finished, cal);
             }
             Event::KeepAliveExpired { invoker, container } => {
@@ -537,10 +536,7 @@ impl World for PlatformWorld {
                     // Defer planning one ping round so the controller's
                     // view reflects every VM warned in the same burst —
                     // otherwise storm migrations land on doomed peers.
-                    cal.schedule_after(
-                        self.cfg.ping_interval,
-                        Event::MigratePlan { invoker },
-                    );
+                    cal.schedule_after(self.cfg.ping_interval, Event::MigratePlan { invoker });
                 }
             }
             Event::MigratePlan { invoker } => self.plan_migrations(now, invoker, cal),
@@ -553,9 +549,8 @@ impl World for PlatformWorld {
             Event::VmEvict { invoker } => self.on_evict(now, invoker, cal),
             Event::RetryQueue => {
                 self.retry_armed = false;
-                let (placed, rejected) = self
-                    .controller
-                    .retry_queue(now, self.cfg.placement_timeout);
+                let (placed, rejected) =
+                    self.controller.retry_queue(now, self.cfg.placement_timeout);
                 for (inv, id) in placed {
                     self.schedule_delivery(cal, id, inv);
                 }
@@ -689,7 +684,10 @@ mod tests {
             .map(|r| r.latency_secs - r.exec_secs)
             .collect();
         let mean_overhead = overhead.iter().sum::<f64>() / overhead.len() as f64;
-        assert!(mean_overhead < 2.0, "mean queue+start overhead {mean_overhead}");
+        assert!(
+            mean_overhead < 2.0,
+            "mean queue+start overhead {mean_overhead}"
+        );
         // MWS consolidates: cold start rate stays low.
         assert!(m.cold_start_rate < 0.2, "cold rate {}", m.cold_start_rate);
     }
@@ -910,7 +908,11 @@ mod tests {
             1,
         )
         .run(horizon);
-        assert!(out.collector.samples.len() >= 19, "{}", out.collector.samples.len());
+        assert!(
+            out.collector.samples.len() >= 19,
+            "{}",
+            out.collector.samples.len()
+        );
         for s in &out.collector.samples {
             assert_eq!(s.total_cpus, 16);
             assert!(s.cpus_in_use <= 16.0);
@@ -993,9 +995,7 @@ mod migration_tests {
         // invoker only if it is the less loaded one; pin them there by
         // letting them arrive when both invokers are empty and checking
         // aggregate failures instead of per-invoker placement.
-        let trace: Vec<Invocation> = (0..8)
-            .map(|i| long_invocation(i, 10 + i, 120.0))
-            .collect();
+        let trace: Vec<Invocation> = (0..8).map(|i| long_invocation(i, 10 + i, 120.0)).collect();
         Simulation::new(
             dying_and_safe(horizon),
             trace,
@@ -1041,9 +1041,7 @@ mod migration_tests {
             },
             ..PlatformConfig::default()
         };
-        let trace: Vec<Invocation> = (0..4)
-            .map(|i| long_invocation(i, 10 + i, 120.0))
-            .collect();
+        let trace: Vec<Invocation> = (0..4).map(|i| long_invocation(i, 10 + i, 120.0)).collect();
         let out = Simulation::new(
             dying_and_safe(horizon),
             trace,

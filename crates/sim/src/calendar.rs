@@ -84,13 +84,23 @@ impl<E> Default for Calendar<E> {
 }
 
 impl<E> Calendar<E> {
+    /// Heap sizes below this never trigger a cancelled-entry purge: the
+    /// memory is negligible and `skim_cancelled` handles the head lazily.
+    const PURGE_MIN_HEAP: usize = 1_024;
+
     /// Creates an empty calendar with the clock at `SimTime::ZERO`.
     pub fn new() -> Self {
+        Self::with_capacity(256)
+    }
+
+    /// Creates an empty calendar sized for roughly `capacity` concurrent
+    /// pending events, avoiding rehash/regrow churn during warm-up.
+    pub fn with_capacity(capacity: usize) -> Self {
         Calendar {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            pending: HashSet::new(),
+            pending: HashSet::with_capacity(capacity),
             processed: 0,
         }
     }
@@ -122,7 +132,11 @@ impl<E> Calendar<E> {
     ///
     /// Panics if `at` is in the past — the engine never travels backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -139,8 +153,20 @@ impl<E> Calendar<E> {
     /// Cancels a previously scheduled event. Returns `true` if the event
     /// was still pending. Cancelling twice, or cancelling an already
     /// delivered event, returns `false`.
+    ///
+    /// Cancellation is lazy — the heap entry stays behind a tombstone —
+    /// but when tombstones outnumber live events in a large heap the
+    /// whole heap is rebuilt from the live set, bounding memory and the
+    /// `skim_cancelled` work on every peek/pop to O(live) amortized.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let was_pending = self.pending.remove(&id.0);
+        if was_pending
+            && self.heap.len() >= Self::PURGE_MIN_HEAP
+            && self.heap.len() - self.pending.len() > self.pending.len()
+        {
+            self.purge_cancelled();
+        }
+        was_pending
     }
 
     /// Delivery time of the next pending event, if any.
@@ -172,6 +198,16 @@ impl<E> Calendar<E> {
             }
             self.heap.pop();
         }
+    }
+
+    /// Rebuilds the heap from only the still-pending entries (O(live)
+    /// heapify), discarding every tombstoned one at once.
+    fn purge_cancelled(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| self.pending.contains(&e.seq))
+            .collect();
     }
 }
 
@@ -262,5 +298,31 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut cal: Calendar<()> = Calendar::new();
         assert!(!cal.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn mass_cancellation_purges_but_preserves_order() {
+        let mut cal = Calendar::new();
+        let n = 4 * Calendar::<u64>::PURGE_MIN_HEAP as u64;
+        let ids: Vec<EventId> = (0..n)
+            .map(|i| cal.schedule(SimTime::from_micros(i), i))
+            .collect();
+        // Cancel three of every four events; the tombstone majority
+        // triggers a rebuild somewhere along the way.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 4 != 0 {
+                assert!(cal.cancel(*id));
+            }
+        }
+        assert_eq!(cal.len(), n as usize / 4);
+        assert!(
+            cal.heap.len() <= cal.pending.len() + Calendar::<u64>::PURGE_MIN_HEAP,
+            "purge did not bound tombstones: heap {} vs pending {}",
+            cal.heap.len(),
+            cal.pending.len()
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        let expected: Vec<u64> = (0..n).filter(|i| i % 4 == 0).collect();
+        assert_eq!(order, expected);
     }
 }

@@ -8,3 +8,4 @@
 pub mod calendar;
 pub mod engine;
 pub mod ps;
+pub mod ps_reference;

@@ -12,8 +12,27 @@
 //! capacity resize): callers must `advance` the queue to the current time
 //! before mutating, and re-arm their completion timer from
 //! [`PsQueue::next_completion`] after every mutation.
+//!
+//! # Virtual-time formulation
+//!
+//! Internally the queue uses the classic GPS *virtual time* `V(t)`: the
+//! cumulative service received per unit of cap. `V` grows at rate 1 while
+//! the pool is undersubscribed and at `capacity / Σcaps` while
+//! oversubscribed — capacity resizes and job churn change only `dV/dt`.
+//! A job admitted at virtual time `V₀` with demand `d` and cap `c`
+//! finishes exactly when `V` reaches `V₀ + d/c`, a constant computed once
+//! at admission. Remaining work is recovered on demand as
+//! `(vfinish − V) · c`.
+//!
+//! That constant is what makes the hot paths cheap: jobs complete in
+//! `vfinish` order, so a min-heap on `(vfinish, id)` yields
+//! `next_completion` from the heap top and lets `advance` step from
+//! completion to completion — O(log n) per *completion* instead of
+//! O(jobs) per *event* as in the reference formulation
+//! ([`crate::ps_reference`], kept as an executable specification).
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use hrv_trace::time::{SimDuration, SimTime};
 
@@ -24,12 +43,32 @@ pub const COMPLETION_EPS: f64 = 1e-9;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
+/// A job still consuming CPU: its cap and its constant virtual finish.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Job {
-    /// CPU-seconds of work left.
-    remaining: f64,
+struct ActiveJob {
     /// Max cores this job can use at once.
     cap: f64,
+    /// The virtual time at which its demand reaches zero.
+    vfinish: f64,
+}
+
+/// Heap key ordering finite `f64`s numerically (virtual finish times are
+/// always finite and non-negative, where `total_cmp` equals `<`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VKey(f64);
+
+impl Eq for VKey {}
+
+impl PartialOrd for VKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
 }
 
 /// A processor-sharing queue over a resizable CPU pool.
@@ -53,8 +92,23 @@ struct Job {
 #[derive(Debug, Clone)]
 pub struct PsQueue {
     capacity: f64,
-    jobs: BTreeMap<JobId, Job>,
+    /// GPS virtual time: cumulative per-cap service delivered so far.
+    vtime: f64,
+    /// Jobs still consuming CPU, by id.
+    active: BTreeMap<JobId, ActiveJob>,
+    /// Jobs drained to zero, awaiting [`take_completed`](Self::take_completed).
+    completed: BTreeSet<JobId>,
+    /// Min-heap over `(vfinish, id)` of active jobs, with lazy deletion:
+    /// entries whose `(vfinish, id)` no longer matches `active` are
+    /// skipped on pop.
+    heap: BinaryHeap<Reverse<(VKey, JobId)>>,
+    /// Σ caps of *active* jobs.
     total_cap: f64,
+    /// Multiset of active-job caps keyed by bit pattern (positive floats
+    /// order identically to their bits), so
+    /// [`take_completed`](Self::take_completed) can bound its heap window
+    /// by the smallest cap instead of scanning every job.
+    caps: BTreeMap<u64, u32>,
     last: SimTime,
     /// Integral of occupied cores over time, for utilization accounting.
     busy_core_seconds: f64,
@@ -66,8 +120,12 @@ impl PsQueue {
         assert!(capacity >= 0.0 && capacity.is_finite());
         PsQueue {
             capacity,
-            jobs: BTreeMap::new(),
+            vtime: 0.0,
+            active: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            heap: BinaryHeap::new(),
             total_cap: 0.0,
+            caps: BTreeMap::new(),
             last: SimTime::ZERO,
             busy_core_seconds: 0.0,
         }
@@ -80,12 +138,12 @@ impl PsQueue {
 
     /// Number of jobs in service.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.active.len() + self.completed.len()
     }
 
     /// True if no jobs are in service.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.active.is_empty() && self.completed.is_empty()
     }
 
     /// Cores currently occupied: `min(capacity, Σ active caps)`. Jobs
@@ -98,7 +156,7 @@ impl PsQueue {
     /// Instantaneous utilization in `[0, 1]` (0 when capacity is 0).
     pub fn utilization(&self) -> f64 {
         if self.capacity <= 0.0 {
-            if self.jobs.is_empty() {
+            if self.is_empty() {
                 0.0
             } else {
                 1.0
@@ -112,7 +170,7 @@ impl PsQueue {
     /// oversubscribed; `∞` when jobs are stuck on a zero-capacity pool.
     pub fn pressure(&self) -> f64 {
         if self.capacity <= 0.0 {
-            if self.jobs.is_empty() {
+            if self.is_empty() {
                 0.0
             } else {
                 f64::INFINITY
@@ -127,7 +185,8 @@ impl PsQueue {
         self.busy_core_seconds
     }
 
-    /// The service rate every unit of cap receives right now.
+    /// The service rate every unit of cap receives right now — also
+    /// `dV/dt`.
     fn rate_per_cap(&self) -> f64 {
         if self.total_cap <= 0.0 {
             return 0.0;
@@ -139,10 +198,70 @@ impl PsQueue {
         }
     }
 
-    /// Integrates service up to `now`, piecewise: when a job's demand
-    /// reaches zero mid-interval it stops consuming cores, the remaining
-    /// jobs speed up, and busy-time accounting stays exact even when the
-    /// caller strides past completions.
+    /// Remaining demand of an active job at the current virtual time.
+    fn active_remaining(&self, job: &ActiveJob) -> f64 {
+        ((job.vfinish - self.vtime) * job.cap).max(0.0)
+    }
+
+    fn caps_insert(&mut self, cap: f64) {
+        *self.caps.entry(cap.to_bits()).or_insert(0) += 1;
+    }
+
+    fn caps_remove(&mut self, cap: f64) {
+        let bits = cap.to_bits();
+        match self.caps.get_mut(&bits) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.caps.remove(&bits);
+            }
+            None => debug_assert!(false, "cap multiset out of sync"),
+        }
+    }
+
+    /// Smallest cap among active jobs, if any.
+    fn min_active_cap(&self) -> Option<f64> {
+        self.caps.keys().next().map(|&bits| f64::from_bits(bits))
+    }
+
+    /// The earliest valid heap entry, discarding stale ones. Does not pop
+    /// the returned entry.
+    fn peek_earliest(&mut self) -> Option<(VKey, JobId)> {
+        while let Some(&Reverse((vkey, id))) = self.heap.peek() {
+            match self.active.get(&id) {
+                Some(job) if job.vfinish == vkey.0 => return Some((vkey, id)),
+                _ => {
+                    // Stale: job was removed, completed, or re-added with
+                    // a different vfinish.
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Moves the job at the heap top into the completed set.
+    fn complete_top(&mut self, id: JobId) {
+        self.heap.pop();
+        let job = self.active.remove(&id).expect("heap/active desync");
+        self.total_cap = (self.total_cap - job.cap).max(0.0);
+        self.caps_remove(job.cap);
+        self.completed.insert(id);
+        if self.active.is_empty() {
+            // Absorb float drift and rebase virtual time; the heap holds
+            // only stale entries at this point.
+            self.total_cap = 0.0;
+            self.vtime = 0.0;
+            self.heap.clear();
+        }
+    }
+
+    /// Integrates service up to `now` by stepping virtual time from
+    /// completion to completion: each step advances `V` at the current
+    /// `dV/dt`, harvests every job whose `vfinish` has been reached, and
+    /// re-evaluates the rate. Cost is O(log n) per completion — advancing
+    /// over a quiet interval is O(1) regardless of queue length, and
+    /// busy-time accounting stays exact even when the caller strides past
+    /// completions.
     ///
     /// # Panics
     ///
@@ -156,27 +275,26 @@ impl PsQueue {
                 break;
             }
             // Earliest internal completion among active jobs.
-            let mut eta = f64::INFINITY;
-            for job in self.jobs.values() {
-                if job.remaining > 0.0 {
-                    eta = eta.min(job.remaining / (job.cap * rate));
-                }
-            }
-            let step = eta.min(dt);
+            let eta = match self.peek_earliest() {
+                Some((vkey, _)) => (vkey.0 - self.vtime) / rate,
+                None => break,
+            };
+            let step = eta.max(0.0).min(dt);
             self.busy_core_seconds += self.cores_in_use() * step;
-            let mut finished_cap = 0.0;
-            for job in self.jobs.values_mut() {
-                if job.remaining > 0.0 {
-                    job.remaining -= job.cap * rate * step;
-                    if job.remaining <= COMPLETION_EPS {
-                        job.remaining = 0.0;
-                        finished_cap += job.cap;
-                    }
+            self.vtime += rate * step;
+            dt -= step;
+            // Harvest everything whose virtual finish has been reached.
+            let mut harvested = false;
+            while let Some((_, id)) = self.peek_earliest() {
+                let job = self.active[&id];
+                if self.active_remaining(&job) <= COMPLETION_EPS {
+                    self.complete_top(id);
+                    harvested = true;
+                } else {
+                    break;
                 }
             }
-            self.total_cap = (self.total_cap - finished_cap).max(0.0);
-            dt -= step;
-            if step <= 0.0 {
+            if step <= 0.0 && !harvested {
                 break; // float-dust guard; cannot regress further
             }
         }
@@ -191,36 +309,38 @@ impl PsQueue {
     pub fn add(&mut self, id: JobId, demand: f64, cap: f64) {
         assert!(demand > 0.0 && demand.is_finite(), "bad demand {demand}");
         assert!(cap > 0.0 && cap.is_finite(), "bad cap {cap}");
-        let prev = self.jobs.insert(
-            id,
-            Job {
-                remaining: demand,
-                cap,
-            },
-        );
+        assert!(!self.completed.contains(&id), "duplicate job {id:?}");
+        let vfinish = self.vtime + demand / cap;
+        let prev = self.active.insert(id, ActiveJob { cap, vfinish });
         assert!(prev.is_none(), "duplicate job {id:?}");
+        self.heap.push(Reverse((VKey(vfinish), id)));
         self.total_cap += cap;
-    }
-
-    /// True if the job is still consuming CPU (demand not yet exhausted).
-    fn is_active(job: &Job) -> bool {
-        job.remaining > 0.0
+        self.caps_insert(cap);
     }
 
     /// Removes a job (kill/eviction), returning its remaining demand.
     /// Returns `None` if the job is not present.
     pub fn remove(&mut self, id: JobId) -> Option<f64> {
-        let job = self.jobs.remove(&id)?;
-        if Self::is_active(&job) {
-            self.total_cap -= job.cap;
+        if self.completed.remove(&id) {
+            return Some(0.0);
         }
-        if self.jobs.values().all(|j| !Self::is_active(j)) {
+        let job = self.active.remove(&id)?;
+        let left = self.active_remaining(&job);
+        // The job's heap entry goes stale and is skipped on a later pop.
+        self.total_cap -= job.cap;
+        self.caps_remove(job.cap);
+        if self.active.is_empty() {
             self.total_cap = 0.0; // absorb float drift
+            self.vtime = 0.0;
+            self.heap.clear();
         }
-        Some(job.remaining)
+        Some(left)
     }
 
     /// Resizes the CPU pool. Call [`advance`](Self::advance) first.
+    ///
+    /// Resizes change only the rate at which virtual time advances —
+    /// every stored `vfinish` stays valid, which is why this is O(1).
     pub fn set_capacity(&mut self, capacity: f64) {
         assert!(capacity >= 0.0 && capacity.is_finite());
         self.capacity = capacity;
@@ -228,48 +348,64 @@ impl PsQueue {
 
     /// Remaining demand of a job, if present.
     pub fn remaining(&self, id: JobId) -> Option<f64> {
-        self.jobs.get(&id).map(|j| j.remaining)
+        if self.completed.contains(&id) {
+            return Some(0.0);
+        }
+        self.active.get(&id).map(|j| self.active_remaining(j))
     }
 
     /// When the next job will complete if nothing changes, with its id.
     /// Ties break toward the smallest `JobId`. Returns `None` when idle or
-    /// completely starved (zero capacity).
-    pub fn next_completion(&self) -> Option<(SimTime, JobId)> {
+    /// completely starved (zero capacity). O(1) apart from skipping
+    /// lazily-deleted heap entries.
+    pub fn next_completion(&mut self) -> Option<(SimTime, JobId)> {
         // A job already drained to zero completes "now".
-        if let Some((&id, _)) = self.jobs.iter().find(|(_, j)| !Self::is_active(j)) {
+        if let Some(&id) = self.completed.iter().next() {
             return Some((self.last, id));
         }
         let rate = self.rate_per_cap();
         if rate <= 0.0 {
             return None;
         }
-        let mut best: Option<(f64, JobId)> = None;
-        for (&id, job) in &self.jobs {
-            let eta = job.remaining / (job.cap * rate);
-            match best {
-                Some((t, _)) if t <= eta => {}
-                _ => best = Some((eta, id)),
-            }
-        }
-        best.map(|(eta, id)| {
-            // Round up so the completion event never fires early.
-            let d = SimDuration::from_micros(
-                (eta * 1e6).ceil().max(0.0).min(u64::MAX as f64) as u64,
-            );
-            (self.last.saturating_add(d), id)
-        })
+        let (vkey, id) = self.peek_earliest()?;
+        let eta = (vkey.0 - self.vtime).max(0.0) / rate;
+        // Round up so the completion event never fires early.
+        let d = SimDuration::from_micros((eta * 1e6).ceil().max(0.0).min(u64::MAX as f64) as u64);
+        Some((self.last.saturating_add(d), id))
     }
 
     /// Removes and returns all jobs whose remaining demand is ≤ `eps`
     /// (typically [`COMPLETION_EPS`] scaled by rounding slack), in id
     /// order. Call [`advance`](Self::advance) first.
+    ///
+    /// Cost is O(w·log n) where `w` is the number of heap entries inside
+    /// the candidate window, not O(n): a job qualifies only when
+    /// `(vfinish − V)·cap ≤ eps`, so every qualifier satisfies
+    /// `vfinish ≤ V + eps / min_cap` and lives in a prefix of the heap.
     pub fn take_completed(&mut self, eps: f64) -> Vec<JobId> {
-        let done: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.remaining <= eps)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut done: Vec<JobId> = self.completed.iter().copied().collect();
+        if let Some(min_cap) = self.min_active_cap() {
+            let vlimit = self.vtime + eps.max(0.0) / min_cap;
+            // Pop the candidate prefix; keep qualifiers, return the rest.
+            let mut keep: Vec<Reverse<(VKey, JobId)>> = Vec::new();
+            while let Some((vkey, id)) = self.peek_earliest() {
+                if vkey.0 > vlimit {
+                    break;
+                }
+                let entry = self.heap.pop().expect("peeked entry exists");
+                let job = self.active[&id];
+                if self.active_remaining(&job) <= eps {
+                    // Leave the job in `active`; the removal loop below
+                    // handles bookkeeping (its heap entry is gone, which
+                    // lazy deletion tolerates).
+                    done.push(id);
+                } else {
+                    keep.push(entry);
+                }
+            }
+            self.heap.extend(keep);
+        }
+        done.sort_unstable();
         for id in &done {
             self.remove(*id);
         }
@@ -278,7 +414,14 @@ impl PsQueue {
 
     /// Ids of all jobs currently in service, in id order.
     pub fn job_ids(&self) -> Vec<JobId> {
-        self.jobs.keys().copied().collect()
+        let mut ids: Vec<JobId> = self
+            .active
+            .keys()
+            .chain(self.completed.iter())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 }
 
@@ -425,12 +568,7 @@ mod tests {
         let mut q = PsQueue::new(3.0);
         q.add(JobId(0), 100.0, 1.0);
         q.add(JobId(1), 100.0, 1.0);
-        let schedule = [
-            (1.0, 5.0),
-            (2.5, 0.5),
-            (4.0, 2.0),
-            (6.0, 1.0),
-        ];
+        let schedule = [(1.0, 5.0), (2.5, 0.5), (4.0, 2.0), (6.0, 1.0)];
         let mut expected_busy = 0.0;
         let mut prev = 0.0;
         let mut cap: f64 = 3.0;
@@ -441,10 +579,70 @@ mod tests {
             prev = at;
             cap = new_cap;
         }
-        let done = 200.0
-            - q.remaining(JobId(0)).unwrap()
-            - q.remaining(JobId(1)).unwrap();
-        assert!((done - expected_busy).abs() < 1e-6, "{done} vs {expected_busy}");
+        let done = 200.0 - q.remaining(JobId(0)).unwrap() - q.remaining(JobId(1)).unwrap();
+        assert!(
+            (done - expected_busy).abs() < 1e-6,
+            "{done} vs {expected_busy}"
+        );
         assert!((q.busy_core_seconds() - expected_busy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn removed_job_heap_entry_is_skipped() {
+        // Remove the would-be-next job; the following completion must
+        // come from the surviving job, not the stale heap entry.
+        let mut q = PsQueue::new(2.0);
+        q.add(JobId(0), 1.0, 1.0);
+        q.add(JobId(1), 4.0, 1.0);
+        q.advance(t(0.5));
+        assert!(q.remove(JobId(0)).is_some());
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!(id, JobId(1));
+        assert_eq!(when, t(4.0)); // 3.5 left at full speed from t=0.5
+    }
+
+    #[test]
+    fn readded_id_gets_fresh_finish_time() {
+        // Same id re-added after removal must be tracked by its new
+        // vfinish, not the stale one.
+        let mut q = PsQueue::new(1.0);
+        q.add(JobId(7), 10.0, 1.0);
+        q.advance(t(1.0));
+        q.remove(JobId(7));
+        q.add(JobId(7), 2.0, 1.0);
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!((when, id), (t(3.0), JobId(7)));
+        q.advance(when);
+        assert_eq!(q.take_completed(US), vec![JobId(7)]);
+    }
+
+    #[test]
+    fn advance_across_many_completions_in_one_call() {
+        // Striding past several staggered completions in a single advance
+        // must harvest all of them with exact busy accounting.
+        let mut q = PsQueue::new(4.0);
+        for i in 0..4u64 {
+            q.add(JobId(i), (i + 1) as f64, 1.0);
+        }
+        q.advance(t(10.0));
+        assert_eq!(q.take_completed(US).len(), 4);
+        // 4 jobs of 1..4 cpu-seconds on 4 cores: they run at cap, so
+        // busy time equals total demand, 1+2+3+4.
+        assert!((q.busy_core_seconds() - 10.0).abs() < 1e-9);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn vtime_rebases_when_queue_drains() {
+        // After the queue fully empties, a long quiet gap and a new job
+        // must behave exactly like a fresh queue (no float-drift leak).
+        let mut q = PsQueue::new(1.0);
+        q.add(JobId(0), 1.0, 1.0);
+        q.advance(t(1.0));
+        assert_eq!(q.take_completed(US), vec![JobId(0)]);
+        q.advance(t(1_000_000.0));
+        q.add(JobId(1), 0.25, 1.0);
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!((when, id), (t(1_000_000.25), JobId(1)));
     }
 }

@@ -1,0 +1,448 @@
+//! Reference processor-sharing model: the original segment-walking
+//! implementation, kept as an executable specification.
+//!
+//! [`crate::ps`] reimplements this queue with the GPS virtual-time
+//! formulation (O(completions) `advance`, heap-backed
+//! `next_completion`). This module preserves the direct formulation —
+//! every `advance` walks all jobs segment by segment — because it is
+//! trivially auditable against the queueing-theory definition. It backs
+//! two things:
+//!
+//! * the differential property test in `crates/sim/tests/props.rs`,
+//!   which drives both implementations through random schedules and
+//!   asserts identical completion sequences;
+//! * the `perfsmoke` benchmark's baseline, which measures the speedup of
+//!   the virtual-time queue over this one.
+//!
+//! Do not use it in simulation paths; it is O(jobs) per event.
+
+use std::collections::BTreeMap;
+
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// Remaining demand below this is considered complete (guards float dust).
+pub const COMPLETION_EPS: f64 = 1e-9;
+
+/// Job identifier, unique within one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Job {
+    /// CPU-seconds of work left.
+    remaining: f64,
+    /// Max cores this job can use at once.
+    cap: f64,
+}
+
+/// A processor-sharing queue over a resizable CPU pool.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_sim::ps_reference::{JobId, PsQueue};
+/// use hrv_trace::time::SimTime;
+///
+/// // Two 1-second jobs on one core: processor sharing finishes both at
+/// // t = 2 s.
+/// let mut q = PsQueue::new(1.0);
+/// q.add(JobId(0), 1.0, 1.0);
+/// q.add(JobId(1), 1.0, 1.0);
+/// let (when, _) = q.next_completion().unwrap();
+/// assert_eq!(when, SimTime::from_secs(2));
+/// q.advance(when);
+/// assert_eq!(q.take_completed(1e-6).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsQueue {
+    capacity: f64,
+    jobs: BTreeMap<JobId, Job>,
+    total_cap: f64,
+    last: SimTime,
+    /// Integral of occupied cores over time, for utilization accounting.
+    busy_core_seconds: f64,
+}
+
+impl PsQueue {
+    /// Creates an empty queue with `capacity` CPU cores at time zero.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        PsQueue {
+            capacity,
+            jobs: BTreeMap::new(),
+            total_cap: 0.0,
+            last: SimTime::ZERO,
+            busy_core_seconds: 0.0,
+        }
+    }
+
+    /// Current CPU capacity in cores.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of jobs in service.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no jobs are in service.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Cores currently occupied: `min(capacity, Σ active caps)`. Jobs
+    /// whose demand already reached zero (awaiting harvest via
+    /// [`take_completed`](Self::take_completed)) consume nothing.
+    pub fn cores_in_use(&self) -> f64 {
+        self.total_cap.min(self.capacity)
+    }
+
+    /// Instantaneous utilization in `[0, 1]` (0 when capacity is 0).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            if self.jobs.is_empty() {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (self.total_cap / self.capacity).min(1.0)
+        }
+    }
+
+    /// Demand pressure: `Σ caps / capacity`, may exceed 1 when
+    /// oversubscribed; `∞` when jobs are stuck on a zero-capacity pool.
+    pub fn pressure(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            if self.jobs.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.total_cap / self.capacity
+        }
+    }
+
+    /// Integrated busy core-seconds since construction (advance-to time).
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.busy_core_seconds
+    }
+
+    /// The service rate every unit of cap receives right now.
+    fn rate_per_cap(&self) -> f64 {
+        if self.total_cap <= 0.0 {
+            return 0.0;
+        }
+        if self.total_cap <= self.capacity {
+            1.0
+        } else {
+            self.capacity / self.total_cap
+        }
+    }
+
+    /// Integrates service up to `now`, piecewise: when a job's demand
+    /// reaches zero mid-interval it stops consuming cores, the remaining
+    /// jobs speed up, and busy-time accounting stays exact even when the
+    /// caller strides past completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update.
+    pub fn advance(&mut self, now: SimTime) {
+        let mut dt = now.since(self.last).as_secs_f64();
+        self.last = now;
+        while dt > 0.0 && self.total_cap > 0.0 {
+            let rate = self.rate_per_cap();
+            if rate <= 0.0 {
+                break;
+            }
+            // Earliest internal completion among active jobs.
+            let mut eta = f64::INFINITY;
+            for job in self.jobs.values() {
+                if job.remaining > 0.0 {
+                    eta = eta.min(job.remaining / (job.cap * rate));
+                }
+            }
+            let step = eta.min(dt);
+            self.busy_core_seconds += self.cores_in_use() * step;
+            let mut finished_cap = 0.0;
+            for job in self.jobs.values_mut() {
+                if job.remaining > 0.0 {
+                    job.remaining -= job.cap * rate * step;
+                    if job.remaining <= COMPLETION_EPS {
+                        job.remaining = 0.0;
+                        finished_cap += job.cap;
+                    }
+                }
+            }
+            self.total_cap = (self.total_cap - finished_cap).max(0.0);
+            dt -= step;
+            if step <= 0.0 {
+                break; // float-dust guard; cannot regress further
+            }
+        }
+    }
+
+    /// Adds a job with `demand` CPU-seconds of work and a `cap`-core limit.
+    /// Call [`advance`](Self::advance) to `now` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate id or non-positive demand/cap.
+    pub fn add(&mut self, id: JobId, demand: f64, cap: f64) {
+        assert!(demand > 0.0 && demand.is_finite(), "bad demand {demand}");
+        assert!(cap > 0.0 && cap.is_finite(), "bad cap {cap}");
+        let prev = self.jobs.insert(
+            id,
+            Job {
+                remaining: demand,
+                cap,
+            },
+        );
+        assert!(prev.is_none(), "duplicate job {id:?}");
+        self.total_cap += cap;
+    }
+
+    /// True if the job is still consuming CPU (demand not yet exhausted).
+    fn is_active(job: &Job) -> bool {
+        job.remaining > 0.0
+    }
+
+    /// Removes a job (kill/eviction), returning its remaining demand.
+    /// Returns `None` if the job is not present.
+    pub fn remove(&mut self, id: JobId) -> Option<f64> {
+        let job = self.jobs.remove(&id)?;
+        if Self::is_active(&job) {
+            self.total_cap -= job.cap;
+        }
+        if self.jobs.values().all(|j| !Self::is_active(j)) {
+            self.total_cap = 0.0; // absorb float drift
+        }
+        Some(job.remaining)
+    }
+
+    /// Resizes the CPU pool. Call [`advance`](Self::advance) first.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        self.capacity = capacity;
+    }
+
+    /// Remaining demand of a job, if present.
+    pub fn remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).map(|j| j.remaining)
+    }
+
+    /// When the next job will complete if nothing changes, with its id.
+    /// Ties break toward the smallest `JobId`. Returns `None` when idle or
+    /// completely starved (zero capacity).
+    pub fn next_completion(&self) -> Option<(SimTime, JobId)> {
+        // A job already drained to zero completes "now".
+        if let Some((&id, _)) = self.jobs.iter().find(|(_, j)| !Self::is_active(j)) {
+            return Some((self.last, id));
+        }
+        let rate = self.rate_per_cap();
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(f64, JobId)> = None;
+        for (&id, job) in &self.jobs {
+            let eta = job.remaining / (job.cap * rate);
+            match best {
+                Some((t, _)) if t <= eta => {}
+                _ => best = Some((eta, id)),
+            }
+        }
+        best.map(|(eta, id)| {
+            // Round up so the completion event never fires early.
+            let d =
+                SimDuration::from_micros((eta * 1e6).ceil().max(0.0).min(u64::MAX as f64) as u64);
+            (self.last.saturating_add(d), id)
+        })
+    }
+
+    /// Removes and returns all jobs whose remaining demand is ≤ `eps`
+    /// (typically [`COMPLETION_EPS`] scaled by rounding slack), in id
+    /// order. Call [`advance`](Self::advance) first.
+    pub fn take_completed(&mut self, eps: f64) -> Vec<JobId> {
+        let done: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.remaining <= eps)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            self.remove(*id);
+        }
+        done
+    }
+
+    /// Ids of all jobs currently in service, in id order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: f64 = 1e-6;
+
+    fn t(secs_f: f64) -> SimTime {
+        SimTime::from_micros((secs_f * 1e6).round() as u64)
+    }
+
+    #[test]
+    fn single_job_runs_at_its_cap() {
+        let mut q = PsQueue::new(4.0);
+        q.add(JobId(1), 2.0, 1.0);
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!(id, JobId(1));
+        assert_eq!(when, t(2.0));
+        q.advance(when);
+        assert_eq!(q.take_completed(US), vec![JobId(1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oversubscription_slows_everyone() {
+        // 2 cores, 4 single-core jobs of 1 cpu-second each → each runs at
+        // 0.5 cores → all complete at t=2.
+        let mut q = PsQueue::new(2.0);
+        for i in 0..4 {
+            q.add(JobId(i), 1.0, 1.0);
+        }
+        let (when, _) = q.next_completion().unwrap();
+        assert_eq!(when, t(2.0));
+        q.advance(when);
+        assert_eq!(q.take_completed(US).len(), 4);
+    }
+
+    #[test]
+    fn undersubscription_leaves_rate_at_cap() {
+        let mut q = PsQueue::new(8.0);
+        q.add(JobId(0), 3.0, 1.0);
+        q.add(JobId(1), 5.0, 1.0);
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!((when, id), (t(3.0), JobId(0)));
+        q.advance(when);
+        assert_eq!(q.take_completed(US), vec![JobId(0)]);
+        let (when, id) = q.next_completion().unwrap();
+        assert_eq!((when, id), (t(5.0), JobId(1)));
+    }
+
+    #[test]
+    fn capacity_shrink_replans_completions() {
+        let mut q = PsQueue::new(4.0);
+        q.add(JobId(0), 4.0, 1.0);
+        // After 1 s at full speed, 3 cpu-seconds remain.
+        q.advance(t(1.0));
+        // Capacity collapses to 0.5 cores → rate 0.5 → 6 more seconds.
+        q.set_capacity(0.5);
+        let (when, _) = q.next_completion().unwrap();
+        assert_eq!(when, t(7.0));
+    }
+
+    #[test]
+    fn capacity_growth_speeds_up() {
+        let mut q = PsQueue::new(1.0);
+        q.add(JobId(0), 2.0, 1.0);
+        q.add(JobId(1), 2.0, 1.0);
+        // Each at 0.5 cores; after 2 s, 1 cpu-second left each.
+        q.advance(t(2.0));
+        q.set_capacity(2.0);
+        let (when, _) = q.next_completion().unwrap();
+        assert_eq!(when, t(3.0));
+    }
+
+    #[test]
+    fn zero_capacity_starves() {
+        let mut q = PsQueue::new(0.0);
+        q.add(JobId(0), 1.0, 1.0);
+        assert!(q.next_completion().is_none());
+        assert_eq!(q.utilization(), 1.0);
+        assert_eq!(q.pressure(), f64::INFINITY);
+        q.advance(t(100.0));
+        assert_eq!(q.remaining(JobId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn remove_returns_remaining_work() {
+        let mut q = PsQueue::new(1.0);
+        q.add(JobId(0), 5.0, 1.0);
+        q.advance(t(2.0));
+        let left = q.remove(JobId(0)).unwrap();
+        assert!((left - 3.0).abs() < 1e-9);
+        assert!(q.remove(JobId(0)).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn utilization_and_busy_accounting() {
+        let mut q = PsQueue::new(4.0);
+        q.add(JobId(0), 10.0, 1.0);
+        q.add(JobId(1), 10.0, 1.0);
+        assert!((q.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(q.cores_in_use(), 2.0);
+        q.advance(t(3.0));
+        assert!((q.busy_core_seconds() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_never_fires_early() {
+        // 3 jobs on 2 cores with awkward demands: the scheduled completion
+        // time must be >= the true completion time.
+        let mut q = PsQueue::new(2.0);
+        q.add(JobId(0), 0.333_333, 1.0);
+        q.add(JobId(1), 1.0, 1.0);
+        q.add(JobId(2), 2.5, 1.0);
+        let (when, id) = q.next_completion().unwrap();
+        q.advance(when);
+        let done = q.take_completed(1e-6);
+        assert!(done.contains(&id), "job not complete at its own eta");
+    }
+
+    #[test]
+    fn multicore_job_uses_its_cap() {
+        let mut q = PsQueue::new(8.0);
+        q.add(JobId(0), 8.0, 4.0);
+        let (when, _) = q.next_completion().unwrap();
+        assert_eq!(when, t(2.0));
+        assert_eq!(q.cores_in_use(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job")]
+    fn duplicate_add_panics() {
+        let mut q = PsQueue::new(1.0);
+        q.add(JobId(0), 1.0, 1.0);
+        q.add(JobId(0), 1.0, 1.0);
+    }
+
+    #[test]
+    fn conservation_under_resizes() {
+        // Work completed must equal integral of min(capacity, demand).
+        let mut q = PsQueue::new(3.0);
+        q.add(JobId(0), 100.0, 1.0);
+        q.add(JobId(1), 100.0, 1.0);
+        let schedule = [(1.0, 5.0), (2.5, 0.5), (4.0, 2.0), (6.0, 1.0)];
+        let mut expected_busy = 0.0;
+        let mut prev = 0.0;
+        let mut cap: f64 = 3.0;
+        for &(at, new_cap) in &schedule {
+            expected_busy += (at - prev) * cap.min(2.0);
+            q.advance(t(at));
+            q.set_capacity(new_cap);
+            prev = at;
+            cap = new_cap;
+        }
+        let done = 200.0 - q.remaining(JobId(0)).unwrap() - q.remaining(JobId(1)).unwrap();
+        assert!(
+            (done - expected_busy).abs() < 1e-6,
+            "{done} vs {expected_busy}"
+        );
+        assert!((q.busy_core_seconds() - expected_busy).abs() < 1e-6);
+    }
+}

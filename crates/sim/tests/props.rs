@@ -4,7 +4,64 @@ use proptest::prelude::*;
 
 use hrv_sim::calendar::Calendar;
 use hrv_sim::ps::{JobId, PsQueue};
-use hrv_trace::time::SimTime;
+use hrv_sim::ps_reference;
+use hrv_trace::time::{SimDuration, SimTime};
+
+/// Compares next-completion predictions. Times may differ by at most one
+/// microsecond: the two implementations accumulate service along
+/// different float paths, and an ulp of drift can land on opposite sides
+/// of the µs `ceil` quantization boundary. The predicted *jobs* may
+/// differ only on ties — the caller must then verify both jobs complete
+/// in the same harvest batch.
+fn assert_next_close(
+    v: Option<(SimTime, u64)>,
+    r: Option<(SimTime, u64)>,
+) -> Result<(), TestCaseError> {
+    match (v, r) {
+        (None, None) => Ok(()),
+        (Some((vt, _)), Some((rt, _))) => {
+            let diff = vt.as_micros().abs_diff(rt.as_micros());
+            prop_assert!(
+                diff <= 1,
+                "next_completion times diverged: {} vs {}",
+                vt,
+                rt
+            );
+            Ok(())
+        }
+        (v, r) => {
+            prop_assert!(
+                false,
+                "next_completion presence diverged: {:?} vs {:?}",
+                v,
+                r
+            );
+            Ok(())
+        }
+    }
+}
+
+/// After a harvest at a predicted completion time, the two predictions
+/// must either have named the same job or both named members of the
+/// harvested batch (a tie broken differently by the two float paths).
+fn assert_tie_or_equal(
+    vn: Option<(SimTime, u64)>,
+    rn: Option<(SimTime, u64)>,
+    harvested: &[u64],
+) -> Result<(), TestCaseError> {
+    if let (Some((_, vid)), Some((_, rid))) = (vn, rn) {
+        if vid != rid {
+            prop_assert!(
+                harvested.contains(&vid) && harvested.contains(&rid),
+                "predictions {} vs {} are not a completed tie: batch {:?}",
+                vid,
+                rid,
+                harvested
+            );
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     /// Events always pop in (time, insertion) order, whatever the
@@ -110,5 +167,99 @@ proptest! {
             completed += done.len();
         }
         prop_assert_eq!(completed, demands.len());
+    }
+
+    /// Differential test: the virtual-time queue and the segment-walking
+    /// reference observe identical completion sequences — same job ids at
+    /// the same microsecond-quantized times — under arbitrary interleaved
+    /// add / remove / resize / advance schedules.
+    #[test]
+    fn ps_matches_reference_implementation(
+        ops in prop::collection::vec((0u8..4, 0u64..8, 1u32..40, 1u32..8), 1..80),
+    ) {
+        let mut vq = PsQueue::new(3.0);
+        let mut rq = ps_reference::PsQueue::new(3.0);
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        for &(kind, sel, a, b) in &ops {
+            match kind {
+                // Add a fresh job.
+                0 => {
+                    let demand = f64::from(a) * 0.25;
+                    let cap = f64::from(b) * 0.5;
+                    vq.add(JobId(next_id), demand, cap);
+                    rq.add(ps_reference::JobId(next_id), demand, cap);
+                    next_id += 1;
+                }
+                // Jump to the predicted next completion and harvest.
+                1 => {
+                    let vn = vq.next_completion();
+                    let rn = rq.next_completion();
+                    assert_next_close(vn.map(|(t, id)| (t, id.0)), rn.map(|(t, id)| (t, id.0)))?;
+                    if let Some((at, _)) = vn {
+                        now = now.max(at);
+                        vq.advance(now);
+                        rq.advance(now);
+                        let vd: Vec<u64> = vq.take_completed(1e-5).iter().map(|j| j.0).collect();
+                        let rd: Vec<u64> = rq.take_completed(1e-5).iter().map(|j| j.0).collect();
+                        prop_assert_eq!(&vd, &rd, "harvest diverged");
+                        assert_tie_or_equal(
+                            vn.map(|(t, id)| (t, id.0)),
+                            rn.map(|(t, id)| (t, id.0)),
+                            &vd,
+                        )?;
+                    }
+                }
+                // Remove (kill) an arbitrary resident job.
+                2 => {
+                    let ids = vq.job_ids();
+                    if !ids.is_empty() {
+                        let id = ids[sel as usize % ids.len()];
+                        let vl = vq.remove(id);
+                        let rl = rq.remove(ps_reference::JobId(id.0));
+                        prop_assert_eq!(vl.is_some(), rl.is_some());
+                        if let (Some(vl), Some(rl)) = (vl, rl) {
+                            prop_assert!((vl - rl).abs() < 1e-6,
+                                "remaining diverged: {} vs {}", vl, rl);
+                        }
+                    }
+                }
+                // Resize, then coast for a while and harvest.
+                _ => {
+                    let cap = f64::from(a % 9) * 0.5;
+                    vq.set_capacity(cap);
+                    rq.set_capacity(cap);
+                    now += SimDuration::from_millis(u64::from(b) * 37);
+                    vq.advance(now);
+                    rq.advance(now);
+                    let vd: Vec<u64> = vq.take_completed(1e-5).iter().map(|j| j.0).collect();
+                    let rd: Vec<u64> = rq.take_completed(1e-5).iter().map(|j| j.0).collect();
+                    prop_assert_eq!(vd, rd, "post-resize harvest diverged");
+                }
+            }
+            prop_assert_eq!(vq.len(), rq.len(), "population diverged");
+            prop_assert!((vq.busy_core_seconds() - rq.busy_core_seconds()).abs() < 1e-6,
+                "busy-time accounting diverged");
+        }
+        // Drain both queues to the end and compare the full tail.
+        loop {
+            let vn = vq.next_completion();
+            let rn = rq.next_completion();
+            assert_next_close(vn.map(|(t, id)| (t, id.0)), rn.map(|(t, id)| (t, id.0)))?;
+            let Some((at, _)) = vn else { break };
+            now = now.max(at);
+            vq.advance(now);
+            rq.advance(now);
+            let vd: Vec<u64> = vq.take_completed(1e-5).iter().map(|j| j.0).collect();
+            let rd: Vec<u64> = rq.take_completed(1e-5).iter().map(|j| j.0).collect();
+            prop_assert_eq!(&vd, &rd, "tail harvest diverged");
+            prop_assert!(!vd.is_empty(), "estimate fired early in drain");
+            assert_tie_or_equal(
+                vn.map(|(t, id)| (t, id.0)),
+                rn.map(|(t, id)| (t, id.0)),
+                &vd,
+            )?;
+        }
+        prop_assert_eq!(vq.job_ids().len(), rq.job_ids().len());
     }
 }

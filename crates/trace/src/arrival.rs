@@ -194,7 +194,9 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[0] < w[1]);
         }
-        assert!(times.iter().all(|&t| t >= start && t < start + SimDuration::from_secs(50)));
+        assert!(times
+            .iter()
+            .all(|&t| t >= start && t < start + SimDuration::from_secs(50)));
     }
 
     #[test]

@@ -31,15 +31,11 @@ use crate::time::{SimDuration, SimTime};
 pub const LONG_THRESHOLD: SimDuration = SimDuration::from_secs(30);
 
 /// Identifies an application (the unit of scheduling and allocation).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(pub u32);
 
 /// Identifies a function within an application.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FunctionId {
     /// Owning application.
     pub app: AppId,
@@ -260,7 +256,11 @@ impl Workload {
         let mut weights = Vec::with_capacity(spec.n_apps);
         for i in 0..spec.n_apps {
             let is_long = i < n_long;
-            let class = if is_long { AppClass::Long } else { AppClass::Short };
+            let class = if is_long {
+                AppClass::Long
+            } else {
+                AppClass::Short
+            };
             let weight = if is_long {
                 long_weight.sample(&mut rng)
             } else {
@@ -282,11 +282,8 @@ impl Workload {
                         0.001,
                         29.9,
                     ));
-                    let tail: Box<dyn Sampler> = Box::new(BoundedPareto::new(
-                        30.0,
-                        spec.max_duration_secs,
-                        2.0,
-                    ));
+                    let tail: Box<dyn Sampler> =
+                        Box::new(BoundedPareto::new(30.0, spec.max_duration_secs, 2.0));
                     // Per-app tail fractions are heterogeneous (the paper's
                     // Figure 7 shows wildly different max/mean gaps across
                     // apps); a shared fraction would make the Strategy 2
@@ -295,25 +292,18 @@ impl Workload {
                     // The 0.8 factor recenters the invocation-weighted
                     // mean back onto `spec.tail_prob` (hot apps draw
                     // independently of their rates).
-                    let app_tail = (LogUniform::new(
-                        spec.tail_prob / 8.0,
-                        spec.tail_prob * 4.0,
-                    )
-                    .sample(&mut rng)
+                    let app_tail = (LogUniform::new(spec.tail_prob / 8.0, spec.tail_prob * 4.0)
+                        .sample(&mut rng)
                         * 0.8)
                         .min(0.9);
-                    Box::new(Mixture::new(vec![
-                        (1.0 - app_tail, body),
-                        (app_tail, tail),
-                    ]))
+                    Box::new(Mixture::new(vec![(1.0 - app_tail, body), (app_tail, tail)]))
                 }
             };
 
             let memory_mb = *[128u64, 256, 256, 512]
                 .get(rng.random_range(0..4usize))
                 .expect("index in range");
-            let n_functions =
-                rng.random_range(spec.functions_per_app.0..=spec.functions_per_app.1);
+            let n_functions = rng.random_range(spec.functions_per_app.0..=spec.functions_per_app.1);
             let mut app = AppModel::new(
                 AppId(i as u32),
                 class,
@@ -341,8 +331,7 @@ impl Workload {
             } else {
                 (1.0 - spec.long_invocation_share, short_total)
             };
-            app.rate_rps = (spec.total_rps * class_share * weights[i] / class_total)
-                .max(1e-7);
+            app.rate_rps = (spec.total_rps * class_share * weights[i] / class_total).max(1e-7);
         }
         Workload { apps }
     }
@@ -393,10 +382,7 @@ impl Workload {
                     let duration = app.sample_duration(&mut rng);
                     all.push(Invocation {
                         id: 0,
-                        function: FunctionId {
-                            app: app.id,
-                            func,
-                        },
+                        function: FunctionId { app: app.id, func },
                         arrival: at,
                         duration,
                         memory_mb: app.memory_mb,
@@ -510,10 +496,7 @@ pub fn per_app_percentile_cdf(trace: &[Invocation], p: f64) -> Cdf {
 /// Inter-arrival time CDFs, split by app class (Figure 9). Returns
 /// `(short_apps_cdf, long_apps_cdf)` in seconds; either is `None` when a
 /// class has fewer than two invocations of any app.
-pub fn inter_arrival_cdfs(
-    trace: &[Invocation],
-    workload: &Workload,
-) -> (Option<Cdf>, Option<Cdf>) {
+pub fn inter_arrival_cdfs(trace: &[Invocation], workload: &Workload) -> (Option<Cdf>, Option<Cdf>) {
     use std::collections::HashMap;
     let mut per_app_times: HashMap<AppId, Vec<SimTime>> = HashMap::new();
     for inv in trace {
@@ -536,7 +519,13 @@ pub fn inter_arrival_cdfs(
             sink.push(w[1].since(w[0]).as_secs_f64());
         }
     }
-    let mk = |v: Vec<f64>| if v.is_empty() { None } else { Some(Cdf::from_samples(v)) };
+    let mk = |v: Vec<f64>| {
+        if v.is_empty() {
+            None
+        } else {
+            Some(Cdf::from_samples(v))
+        }
+    };
     (mk(short), mk(long))
 }
 
@@ -559,8 +548,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = WorkloadSpec::paper_fsmall().scaled(30, 10.0);
-        let a = Workload::generate(&spec, &seeds()).invocations(SimDuration::from_mins(30), &seeds());
-        let b = Workload::generate(&spec, &seeds()).invocations(SimDuration::from_mins(30), &seeds());
+        let a =
+            Workload::generate(&spec, &seeds()).invocations(SimDuration::from_mins(30), &seeds());
+        let b =
+            Workload::generate(&spec, &seeds()).invocations(SimDuration::from_mins(30), &seeds());
         assert_eq!(a, b);
         assert!(!a.is_empty());
     }

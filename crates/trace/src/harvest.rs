@@ -112,7 +112,9 @@ impl VmTrace {
     pub fn warning_time(&self) -> Option<SimTime> {
         if self.evicted() {
             Some(SimTime::from_micros(
-                self.end.as_micros().saturating_sub(EVICTION_GRACE.as_micros()),
+                self.end
+                    .as_micros()
+                    .saturating_sub(EVICTION_GRACE.as_micros()),
             ))
         } else {
             None
@@ -163,7 +165,9 @@ impl VmTrace {
         } else {
             self.ended
         };
-        let initial_cpus = self.cpus_at(deploy).max(self.base_cpus.min(self.initial_cpus));
+        let initial_cpus = self
+            .cpus_at(deploy)
+            .max(self.base_cpus.min(self.initial_cpus));
         let rebased = |t: SimTime| SimTime::ZERO + t.since(start);
         let cpu_changes = self
             .cpu_changes
@@ -487,9 +491,8 @@ impl FleetTrace {
             let mut t = SimTime::ZERO;
             let mean = config.storm_every.as_secs_f64();
             loop {
-                let gap = SimDuration::from_secs_f64(
-                    -mean * (1.0 - rng.random_range(0.0..1.0f64)).ln(),
-                );
+                let gap =
+                    SimDuration::from_secs_f64(-mean * (1.0 - rng.random_range(0.0..1.0f64)).ln());
                 t = t.saturating_add(gap);
                 if t >= t_end {
                     break;
@@ -519,8 +522,7 @@ impl FleetTrace {
             (lo + (hi - lo) * frac).round() as u32
         };
 
-        let deploy_vm = |at: SimTime, rng: &mut rand::rngs::StdRng,
-                             pending: &mut Vec<Pending>| {
+        let deploy_vm = |at: SimTime, rng: &mut rand::rngs::StdRng, pending: &mut Vec<Pending>| {
             let life = lifetime_model.sample(rng);
             let natural_death = at.saturating_add(life);
             let (death, ended) = if natural_death >= t_end {
@@ -669,8 +671,7 @@ impl FleetTrace {
     /// all windows (the paper's "Typical").
     pub fn typical_window(&self, len: SimDuration, stride: SimDuration) -> WindowStats {
         let windows = self.windows(len, stride);
-        let mean: f64 =
-            windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
+        let mean: f64 = windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
         windows
             .into_iter()
             .min_by(|a, b| {
@@ -692,7 +693,10 @@ impl FleetTrace {
 
     /// Observed lifetimes of all VMs (censored ones included), in seconds.
     pub fn lifetimes_secs(&self) -> Vec<f64> {
-        self.vms.iter().map(|v| v.lifetime().as_secs_f64()).collect()
+        self.vms
+            .iter()
+            .map(|v| v.lifetime().as_secs_f64())
+            .collect()
     }
 }
 
@@ -803,7 +807,11 @@ mod tests {
             cdf.mean()
         );
         // >90 % live longer than a day.
-        assert!(cdf.fraction_above(1.0) > 0.90, "{}", cdf.fraction_above(1.0));
+        assert!(
+            cdf.fraction_above(1.0) > 0.90,
+            "{}",
+            cdf.fraction_above(1.0)
+        );
         // >60 % live longer than a month.
         assert!(
             cdf.fraction_above(30.0) > 0.60,
@@ -1047,13 +1055,7 @@ mod tests {
 
     #[test]
     fn active_cluster_changes_frequently() {
-        let vms = active_cluster(
-            10,
-            SimDuration::from_mins(20),
-            32,
-            128 * 1024,
-            &seeds(),
-        );
+        let vms = active_cluster(10, SimDuration::from_mins(20), 32, 128 * 1024, &seeds());
         assert_eq!(vms.len(), 10);
         let total_changes: usize = vms.iter().map(|v| v.cpu_changes.len()).sum();
         // Mean interval ~3.6 min over 20 min × 10 VMs → expect ≥ 20 changes.

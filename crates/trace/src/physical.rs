@@ -43,11 +43,7 @@ impl IdleTimeline {
     pub fn idle_cpu_seconds(&self) -> f64 {
         let mut total = 0.0;
         for (i, &(at, cores)) in self.steps.iter().enumerate() {
-            let until = self
-                .steps
-                .get(i + 1)
-                .map(|&(t, _)| t)
-                .unwrap_or(self.end);
+            let until = self.steps.get(i + 1).map(|&(t, _)| t).unwrap_or(self.end);
             total += until.since(at).as_secs_f64() * f64::from(cores);
         }
         total
@@ -109,8 +105,7 @@ impl PhysicalCluster {
             .map(|i| {
                 let mut rng = seeds.stream_indexed("physical-node", i as u64);
                 let cores = config.cores_per_node;
-                let mut idle =
-                    (f64::from(cores) * config.mean_idle_fraction).round() as u32;
+                let mut idle = (f64::from(cores) * config.mean_idle_fraction).round() as u32;
                 let mut steps = vec![(SimTime::ZERO, idle)];
                 let mut t = SimTime::ZERO;
                 loop {
@@ -177,8 +172,7 @@ impl PhysicalCluster {
                         }
                     }
                     (Some(_), false) => {
-                        let (deploy, initial, changes) =
-                            current.take().expect("checked some");
+                        let (deploy, initial, changes) = current.take().expect("checked some");
                         let ended = if at >= node.end {
                             VmEnd::Censored
                         } else {
@@ -279,9 +273,7 @@ pub fn usable_cpu_seconds(vms: &[VmTrace], install: SimDuration) -> f64 {
             } else {
                 // Approximate install burn as base CPUs over the install
                 // window, since harvesting ramps up after setup.
-                let install_burn = install
-                    .min(vm.end.since(vm.deploy))
-                    .as_secs_f64()
+                let install_burn = install.min(vm.end.since(vm.deploy)).as_secs_f64()
                     * f64::from(vm.cpus_at(vm.deploy));
                 (vm.cpu_seconds() - install_burn).max(0.0)
             }
@@ -313,10 +305,7 @@ mod tests {
     #[test]
     fn idle_timeline_lookup_and_integral() {
         let tl = IdleTimeline {
-            steps: vec![
-                (SimTime::ZERO, 10),
-                (SimTime::from_secs(100), 20),
-            ],
+            steps: vec![(SimTime::ZERO, 10), (SimTime::from_secs(100), 20)],
             end: SimTime::from_secs(200),
         };
         assert_eq!(tl.idle_at(SimTime::from_secs(50)), 10);
@@ -346,8 +335,16 @@ mod tests {
     fn spot_packing_fragments_capacity() {
         let c = cluster();
         let idle = c.idle_cpu_seconds();
-        let small: f64 = c.pack_spot(2, 4 * 1024).iter().map(VmTrace::cpu_seconds).sum();
-        let large: f64 = c.pack_spot(48, 4 * 1024).iter().map(VmTrace::cpu_seconds).sum();
+        let small: f64 = c
+            .pack_spot(2, 4 * 1024)
+            .iter()
+            .map(VmTrace::cpu_seconds)
+            .sum();
+        let large: f64 = c
+            .pack_spot(48, 4 * 1024)
+            .iter()
+            .map(VmTrace::cpu_seconds)
+            .sum();
         // Smaller Spot VMs capture more of the idle capacity; fragmentation
         // from big VMs leaves cores stranded (Figure 18, CPUs × time).
         assert!(small <= idle + 1e-6);
@@ -359,9 +356,8 @@ mod tests {
         let c = cluster();
         let h = c.pack_harvest(2, 16 * 1024);
         let s = c.pack_spot(2, 4 * 1024);
-        let evict_frac = |vms: &[VmTrace]| {
-            vms.iter().filter(|v| v.evicted()).count() as f64 / vms.len() as f64
-        };
+        let evict_frac =
+            |vms: &[VmTrace]| vms.iter().filter(|v| v.evicted()).count() as f64 / vms.len() as f64;
         // Spot VMs are evicted whenever idle shrinks below a multiple of
         // their size; Harvest VMs only when it drops below the base size.
         assert!(evict_frac(&s) >= evict_frac(&h));

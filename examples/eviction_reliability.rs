@@ -41,7 +41,11 @@ fn main() {
     );
     let mut t = Table::new(
         "Strategy 2 — capacity on harvest vs failure bound",
-        &["decision percentile", "failure bound", "capacity on harvest"],
+        &[
+            "decision percentile",
+            "failure bound",
+            "capacity on harvest",
+        ],
     );
     for (p, frac) in sweep {
         t.row(vec![format!("P{p:.1}"), pct(1.0 - p / 100.0), pct(frac)]);

@@ -9,8 +9,8 @@
 use std::time::Instant;
 
 use harvest_faas::funcbench::{
-    floatop, image_pipeline, linpack, logistic_regression, matmult, render_table,
-    stream_cipher, video_pipeline, Family,
+    floatop, image_pipeline, linpack, logistic_regression, matmult, render_table, stream_cipher,
+    video_pipeline, Family,
 };
 use harvest_faas::report::Table;
 
@@ -32,8 +32,16 @@ fn main() {
             "5M sin/cos/sqrt",
             timed(|| floatop(5_000_000) as i64),
         ),
-        (Family::Matmult, "256x256 matmul", timed(|| matmult(256) as i64)),
-        (Family::Linpack, "256x256 solve", timed(|| linpack(256) as i64)),
+        (
+            Family::Matmult,
+            "256x256 matmul",
+            timed(|| matmult(256) as i64),
+        ),
+        (
+            Family::Linpack,
+            "256x256 solve",
+            timed(|| linpack(256) as i64),
+        ),
         (
             Family::Chameleon,
             "400x40 HTML table",

@@ -21,7 +21,13 @@ fn main() {
 
     let mut table = Table::new(
         "real-thread execution, per policy",
-        &["policy", "completed", "cold starts", "mean latency", "max latency"],
+        &[
+            "policy",
+            "completed",
+            "cold starts",
+            "mean latency",
+            "max latency",
+        ],
     );
     for kind in [PolicyKind::Mws, PolicyKind::Jsq, PolicyKind::RoundRobin] {
         let mut policy = kind.build();

@@ -43,7 +43,14 @@ fn main() {
 
     let mut t = Table::new(
         "Harvest vs Spot on the same idle resources",
-        &["vm", "failure rate", "cold rate", "CPUxTime", "$/CPU-hr", "evictions"],
+        &[
+            "vm",
+            "failure rate",
+            "cold rate",
+            "CPUxTime",
+            "$/CPU-hr",
+            "evictions",
+        ],
     );
     for (label, vms, is_harvest) in [
         ("H2", cluster.pack_harvest(2, 16 * 1024), true),

@@ -2,9 +2,7 @@
 //! budget provisioning (Table 3), amortized pricing (Section 7.5), and
 //! the capacity-split accounting that drives Figure 10.
 
-use harvest_faas::cost::{
-    amortized_core_price, saving, BudgetModel, Discounts, REGULAR_CORE_HOUR,
-};
+use harvest_faas::cost::{amortized_core_price, saving, BudgetModel, Discounts, REGULAR_CORE_HOUR};
 use harvest_faas::hrv_trace::harvest::INSTALL_TIME;
 use harvest_faas::hrv_trace::physical::{
     usable_cpu_seconds, PhysicalCluster, PhysicalClusterConfig,
@@ -106,10 +104,12 @@ fn spot_price_includes_install_waste() {
         .sum();
     let useful = usable_cpu_seconds(&spot, INSTALL_TIME);
     assert!(useful < total, "install overhead must reduce useful time");
-    let effective = total * harvest_faas::cost::spot_vm_rate(1, Discounts::TYPICAL)
-        / useful
+    let effective = total * harvest_faas::cost::spot_vm_rate(1, Discounts::TYPICAL) / useful
         * REGULAR_CORE_HOUR;
-    assert!(effective > nominal, "effective {effective} nominal {nominal}");
+    assert!(
+        effective > nominal,
+        "effective {effective} nominal {nominal}"
+    );
 }
 
 #[test]

@@ -52,8 +52,16 @@ fn different_seed_differs() {
     // Different seeds change the workload and the fleet, so something
     // observable must differ.
     assert_ne!(
-        (a.collector.arrivals, a.cold_starts, a.collector.records.len()),
-        (b.collector.arrivals, b.cold_starts, b.collector.records.len()),
+        (
+            a.collector.arrivals,
+            a.cold_starts,
+            a.collector.records.len()
+        ),
+        (
+            b.collector.arrivals,
+            b.cold_starts,
+            b.collector.records.len()
+        ),
     );
 }
 

@@ -51,7 +51,11 @@ fn harvest_window_hosts_a_full_workload() {
     let m = out.collector.aggregate(SimTime::ZERO);
     assert!(m.arrivals as usize >= n_invocations * 95 / 100);
     // The storm window evicts many VMs, yet almost everything completes.
-    assert!(out.collector.vm_evictions > 5, "{}", out.collector.vm_evictions);
+    assert!(
+        out.collector.vm_evictions > 5,
+        "{}",
+        out.collector.vm_evictions
+    );
     let success = m.completed as f64 / m.arrivals as f64;
     assert!(success > 0.98, "success rate {success}");
     // Eviction failures, if any, are a minuscule fraction.

@@ -148,9 +148,17 @@ fn mws_worker_sets_track_load() {
     let mut view = ClusterView::new();
     for i in 0..12 {
         mws.on_invoker_join(InvokerId(i));
-        view.add(InvokerView::register(InvokerId(i), 8, 16 * 1024, SimTime::ZERO));
+        view.add(InvokerView::register(
+            InvokerId(i),
+            8,
+            16 * 1024,
+            SimTime::ZERO,
+        ));
     }
-    let f = FunctionId { app: AppId(1), func: 0 };
+    let f = FunctionId {
+        app: AppId(1),
+        func: 0,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     // Light phase: 1 rps, 1 s, 1 core → worker set stays tiny.
     for i in 0..60u64 {

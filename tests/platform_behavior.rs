@@ -62,7 +62,10 @@ fn keep_alive_window_separates_warm_from_cold() {
     let by_id = |id: u64| records.iter().find(|r| r.id == id).expect("record");
     assert!(by_id(0).cold, "first call must cold start");
     assert!(!by_id(1).cold, "second call within keep-alive must be warm");
-    assert!(by_id(2).cold, "call after keep-alive expiry must cold start");
+    assert!(
+        by_id(2).cold,
+        "call after keep-alive expiry must cold start"
+    );
     assert_eq!(out.cold_starts, 2);
     assert_eq!(out.warm_starts, 1);
 }

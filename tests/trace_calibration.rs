@@ -42,14 +42,12 @@ fn fleet_eviction_rates_bracket_the_paper() {
     config.forced_storms[0].at = SimTime::ZERO + SimDuration::from_days(50);
     let fleet = FleetTrace::generate(&config, &SeedFactory::new(2002));
     let windows = fleet.windows(SimDuration::from_days(14), SimDuration::from_days(1));
-    let mean =
-        windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
+    let mean = windows.iter().map(|w| w.eviction_rate).sum::<f64>() / windows.len() as f64;
     // Paper: average 13.1 % — accept a generous band.
     assert!((0.04..=0.30).contains(&mean), "mean window rate {mean}");
     let worst = fleet.worst_window(SimDuration::from_days(14), SimDuration::from_days(1));
     assert!(worst.eviction_rate > 0.5, "worst {}", worst.eviction_rate);
-    let typical =
-        fleet.typical_window(SimDuration::from_days(14), SimDuration::from_days(1));
+    let typical = fleet.typical_window(SimDuration::from_days(14), SimDuration::from_days(1));
     assert!(
         typical.eviction_rate < 0.3,
         "typical {}",
