@@ -1,8 +1,7 @@
 //! Perf-smoke harness: quick wall-clock numbers for the simulator's hot
 //! paths, written to `BENCH_perfsmoke.json` at the repo root.
 //!
-//! Three probes, each seconds-scale so the whole run stays under a
-//! minute:
+//! Four probes:
 //!
 //! 1. **calendar** — schedule/cancel/pop churn through the event
 //!    calendar, the data structure every simulated event crosses;
@@ -11,7 +10,11 @@
 //!    1 000 and 10 000 concurrent jobs (the rewrite must clear 3× at
 //!    1 000);
 //! 3. **replay** — a short end-to-end MWS replay on the Harvest cluster,
-//!    the closest thing to "how fast do real experiments run".
+//!    the closest thing to "how fast do real experiments run";
+//! 4. **scale** — the full-volume `F_large` streaming drain (default
+//!    10⁸ invocations; override with `PERFSMOKE_SCALE_INVOCATIONS` for
+//!    CI-sized runs) plus a constant-memory full-platform replay, both
+//!    under an RSS-growth assertion.
 //!
 //! Usage: `cargo run --release -p hrv-bench --bin perfsmoke`
 
@@ -23,6 +26,9 @@ use harvest_faas::hrv_platform::world::Simulation;
 use harvest_faas::hrv_trace::rng::SeedFactory;
 use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
 use hrv_bench::replay;
+use hrv_bench::scale::{
+    run_platform_scale, run_stream_scale, PlatformScaleReport, StreamScaleConfig, StreamScaleReport,
+};
 use hrv_sim::calendar::Calendar;
 
 /// Calendar churn: a rolling window of pending timers where half of all
@@ -146,6 +152,44 @@ fn bench_replay() -> (f64, u64, u64) {
     )
 }
 
+/// RSS growth allowed over the scale drain. Generous relative to the
+/// O(apps) + O(bins) working set (~40 MiB for 20 809 apps) but far below
+/// what any O(invocations) leak would cost (10⁸ records ≈ 7 GiB).
+const SCALE_RSS_MARGIN_MB: f64 = 256.0;
+
+fn bench_scale() -> (StreamScaleReport, PlatformScaleReport) {
+    let target = std::env::var("PERFSMOKE_SCALE_INVOCATIONS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse::<u64>().ok())
+        .unwrap_or(100_000_000);
+    let cfg = StreamScaleConfig::paper_flarge_full(target);
+    eprintln!(
+        "perfsmoke: scale drain — F_large ({} apps, {:.0} req/s), {} invocations...",
+        cfg.n_apps, cfg.total_rps, cfg.target_invocations
+    );
+    let gen = run_stream_scale(&cfg);
+    assert_eq!(
+        gen.invocations, cfg.target_invocations,
+        "stream ran dry before the target"
+    );
+    if let Some(growth) = gen.rss_growth_mb() {
+        assert!(
+            growth <= SCALE_RSS_MARGIN_MB,
+            "scale drain RSS grew {growth:.0} MiB (> {SCALE_RSS_MARGIN_MB} MiB): \
+             memory is no longer independent of invocation count"
+        );
+    }
+    eprintln!("perfsmoke: scale platform — streaming F_large replay on 480 CPUs...");
+    let plat = run_platform_scale(200, 4.0, SimDuration::from_mins(30));
+    if let Some(growth) = plat.rss_growth_mb {
+        assert!(
+            growth <= SCALE_RSS_MARGIN_MB,
+            "streaming platform run RSS grew {growth:.0} MiB (> {SCALE_RSS_MARGIN_MB} MiB)"
+        );
+    }
+    (gen, plat)
+}
+
 fn main() {
     let calendar_events = 1_000_000usize;
     eprintln!("perfsmoke: calendar churn ({calendar_events} pops)...");
@@ -156,6 +200,8 @@ fn main() {
 
     eprintln!("perfsmoke: 10-minute MWS replay...");
     let (replay_secs, replay_events, replay_completed) = bench_replay();
+
+    let (scale_gen, scale_plat) = bench_scale();
 
     let mut ps_json = String::new();
     for (i, r) in ps_rows.iter().enumerate() {
@@ -171,12 +217,41 @@ fn main() {
             r.concurrency, r.completions, r.new_per_sec, r.reference_per_sec, speedup
         ));
     }
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.1}"),
+        None => "null".to_string(),
+    };
+    let scale_json = format!(
+        "  \"scale\": {{\n    \"generator\": {{ \"n_apps\": 20809, \
+         \"offered_rps\": 10532, \"invocations\": {}, \"sim_secs\": {:.0}, \
+         \"wall_secs\": {:.3}, \"invocations_per_sec\": {:.0}, \
+         \"rss_before_mb\": {}, \"rss_peak_mb\": {}, \"rss_growth_mb\": {}, \
+         \"p99_duration_secs\": {} }},\n    \"platform\": {{ \
+         \"horizon_secs\": {:.0}, \"arrivals\": {}, \"completed\": {}, \
+         \"sim_events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \
+         \"rss_growth_mb\": {} }}\n  }}",
+        scale_gen.invocations,
+        scale_gen.sim_secs,
+        scale_gen.wall_secs,
+        scale_gen.invocations_per_sec,
+        fmt_opt(scale_gen.rss_before_mb),
+        fmt_opt(scale_gen.rss_peak_mb),
+        fmt_opt(scale_gen.rss_growth_mb()),
+        fmt_opt(scale_gen.p99_secs),
+        scale_plat.horizon_secs,
+        scale_plat.arrivals,
+        scale_plat.completed,
+        scale_plat.sim_events,
+        scale_plat.wall_secs,
+        scale_plat.events_per_sec,
+        fmt_opt(scale_plat.rss_growth_mb),
+    );
     let json = format!(
         "{{\n  \"calendar\": {{ \"pops\": {calendar_events}, \"wall_secs\": {cal_secs:.3}, \
          \"pops_per_sec\": {cal_rate:.0} }},\n  \"ps\": [\n{ps_json}\n  ],\n  \
          \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
          \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
-         \"completed_invocations\": {replay_completed} }}\n}}\n",
+         \"completed_invocations\": {replay_completed} }},\n{scale_json}\n}}\n",
         replay_events as f64 / replay_secs
     );
 
@@ -191,4 +266,11 @@ fn main() {
             r.concurrency, r.new_per_sec, r.reference_per_sec
         );
     }
+    eprintln!(
+        "scale: {} invocations in {:.1}s ({:.1}M/s), RSS growth {} MiB",
+        scale_gen.invocations,
+        scale_gen.wall_secs,
+        scale_gen.invocations_per_sec / 1e6,
+        fmt_opt(scale_gen.rss_growth_mb()),
+    );
 }

@@ -1,9 +1,30 @@
-//! Experiment scale control.
+//! Experiment scale control and the full-scale streaming benchmark.
 //!
 //! Every regenerator runs at two scales: `Quick` (seconds-to-minutes,
 //! used by `cargo bench`, CI, and the default `experiments` invocation)
 //! and `Full` (closer to the paper's sample sizes; minutes-to-hours).
 //! Both produce the same tables — only sample counts change.
+//!
+//! The second half of this module is the *scale* probe of the perfsmoke
+//! harness: it replays an `F_large`-shaped workload (the paper's one-day
+//! regional trace: 20 809 apps, ≈ 910 M invocations/day ≈ 10 500 req/s)
+//! through the lazy [`WorkloadStream`] generator and the constant-memory
+//! [`StreamingMetrics`] aggregator, watching resident memory the whole
+//! way. The point being demonstrated: invocation count is a free
+//! variable — 10⁸+ invocations stream through in O(apps) + O(bins)
+//! space, where the materialized path would need ~10 GB for the trace
+//! alone.
+
+use std::time::Instant;
+
+use hrv_lb::policy::PolicyKind;
+use hrv_platform::config::PlatformConfig;
+use hrv_platform::metrics::{InvocationRecord, Outcome, StreamingMetrics};
+use hrv_platform::world::{ClusterSpec, Simulation};
+use hrv_trace::faas::{Workload, WorkloadSpec};
+use hrv_trace::rng::SeedFactory;
+use hrv_trace::stream::{ArrivalStream, WorkloadStream};
+use hrv_trace::time::SimDuration;
 
 /// How much compute a regenerator may spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +54,200 @@ impl Scale {
     }
 }
 
+/// Resident set size of this process in MiB, from `/proc/self/status`
+/// (`None` off Linux or when the probe fails — the scale bench then
+/// reports rates without a memory bound).
+pub fn rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Configuration of the generator-drain scale run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamScaleConfig {
+    /// Applications in the workload (paper `F_large`: 20 809).
+    pub n_apps: usize,
+    /// Aggregate arrival rate (paper `F_large`: ≈ 910 M/day ≈ 10 532/s).
+    pub total_rps: f64,
+    /// Invocations to drain before stopping.
+    pub target_invocations: u64,
+}
+
+impl StreamScaleConfig {
+    /// The paper's full-volume `F_large` shape with a caller-chosen
+    /// invocation budget.
+    pub fn paper_flarge_full(target_invocations: u64) -> Self {
+        StreamScaleConfig {
+            n_apps: 20_809,
+            total_rps: 910_000_000.0 / 86_400.0,
+            target_invocations,
+        }
+    }
+}
+
+fn max_opt(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Outcome of [`run_stream_scale`].
+#[derive(Debug, Clone)]
+pub struct StreamScaleReport {
+    /// Invocations actually drained (== target unless the horizon ran dry).
+    pub invocations: u64,
+    /// Simulated seconds covered by the drained arrivals.
+    pub sim_secs: f64,
+    /// Wall-clock seconds of the drain (generation + metrics folding).
+    pub wall_secs: f64,
+    /// Drain rate.
+    pub invocations_per_sec: f64,
+    /// RSS before workload construction, MiB.
+    pub rss_before_mb: Option<f64>,
+    /// Peak RSS observed during the drain, MiB.
+    pub rss_peak_mb: Option<f64>,
+    /// Histogram-estimated P99 of the recorded durations, seconds.
+    pub p99_secs: Option<f64>,
+}
+
+impl StreamScaleReport {
+    /// RSS growth over the run, MiB (`None` when the probe is missing).
+    pub fn rss_growth_mb(&self) -> Option<f64> {
+        Some(self.rss_peak_mb? - self.rss_before_mb?)
+    }
+}
+
+/// Drains `cfg.target_invocations` arrivals from a lazy
+/// [`WorkloadStream`] into a [`StreamingMetrics`] aggregator, sampling
+/// RSS along the way. Every invocation is folded as a completed record
+/// (latency = service duration), which exercises the full histogram /
+/// moments path — the memory claim covers generator *and* aggregator.
+pub fn run_stream_scale(cfg: &StreamScaleConfig) -> StreamScaleReport {
+    let spec = WorkloadSpec::paper_flarge_scaled(cfg.n_apps).scaled(cfg.n_apps, cfg.total_rps);
+    // 5 % margin so the stream outlives the target; the drain stops at
+    // the target, not at stream exhaustion.
+    let horizon =
+        SimDuration::from_secs_f64(cfg.target_invocations as f64 / cfg.total_rps * 1.05 + 60.0);
+    let rss_before = rss_mb();
+    let seeds = SeedFactory::new(2021).child("scale");
+    let workload = Workload::generate(&spec, &seeds);
+    let mut stream = WorkloadStream::new(workload, horizon, &seeds.child("arrivals"));
+    let mut metrics = StreamingMetrics::default();
+    let mut rss_peak = rss_before;
+    let mut last_arrival = hrv_trace::time::SimTime::ZERO;
+    let start = Instant::now();
+    let mut n = 0u64;
+    while n < cfg.target_invocations {
+        let Some(inv) = stream.next_invocation() else {
+            break;
+        };
+        let d = inv.duration.as_secs_f64();
+        metrics.record(&InvocationRecord {
+            id: inv.id,
+            arrival: inv.arrival,
+            finished: inv.arrival + inv.duration,
+            latency_secs: d,
+            exec_secs: d,
+            cold: false,
+            exec_started: true,
+            outcome: Outcome::Completed,
+        });
+        last_arrival = inv.arrival;
+        n += 1;
+        if n.is_multiple_of(4_000_000) {
+            rss_peak = max_opt(rss_peak, rss_mb());
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    rss_peak = max_opt(rss_peak, rss_mb());
+    StreamScaleReport {
+        invocations: n,
+        sim_secs: last_arrival.as_secs_f64(),
+        wall_secs,
+        invocations_per_sec: n as f64 / wall_secs,
+        rss_before_mb: rss_before,
+        rss_peak_mb: rss_peak,
+        p99_secs: metrics.latency_percentile(99.0),
+    }
+}
+
+/// Outcome of [`run_platform_scale`].
+#[derive(Debug, Clone)]
+pub struct PlatformScaleReport {
+    /// Simulated horizon, seconds.
+    pub horizon_secs: f64,
+    /// Arrivals seen by the controller.
+    pub arrivals: u64,
+    /// Completed invocations.
+    pub completed: u64,
+    /// Engine events processed.
+    pub sim_events: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Event-processing rate.
+    pub events_per_sec: f64,
+    /// RSS growth over the run, MiB.
+    pub rss_growth_mb: Option<f64>,
+}
+
+/// End-to-end streaming replay: an `F_large`-shaped workload drives the
+/// *full platform* through [`Simulation::streaming`] with the record
+/// sink off, so the whole run — generator, simulator, and metrics — is
+/// constant-memory. Smaller than [`run_stream_scale`] (the platform
+/// processes ~10 events per invocation), it pins down that the streaming
+/// path composes with the real simulator, not just the bare generator.
+pub fn run_platform_scale(
+    n_apps: usize,
+    total_rps: f64,
+    horizon: SimDuration,
+) -> PlatformScaleReport {
+    let rss_before = rss_mb();
+    let seeds = SeedFactory::new(2021).child("scale-platform");
+    let spec = WorkloadSpec::paper_flarge_scaled(n_apps).scaled(n_apps, total_rps);
+    let workload = Workload::generate(&spec, &seeds);
+    let stream = WorkloadStream::new(workload, horizon, &seeds.child("arrivals"));
+    let platform = PlatformConfig {
+        record_invocations: false,
+        sample_interval: SimDuration::from_secs(60),
+        ..PlatformConfig::default()
+    };
+    // Sized well above offered demand: F_large durations are long-tailed
+    // (minutes-scale), and a saturated queue would grow without bound —
+    // exactly what a constant-memory probe must not self-inflict.
+    let cluster = ClusterSpec::regular(60, 8, 64 * 1024, horizon);
+    let sim = Simulation::streaming(
+        cluster,
+        stream,
+        PolicyKind::Mws.build(),
+        platform,
+        seeds.seed_for("platform"),
+    );
+    let start = Instant::now();
+    let out = sim.run(horizon + SimDuration::from_mins(5));
+    let wall_secs = start.elapsed().as_secs_f64();
+    let rss_after = rss_mb();
+    assert!(
+        out.collector.records.is_empty() && out.collector.samples.is_empty(),
+        "streaming platform run must keep no per-record state"
+    );
+    PlatformScaleReport {
+        horizon_secs: horizon.as_secs_f64(),
+        arrivals: out.collector.arrivals,
+        completed: out.collector.streaming.completed,
+        sim_events: out.run.events,
+        wall_secs,
+        events_per_sec: out.run.events as f64 / wall_secs,
+        rss_growth_mb: match (rss_before, rss_after) {
+            (Some(b), Some(a)) => Some(a - b),
+            _ => None,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +259,41 @@ mod tests {
         assert_eq!(Scale::parse("medium"), None);
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn rss_probe_reads_something_sane_on_linux() {
+        if let Some(mb) = rss_mb() {
+            assert!(mb > 1.0 && mb < 1_000_000.0, "{mb}");
+        }
+    }
+
+    #[test]
+    fn stream_scale_hits_its_target_in_bounded_memory() {
+        // A miniature of the perfsmoke run: same code path, small budget
+        // so the debug-build test stays fast. The RSS bound here is
+        // generous — the point is catching O(invocations) regressions
+        // (a 200k-record sink would already cost ~15 MB).
+        let cfg = StreamScaleConfig {
+            n_apps: 500,
+            total_rps: 500.0,
+            target_invocations: 200_000,
+        };
+        let r = run_stream_scale(&cfg);
+        assert_eq!(r.invocations, 200_000);
+        assert!(r.sim_secs > 0.0 && r.wall_secs > 0.0);
+        assert!(r.p99_secs.is_some());
+        if let Some(growth) = r.rss_growth_mb() {
+            assert!(growth < 128.0, "RSS grew {growth} MiB on a 200k drain");
+        }
+    }
+
+    #[test]
+    fn platform_scale_runs_streaming_end_to_end() {
+        let r = run_platform_scale(60, 3.0, SimDuration::from_mins(5));
+        assert!(r.arrivals > 300, "{r:?}");
+        assert!(r.completed > 0);
+        assert!(r.sim_events > r.arrivals);
+        assert!(r.events_per_sec > 0.0);
     }
 }

@@ -37,6 +37,9 @@ pub struct Jsq {
     sample_d: Option<usize>,
     weights: LoadWeights,
     stats: StatsRegistry,
+    /// Reused index buffer for Floyd's sampling (placement is the hot
+    /// path: one call per arrival).
+    scratch: Vec<usize>,
 }
 
 impl Jsq {
@@ -55,6 +58,7 @@ impl Jsq {
             sample_d,
             weights: LoadWeights::default(),
             stats: StatsRegistry::new(StatsPriors::default(), 1),
+            scratch: Vec::new(),
         }
     }
 
@@ -91,36 +95,45 @@ impl LoadBalancer for Jsq {
         view: &ClusterView,
         rng: &mut dyn rand::Rng,
     ) -> Option<InvokerId> {
-        let candidates: Vec<&InvokerView> = view.placeable().collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        let pick_from: Vec<&InvokerView> = match self.sample_d {
-            Some(d) if d < candidates.len() => {
-                // Sample d distinct indices (Floyd's algorithm keeps the
-                // draw count at exactly d).
+        let full_scan = |jsq: &Jsq| {
+            view.placeable()
+                .min_by(|a, b| jsq.score(a).total_cmp(&jsq.score(b)).then(a.id.cmp(&b.id)))
+                .map(|v| v.id)
+        };
+        match self.sample_d {
+            Some(d) => {
+                let candidates: Vec<&InvokerView> = view.placeable().collect();
                 let n = candidates.len();
-                let mut chosen: Vec<usize> = Vec::with_capacity(d);
+                if n == 0 {
+                    return None;
+                }
+                if d >= n {
+                    return full_scan(self);
+                }
+                // Sample d distinct indices (Floyd's algorithm keeps the
+                // draw count at exactly d) and fold the minimum inline —
+                // no second candidate list is materialized.
+                let mut chosen = std::mem::take(&mut self.scratch);
+                chosen.clear();
+                let mut best: Option<(f64, &InvokerView)> = None;
                 for j in (n - d)..n {
                     let t = rng.random_range(0..=j);
-                    if chosen.contains(&t) {
-                        chosen.push(j);
-                    } else {
-                        chosen.push(t);
-                    }
+                    let idx = if chosen.contains(&t) { j } else { t };
+                    chosen.push(idx);
+                    let v = candidates[idx];
+                    let s = self.score(v);
+                    best = Some(match best {
+                        Some((bs, bv)) if bs.total_cmp(&s).then(bv.id.cmp(&v.id)).is_le() => {
+                            (bs, bv)
+                        }
+                        _ => (s, v),
+                    });
                 }
-                chosen.into_iter().map(|i| candidates[i]).collect()
+                self.scratch = chosen;
+                best.map(|(_, v)| v.id)
             }
-            _ => candidates,
-        };
-        pick_from
-            .into_iter()
-            .min_by(|a, b| {
-                self.score(a)
-                    .total_cmp(&self.score(b))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|v| v.id)
+            None => full_scan(self),
+        }
     }
 
     fn on_arrival(&mut self, function: FunctionId, now: SimTime) {

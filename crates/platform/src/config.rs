@@ -114,6 +114,10 @@ pub struct PlatformConfig {
     /// Utilization sampling period for time-series metrics (Figure 20);
     /// zero disables sampling.
     pub sample_interval: SimDuration,
+    /// Keep one `InvocationRecord` per finished invocation (O(invocations)
+    /// memory) in addition to the always-on constant-memory aggregates.
+    /// Turn off for full-scale streaming runs.
+    pub record_invocations: bool,
 }
 
 impl Default for PlatformConfig {
@@ -131,6 +135,7 @@ impl Default for PlatformConfig {
             monitor: ResourceMonitorConfig::default(),
             migration: MigrationConfig::default(),
             sample_interval: SimDuration::ZERO,
+            record_invocations: true,
         }
     }
 }

@@ -1,12 +1,24 @@
 //! Metrics collection and aggregation.
 //!
-//! The collector records one row per finished invocation plus optional
-//! utilization samples; [`RunMetrics`] reduces them to the quantities the
-//! paper reports — P99 latency, cold-start rate, failure rate, throughput.
+//! Two tiers of fidelity share one collector:
+//!
+//! * [`StreamingMetrics`] — always on, constant memory: log-binned
+//!   latency/execution histograms, per-outcome and cold-start counters,
+//!   Welford moments, and a deterministically decimated utilization time
+//!   series. O(bins) space regardless of how many invocations a run
+//!   replays, which is what lets the scale bench drive 10⁸+ invocations.
+//! * the per-record sink (`records`/`samples`) — one row per finished
+//!   invocation, O(invocations) memory. On by default so figure
+//!   generation and tests keep exact data; opt out via
+//!   [`MetricsCollector::streaming_only`] (the platform wires this to
+//!   `PlatformConfig::record_invocations`).
+//!
+//! [`RunMetrics`] reduces the record sink to the quantities the paper
+//! reports — P99 latency, cold-start rate, failure rate, throughput.
 
 use serde::{Deserialize, Serialize};
 
-use hrv_trace::stats::Cdf;
+use hrv_trace::stats::{percentile_unsorted, Cdf, LogHistogram, OnlineStats};
 use hrv_trace::time::{SimDuration, SimTime};
 
 /// How one invocation's life ended.
@@ -58,13 +70,218 @@ pub struct UtilizationSample {
     pub cpus_in_use: f64,
 }
 
+/// A bounded utilization time series with deterministic decimation: when
+/// the buffer fills, every other retained point is dropped and the keep
+/// stride doubles. No RNG (the simulator's determinism contract), O(cap)
+/// memory forever, and the survivors are always the samples at multiples
+/// of the current stride — an evenly thinned view of the full series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecimatedSeries {
+    cap: usize,
+    stride: u64,
+    seen: u64,
+    points: Vec<UtilizationSample>,
+}
+
+impl DecimatedSeries {
+    /// Creates a series keeping at most `cap` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "series needs room to decimate");
+        DecimatedSeries {
+            cap,
+            stride: 1,
+            seen: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Offers one sample; it is kept iff it falls on the current stride.
+    pub fn push(&mut self, sample: UtilizationSample) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.points.len() == self.cap {
+                let mut i = 0usize;
+                self.points.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            // Re-check: after doubling, this sample may fall off-stride.
+            if self.seen.is_multiple_of(self.stride) {
+                self.points.push(sample);
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Samples offered so far (kept or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained, evenly thinned points in time order.
+    pub fn points(&self) -> &[UtilizationSample] {
+        &self.points
+    }
+}
+
+/// Constant-memory aggregates over a run: O(bins) space no matter how many
+/// invocations pass through. Always maintained by [`MetricsCollector`];
+/// the per-record sink is the optional tier.
+///
+/// Histogram percentiles are within one bin width (a factor of
+/// `bin_ratio()` ≈ 12 % for the default 160-bin / 8-decade layout) of the
+/// exact order statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingMetrics {
+    /// End-to-end latency of completed invocations, seconds.
+    pub latency_hist: LogHistogram,
+    /// Pure execution time of completed invocations, seconds.
+    pub exec_hist: LogHistogram,
+    /// Welford moments of completed latency (exact mean/min/max).
+    pub latency_stats: OnlineStats,
+    /// Finished rows seen (any outcome).
+    pub finished: u64,
+    /// Completed invocations.
+    pub completed: u64,
+    /// Invocations killed by evictions.
+    pub eviction_failures: u64,
+    /// Invocations rejected at placement.
+    pub rejections: u64,
+    /// Invocations still in flight at window close.
+    pub censored: u64,
+    /// Invocations whose execution began.
+    pub started: u64,
+    /// Started invocations that cold-started.
+    pub cold_started: u64,
+    /// Earliest arrival among finished rows.
+    pub first_arrival: Option<SimTime>,
+    /// Latest finish time among finished rows.
+    pub last_finished: Option<SimTime>,
+    /// Moments of the cores-in-use utilization signal.
+    pub utilization: OnlineStats,
+    /// Bounded utilization time series (Figure 20 shape at any scale).
+    pub util_series: DecimatedSeries,
+}
+
+/// Default latency/exec histogram span: 100 µs to 10⁴ s in 160 log bins
+/// (8 decades, bin ratio 10^0.05 ≈ 1.122).
+const HIST_LO: f64 = 1e-4;
+const HIST_HI: f64 = 1e4;
+const HIST_BINS: usize = 160;
+/// Default cap on the decimated utilization series.
+const UTIL_SERIES_CAP: usize = 4_096;
+
+impl Default for StreamingMetrics {
+    fn default() -> Self {
+        StreamingMetrics {
+            latency_hist: LogHistogram::new(HIST_LO, HIST_HI, HIST_BINS),
+            exec_hist: LogHistogram::new(HIST_LO, HIST_HI, HIST_BINS),
+            latency_stats: OnlineStats::new(),
+            finished: 0,
+            completed: 0,
+            eviction_failures: 0,
+            rejections: 0,
+            censored: 0,
+            started: 0,
+            cold_started: 0,
+            first_arrival: None,
+            last_finished: None,
+            utilization: OnlineStats::new(),
+            util_series: DecimatedSeries::new(UTIL_SERIES_CAP),
+        }
+    }
+}
+
+impl StreamingMetrics {
+    /// Folds one finished invocation into the aggregates.
+    pub fn record(&mut self, r: &InvocationRecord) {
+        self.finished += 1;
+        self.first_arrival = Some(match self.first_arrival {
+            Some(t) => t.min(r.arrival),
+            None => r.arrival,
+        });
+        self.last_finished = Some(match self.last_finished {
+            Some(t) => t.max(r.finished),
+            None => r.finished,
+        });
+        if r.exec_started {
+            self.started += 1;
+            if r.cold {
+                self.cold_started += 1;
+            }
+        }
+        match r.outcome {
+            Outcome::Completed => {
+                self.completed += 1;
+                self.latency_hist.record(r.latency_secs);
+                self.exec_hist.record(r.exec_secs);
+                self.latency_stats.push(r.latency_secs);
+            }
+            Outcome::FailedEviction => self.eviction_failures += 1,
+            Outcome::Rejected => self.rejections += 1,
+            Outcome::Censored => self.censored += 1,
+        }
+    }
+
+    /// Folds one utilization sample into the reservoir and moments.
+    pub fn record_sample(&mut self, s: &UtilizationSample) {
+        self.utilization.push(s.cpus_in_use);
+        self.util_series.push(*s);
+    }
+
+    /// The `p`-th latency percentile estimate (within one histogram bin
+    /// width of exact), or `None` when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        self.latency_hist.percentile(p)
+    }
+
+    /// Cold starts over started invocations.
+    pub fn cold_start_rate(&self) -> f64 {
+        if self.started == 0 {
+            0.0
+        } else {
+            self.cold_started as f64 / self.started as f64
+        }
+    }
+
+    /// Eviction failures over finished rows.
+    pub fn failure_rate(&self) -> f64 {
+        if self.finished == 0 {
+            0.0
+        } else {
+            self.eviction_failures as f64 / self.finished as f64
+        }
+    }
+
+    /// Completions per second over the observed span.
+    pub fn throughput_rps(&self) -> f64 {
+        let span = match (self.first_arrival, self.last_finished) {
+            (Some(a), Some(b)) => b.saturating_since(a),
+            _ => SimDuration::ZERO,
+        };
+        if span.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / span.as_secs_f64()
+        }
+    }
+}
+
 /// Streaming collector filled in by the platform world.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsCollector {
-    /// Finished invocation rows.
+    /// Finished invocation rows (empty when the record sink is off).
     pub records: Vec<InvocationRecord>,
-    /// Utilization time series.
+    /// Utilization time series (empty when the record sink is off).
     pub samples: Vec<UtilizationSample>,
+    /// Constant-memory aggregates, always maintained.
+    pub streaming: StreamingMetrics,
     /// Total arrivals seen by the controller.
     pub arrivals: u64,
     /// Warm starts (execution began on an existing container).
@@ -79,12 +296,46 @@ pub struct MetricsCollector {
     pub rejections: u64,
     /// Live migrations completed (invocations moved off warned VMs).
     pub migrations: u64,
+    record_sink: bool,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector {
+            records: Vec::new(),
+            samples: Vec::new(),
+            streaming: StreamingMetrics::default(),
+            arrivals: 0,
+            warm_starts: 0,
+            cold_starts: 0,
+            vm_evictions: 0,
+            eviction_failures: 0,
+            rejections: 0,
+            migrations: 0,
+            record_sink: true,
+        }
+    }
 }
 
 impl MetricsCollector {
-    /// Creates an empty collector.
+    /// Creates a collector with the full per-record sink enabled.
     pub fn new() -> Self {
         MetricsCollector::default()
+    }
+
+    /// Creates a collector that keeps only the constant-memory aggregates:
+    /// `records` and `samples` stay empty no matter how much passes
+    /// through.
+    pub fn streaming_only() -> Self {
+        MetricsCollector {
+            record_sink: false,
+            ..MetricsCollector::default()
+        }
+    }
+
+    /// Whether the per-record sink is enabled.
+    pub fn records_enabled(&self) -> bool {
+        self.record_sink
     }
 
     /// Records a finished invocation.
@@ -94,70 +345,116 @@ impl MetricsCollector {
             Outcome::Rejected => self.rejections += 1,
             Outcome::Completed | Outcome::Censored => {}
         }
-        self.records.push(record);
+        self.streaming.record(&record);
+        if self.record_sink {
+            self.records.push(record);
+        }
+    }
+
+    /// Records a utilization sample.
+    pub fn push_sample(&mut self, sample: UtilizationSample) {
+        self.streaming.record_sample(&sample);
+        if self.record_sink {
+            self.samples.push(sample);
+        }
     }
 
     /// Reduces the raw rows to aggregate metrics over `[warmup, end)`.
     /// Invocations arriving before `warmup` are discarded (ramp-up bias).
+    ///
+    /// Requires the per-record sink; a collector built with
+    /// [`streaming_only`](Self::streaming_only) should be read through
+    /// [`MetricsCollector::streaming`] instead (which aggregates the whole
+    /// run without a warmup cut — the documented trade-off of the
+    /// constant-memory tier).
     pub fn aggregate(&self, warmup: SimTime) -> RunMetrics {
-        let rows: Vec<&InvocationRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.arrival >= warmup)
-            .collect();
-        let completed: Vec<&&InvocationRecord> = rows
-            .iter()
-            .filter(|r| r.outcome == Outcome::Completed)
-            .collect();
-        let latencies: Vec<f64> = completed.iter().map(|r| r.latency_secs).collect();
+        let mut arrivals = 0u64;
+        let mut completed = 0u64;
+        let mut started = 0u64;
+        let mut cold = 0u64;
+        let mut failures = 0u64;
+        let mut rejected = 0u64;
+        let mut first_arrival = SimTime::MAX;
+        let mut last_finished = SimTime::ZERO;
+        let mut latencies: Vec<f64> = Vec::new();
+        for r in &self.records {
+            if r.arrival < warmup {
+                continue;
+            }
+            arrivals += 1;
+            first_arrival = first_arrival.min(r.arrival);
+            last_finished = last_finished.max(r.finished);
+            if r.exec_started {
+                started += 1;
+                if r.cold {
+                    cold += 1;
+                }
+            }
+            match r.outcome {
+                Outcome::Completed => {
+                    completed += 1;
+                    latencies.push(r.latency_secs);
+                }
+                Outcome::FailedEviction => failures += 1,
+                Outcome::Rejected => rejected += 1,
+                Outcome::Censored => {}
+            }
+        }
         let latency = if latencies.is_empty() {
             None
         } else {
             Some(Cdf::from_samples(latencies))
         };
-        let started = rows.iter().filter(|r| r.exec_started).count();
-        let cold = rows.iter().filter(|r| r.cold && r.exec_started).count();
-        let failures = rows
-            .iter()
-            .filter(|r| r.outcome == Outcome::FailedEviction)
-            .count();
-        let rejected = rows
-            .iter()
-            .filter(|r| r.outcome == Outcome::Rejected)
-            .count();
-        let span = rows
-            .iter()
-            .map(|r| r.finished)
-            .max()
-            .and_then(|max_t| {
-                rows.iter()
-                    .map(|r| r.arrival)
-                    .min()
-                    .map(|min_t| (min_t, max_t))
-            })
-            .map(|(a, b)| b.saturating_since(a))
-            .unwrap_or(SimDuration::ZERO);
+        let span = if arrivals == 0 {
+            SimDuration::ZERO
+        } else {
+            last_finished.saturating_since(first_arrival)
+        };
         RunMetrics {
-            arrivals: rows.len() as u64,
-            completed: completed.len() as u64,
-            eviction_failures: failures as u64,
-            rejections: rejected as u64,
+            arrivals,
+            completed,
+            eviction_failures: failures,
+            rejections: rejected,
             cold_start_rate: if started == 0 {
                 0.0
             } else {
                 cold as f64 / started as f64
             },
-            failure_rate: if rows.is_empty() {
+            failure_rate: if arrivals == 0 {
                 0.0
             } else {
-                failures as f64 / rows.len() as f64
+                failures as f64 / arrivals as f64
             },
             throughput_rps: if span.is_zero() {
                 0.0
             } else {
-                completed.len() as f64 / span.as_secs_f64()
+                completed as f64 / span.as_secs_f64()
             },
             latency,
+        }
+    }
+
+    /// Single-percentile fast path over the record sink: fills `buf` with
+    /// the completed latencies arriving at or after `warmup` and selects
+    /// the `p`-th percentile in O(n) without sorting, reusing `buf`'s
+    /// allocation across calls. Matches `aggregate(...).latency_percentile(p)`.
+    pub fn latency_percentile_with(
+        &self,
+        warmup: SimTime,
+        p: f64,
+        buf: &mut Vec<f64>,
+    ) -> Option<f64> {
+        buf.clear();
+        buf.extend(
+            self.records
+                .iter()
+                .filter(|r| r.arrival >= warmup && r.outcome == Outcome::Completed)
+                .map(|r| r.latency_secs),
+        );
+        if buf.is_empty() {
+            None
+        } else {
+            Some(percentile_unsorted(buf, p))
         }
     }
 }
@@ -267,6 +564,109 @@ mod tests {
         assert!(m.latency.is_none());
         assert!(!m.meets_slo(50.0));
         assert_eq!(m.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn streaming_tier_matches_record_sink_counters() {
+        let mut on = MetricsCollector::new();
+        let mut off = MetricsCollector::streaming_only();
+        for i in 0..200 {
+            let outcome = match i % 10 {
+                0 => Outcome::FailedEviction,
+                1 => Outcome::Rejected,
+                2 => Outcome::Censored,
+                _ => Outcome::Completed,
+            };
+            let r = rec(i, i, 0.1 + (i % 17) as f64, i % 3 == 0, outcome);
+            on.push(r);
+            off.push(r);
+        }
+        assert!(off.records.is_empty());
+        assert!(!on.records.is_empty());
+        let exact = on.aggregate(SimTime::ZERO);
+        for s in [&on.streaming, &off.streaming] {
+            assert_eq!(s.finished, 200);
+            assert_eq!(s.completed, exact.completed);
+            assert_eq!(s.eviction_failures, exact.eviction_failures);
+            assert_eq!(s.rejections, exact.rejections);
+            assert!((s.cold_start_rate() - exact.cold_start_rate).abs() < 1e-12);
+            assert!((s.failure_rate() - exact.failure_rate).abs() < 1e-12);
+            assert!((s.throughput_rps() - exact.throughput_rps).abs() < 1e-12);
+            // Histogram percentile within one bin width of the exact CDF.
+            let p99 = s.latency_percentile(99.0).unwrap();
+            let exact_p99 = exact.p99().unwrap();
+            assert!(
+                (p99 / exact_p99).ln().abs() <= 1.5 * s.latency_hist.bin_ratio().ln(),
+                "{p99} vs {exact_p99}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_percentile_fast_path_matches_aggregate() {
+        let mut c = MetricsCollector::new();
+        for i in 0..150 {
+            c.push(rec(
+                i,
+                i,
+                ((i * 31) % 150) as f64 + 0.5,
+                false,
+                Outcome::Completed,
+            ));
+        }
+        c.push(rec(150, 150, 0.0, false, Outcome::Rejected));
+        let m = c.aggregate(SimTime::from_secs(10));
+        let mut buf = Vec::new();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let fast = c
+                .latency_percentile_with(SimTime::from_secs(10), p, &mut buf)
+                .unwrap();
+            assert!(
+                (fast - m.latency_percentile(p).unwrap()).abs() < 1e-9,
+                "p{p}"
+            );
+        }
+        assert!(c
+            .latency_percentile_with(SimTime::from_secs(10_000), 50.0, &mut buf)
+            .is_none());
+    }
+
+    #[test]
+    fn decimated_series_is_bounded_and_even() {
+        let mut s = DecimatedSeries::new(8);
+        for i in 0..10_000u64 {
+            s.push(UtilizationSample {
+                at: SimTime::from_secs(i),
+                total_cpus: 16,
+                cpus_in_use: i as f64,
+            });
+        }
+        assert_eq!(s.seen(), 10_000);
+        assert!(s.points().len() <= 8, "kept {}", s.points().len());
+        assert!(s.points().len() >= 4);
+        // Survivors are evenly strided multiples of a power of two.
+        let stride = s.points()[1].at.since(s.points()[0].at);
+        for w in s.points().windows(2) {
+            assert_eq!(w[1].at.since(w[0].at), stride);
+        }
+        assert_eq!(s.points()[0].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn utilization_sample_routing_respects_sink() {
+        let sample = UtilizationSample {
+            at: SimTime::from_secs(1),
+            total_cpus: 8,
+            cpus_in_use: 4.0,
+        };
+        let mut on = MetricsCollector::new();
+        let mut off = MetricsCollector::streaming_only();
+        on.push_sample(sample);
+        off.push_sample(sample);
+        assert_eq!(on.samples.len(), 1);
+        assert!(off.samples.is_empty());
+        assert_eq!(on.streaming.utilization.count(), 1);
+        assert_eq!(off.streaming.utilization.count(), 1);
     }
 
     #[test]

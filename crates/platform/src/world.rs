@@ -7,6 +7,7 @@ use hrv_sim::calendar::{Calendar, Scheduled};
 use hrv_sim::engine::{run_until, RunStats, World};
 use hrv_trace::faas::Invocation;
 use hrv_trace::harvest::{VmEnd, VmTrace};
+use hrv_trace::stream::{ArrivalStream, SortedTraceStream};
 use hrv_trace::time::{SimDuration, SimTime};
 
 use crate::config::{PlatformConfig, VmTemplate};
@@ -83,8 +84,7 @@ pub struct PlatformWorld {
     controller: Controller,
     invokers: Vec<InvokerState>,
     slots: Vec<SlotSource>,
-    trace: Vec<Invocation>,
-    cursor: usize,
+    arrivals: Box<dyn ArrivalStream>,
     /// Metrics sink.
     pub metrics: MetricsCollector,
     retry_armed: bool,
@@ -95,17 +95,14 @@ impl std::fmt::Debug for PlatformWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlatformWorld")
             .field("invokers", &self.invokers.len())
-            .field("cursor", &self.cursor)
             .field("controller", &self.controller)
             .finish()
     }
 }
 
 impl PlatformWorld {
-    /// Builds the world and seeds the calendar with VM lifecycle events,
-    /// the first workload arrival, and periodic ticks.
-    ///
-    /// `workload` must be sorted by arrival time.
+    /// Builds the world from a materialized workload trace (sorted by
+    /// arrival time). Adapter over [`PlatformWorld::from_stream`].
     pub fn new(
         spec: ClusterSpec,
         workload: Vec<Invocation>,
@@ -113,11 +110,30 @@ impl PlatformWorld {
         cfg: PlatformConfig,
         seed: u64,
     ) -> (Self, Calendar<Event>) {
+        PlatformWorld::from_stream(
+            spec,
+            Box::new(SortedTraceStream::new(workload)),
+            policy,
+            cfg,
+            seed,
+        )
+    }
+
+    /// Builds the world and seeds the calendar with VM lifecycle events,
+    /// the first workload arrival, and periodic ticks.
+    ///
+    /// The platform pulls arrivals from `arrivals` one at a time — only
+    /// one future arrival ever sits in the calendar, so a lazy stream
+    /// ([`hrv_trace::stream::WorkloadStream`]) drives arbitrarily long
+    /// runs in constant memory.
+    pub fn from_stream(
+        spec: ClusterSpec,
+        mut arrivals: Box<dyn ArrivalStream>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+    ) -> (Self, Calendar<Event>) {
         cfg.validate();
-        debug_assert!(
-            workload.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-            "workload must be sorted by arrival"
-        );
         let mut cal = Calendar::new();
         let mut invokers = Vec::with_capacity(spec.vms.len());
         let mut slots = Vec::with_capacity(spec.vms.len());
@@ -145,8 +161,8 @@ impl PlatformWorld {
                 }
             }
         }
-        if let Some(first) = workload.first() {
-            cal.schedule(first.arrival, Event::Arrival(*first));
+        if let Some(first) = arrivals.next_invocation() {
+            cal.schedule(first.arrival, Event::Arrival(first));
         }
         if cfg.monitor.enabled {
             cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
@@ -154,14 +170,18 @@ impl PlatformWorld {
         if !cfg.sample_interval.is_zero() {
             cal.schedule(SimTime::ZERO, Event::Sample);
         }
+        let metrics = if cfg.record_invocations {
+            MetricsCollector::new()
+        } else {
+            MetricsCollector::streaming_only()
+        };
         let world = PlatformWorld {
             controller: Controller::new(policy, seed),
             cfg,
             invokers,
             slots,
-            trace: workload,
-            cursor: 0,
-            metrics: MetricsCollector::new(),
+            arrivals,
+            metrics,
             retry_armed: false,
             monitor_pending_cpus: 0,
         };
@@ -213,9 +233,8 @@ impl PlatformWorld {
     fn on_arrival(&mut self, now: SimTime, invocation: Invocation, cal: &mut Calendar<Event>) {
         self.metrics.arrivals += 1;
         // Feed the next arrival lazily to keep the calendar small.
-        self.cursor += 1;
-        if let Some(next) = self.trace.get(self.cursor) {
-            cal.schedule(next.arrival, Event::Arrival(*next));
+        if let Some(next) = self.arrivals.next_invocation() {
+            cal.schedule(next.arrival, Event::Arrival(next));
         }
         match self.controller.route(now, invocation) {
             RouteOutcome::Placed(id) => self.schedule_delivery(cal, id, invocation),
@@ -381,7 +400,7 @@ impl PlatformWorld {
                 used += inv.snapshot().cpus_in_use;
             }
         }
-        self.metrics.samples.push(UtilizationSample {
+        self.metrics.push_sample(UtilizationSample {
             at: now,
             total_cpus: total,
             cpus_in_use: used,
@@ -605,6 +624,22 @@ impl Simulation {
         seed: u64,
     ) -> Self {
         let (world, calendar) = PlatformWorld::new(spec, workload, policy, cfg, seed);
+        Simulation { world, calendar }
+    }
+
+    /// Builds a simulation fed by a lazy arrival stream. With
+    /// `cfg.record_invocations = false` this runs in constant memory
+    /// regardless of how many invocations the stream produces; metrics
+    /// come out of `SimOutput::collector.streaming`.
+    pub fn streaming(
+        spec: ClusterSpec,
+        arrivals: impl ArrivalStream + 'static,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+    ) -> Self {
+        let (world, calendar) =
+            PlatformWorld::from_stream(spec, Box::new(arrivals), policy, cfg, seed);
         Simulation { world, calendar }
     }
 
@@ -917,6 +952,62 @@ mod tests {
             assert_eq!(s.total_cpus, 16);
             assert!(s.cpus_in_use <= 16.0);
         }
+    }
+
+    #[test]
+    fn streaming_arrivals_match_materialized_run() {
+        // The platform driven by a lazy WorkloadStream must produce the
+        // byte-identical record sequence as the same run driven by the
+        // materialized trace.
+        use hrv_trace::stream::WorkloadStream;
+        let spec = WorkloadSpec::paper_fsmall().scaled(30, 3.0);
+        let horizon = SimDuration::from_secs(400);
+        let seeds = SeedFactory::new(11);
+        let cluster = || ClusterSpec::regular(3, 8, 32 * 1024, SimDuration::from_secs(500));
+        let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds);
+        let materialized = Simulation::new(
+            cluster(),
+            trace,
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            42,
+        )
+        .run(horizon + SimDuration::from_secs(100));
+        let streamed = Simulation::streaming(
+            cluster(),
+            WorkloadStream::from_spec(&spec, horizon, &seeds),
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            42,
+        )
+        .run(horizon + SimDuration::from_secs(100));
+        assert_eq!(materialized.collector.records, streamed.collector.records);
+        assert_eq!(materialized.cold_starts, streamed.cold_starts);
+    }
+
+    #[test]
+    fn streaming_only_keeps_no_records() {
+        let cfg = PlatformConfig {
+            record_invocations: false,
+            sample_interval: SimDuration::from_secs(5),
+            ..PlatformConfig::default()
+        };
+        let horizon = SimDuration::from_secs(300);
+        let out = Simulation::new(
+            ClusterSpec::regular(3, 8, 32 * 1024, horizon),
+            workload(3.0, horizon),
+            PolicyKind::Mws.build(),
+            cfg,
+            42,
+        )
+        .run(horizon);
+        assert!(out.collector.records.is_empty());
+        assert!(out.collector.samples.is_empty());
+        let s = &out.collector.streaming;
+        assert!(s.completed > 500, "completed {}", s.completed);
+        assert!(s.latency_percentile(50.0).unwrap() > 0.0);
+        assert!(s.utilization.count() > 0);
+        assert!(!s.util_series.points().is_empty());
     }
 
     #[test]

@@ -117,6 +117,25 @@ impl AppModel {
         SimDuration::from_secs_f64(self.duration.sample(rng)).max(SimDuration::from_millis(1))
     }
 
+    /// Session (burst head) arrival rate: bursts of mean size `burst_mean`
+    /// at this rate keep the effective invocation rate at `rate_rps`.
+    pub fn session_rate(&self) -> f64 {
+        self.rate_rps / self.burst_mean.max(1.0)
+    }
+
+    /// Draws the number of extra invocations carried by one session's burst
+    /// (geometric with mean `burst_mean - 1`; zero for non-bursty apps).
+    fn draw_burst_extra(&self, rng: &mut dyn rand::Rng) -> u64 {
+        let burst = self.burst_mean.max(1.0);
+        if burst > 1.0 {
+            let p = 1.0 / burst;
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            (u.ln() / (1.0 - p).ln()).floor() as u64
+        } else {
+            0
+        }
+    }
+
     /// Expected invocation duration, if the sampler knows it analytically.
     pub fn mean_duration(&self) -> Option<SimDuration> {
         self.duration.mean().map(SimDuration::from_secs_f64)
@@ -347,6 +366,10 @@ impl Workload {
     }
 
     /// Generates the invocation trace for `[0, horizon)`, sorted by arrival.
+    ///
+    /// [`crate::stream::WorkloadStream`] produces the byte-identical
+    /// sequence lazily; both paths emit through [`emit_session`] so a
+    /// change to the burst model cannot desynchronize them.
     pub fn invocations(&self, horizon: SimDuration, seeds: &SeedFactory) -> Vec<Invocation> {
         let end = SimTime::ZERO + horizon;
         let mut all = Vec::new();
@@ -355,31 +378,10 @@ impl Workload {
             // Sessions arrive as a Poisson process; each carries a
             // geometric burst with mean `burst_mean`, so the effective
             // invocation rate stays `rate_rps`.
-            let burst = app.burst_mean.max(1.0);
-            let session_rate = app.rate_rps / burst;
             let sessions =
-                PoissonProcess::new(session_rate).times(&mut rng, SimTime::ZERO, horizon);
-            let intra_gap = crate::dist::LogUniform::new(0.05, 5.0);
+                PoissonProcess::new(app.session_rate()).times(&mut rng, SimTime::ZERO, horizon);
             for session in sessions {
-                let extra = if burst > 1.0 {
-                    // Geometric with mean `burst - 1` extra invocations.
-                    let p = 1.0 / burst;
-                    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-                    (u.ln() / (1.0 - p).ln()).floor() as u64
-                } else {
-                    0
-                };
-                let mut at = session;
-                for j in 0..=extra {
-                    if j > 0 {
-                        at = at
-                            .saturating_add(SimDuration::from_secs_f64(intra_gap.sample(&mut rng)));
-                    }
-                    if at >= end {
-                        break;
-                    }
-                    let func = rng.random_range(0..app.n_functions);
-                    let duration = app.sample_duration(&mut rng);
+                emit_session(app, session, end, &mut rng, |at, func, duration| {
                     all.push(Invocation {
                         id: 0,
                         function: FunctionId { app: app.id, func },
@@ -388,7 +390,7 @@ impl Workload {
                         memory_mb: app.memory_mb,
                         cpu_demand: app.cpu_demand,
                     });
-                }
+                });
             }
         }
         all.sort_by_key(|inv| (inv.arrival, inv.function));
@@ -396,6 +398,42 @@ impl Workload {
             inv.id = i as u64;
         }
         all
+    }
+}
+
+/// The intra-burst gap distribution: closely spaced invocations within a
+/// session, 50 ms to 5 s (Section 3.2 / Figure 9).
+pub(crate) fn intra_gap_dist() -> LogUniform {
+    LogUniform::new(0.05, 5.0)
+}
+
+/// Emits the invocations of one session (burst head plus geometric extras)
+/// into `sink` as `(arrival, func, duration)` triples, consuming exactly
+/// the draws the materialized generator historically consumed. This is the
+/// single source of truth for the per-session draw sequence; the
+/// materialized [`Workload::invocations`] and the lazy
+/// [`crate::stream::WorkloadStream`] both call it, which is what keeps the
+/// two paths byte-identical under one `SeedFactory`.
+pub(crate) fn emit_session(
+    app: &AppModel,
+    session: SimTime,
+    end: SimTime,
+    rng: &mut dyn rand::Rng,
+    mut sink: impl FnMut(SimTime, u32, SimDuration),
+) {
+    let extra = app.draw_burst_extra(rng);
+    let intra_gap = intra_gap_dist();
+    let mut at = session;
+    for j in 0..=extra {
+        if j > 0 {
+            at = at.saturating_add(SimDuration::from_secs_f64(intra_gap.sample(rng)));
+        }
+        if at >= end {
+            break;
+        }
+        let func = rng.random_range(0..app.n_functions);
+        let duration = app.sample_duration(rng);
+        sink(at, func, duration);
     }
 }
 

@@ -15,7 +15,9 @@
 //! * [`harvest`] — Harvest VM lifetime / CPU-variation / fleet models
 //!   calibrated to the paper's Figures 1–3 and 8;
 //! * [`faas`] — Azure-Functions-like workload generator calibrated to
-//!   Figures 4–7 and 9.
+//!   Figures 4–7 and 9;
+//! * [`stream`] — lazy, constant-memory arrival generation that
+//!   reproduces the materialized trace byte for byte.
 
 pub mod arrival;
 pub mod dist;
@@ -24,4 +26,5 @@ pub mod harvest;
 pub mod physical;
 pub mod rng;
 pub mod stats;
+pub mod stream;
 pub mod time;

@@ -260,6 +260,82 @@ impl LogHistogram {
             .enumerate()
             .map(|(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
     }
+
+    /// The multiplicative width of one bin (upper bound / lower bound).
+    ///
+    /// A [`percentile`](Self::percentile) estimate is within this factor of
+    /// the exact sample percentile, which is the error bound the streaming
+    /// metrics path advertises.
+    pub fn bin_ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Nearest-rank percentile estimate (`p` in `[0, 100]`), or `None` when
+    /// the histogram is empty.
+    ///
+    /// Returns the geometric midpoint of the bin containing the target
+    /// rank, so the estimate is within one bin width (a factor of
+    /// `sqrt(bin_ratio)` each way) of the exact order statistic.
+    /// Underflow resolves to the histogram's lower bound and overflow to
+    /// its upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((p / 100.0 * self.total as f64).ceil() as u64).max(1);
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let bin_lo = self.lo * self.ratio.powi(i as i32);
+                return Some(bin_lo * self.ratio.sqrt());
+            }
+        }
+        Some(self.lo * self.ratio.powi(self.counts.len() as i32))
+    }
+}
+
+/// The `p`-th percentile of `samples` (`p` in `[0, 100]`) without sorting:
+/// partial selection via `select_nth_unstable_by`, O(n) expected time.
+/// Matches [`Cdf::percentile`]'s linear interpolation between closest
+/// ranks, and reorders `samples` as a side effect.
+///
+/// This is the single-percentile fast path: building a [`Cdf`] sorts the
+/// whole sample (O(n log n)) to answer every percentile, which is wasted
+/// work when a caller wants just a P50 or P99.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains NaN, or `p` is outside
+/// `[0, 100]`.
+pub fn percentile_unsorted(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+    let n = samples.len();
+    if n == 1 {
+        return samples[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    let (_, &mut lo_val, right) = samples.select_nth_unstable_by(lo, f64::total_cmp);
+    if frac == 0.0 {
+        return lo_val;
+    }
+    // The hi order statistic (lo + 1) is the minimum of the right
+    // partition left behind by the selection (nonempty whenever frac > 0,
+    // since rank < n - 1 then).
+    let hi_val = right.iter().copied().fold(f64::INFINITY, f64::min);
+    lo_val * (1.0 - frac) + hi_val * frac
 }
 
 /// Renders an ASCII sparkline of a CDF over log-spaced points — used by the
@@ -393,6 +469,52 @@ mod tests {
         assert!((bounds[0] - 1.0).abs() < 1e-9);
         assert!((bounds[1] - 10.0).abs() < 1e-9);
         assert!((bounds[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_unsorted_matches_cdf() {
+        let samples: Vec<f64> = (0..251).map(|i| ((i * 7919) % 251) as f64).collect();
+        let cdf = Cdf::from_samples(samples.clone());
+        for p in [0.0, 1.0, 25.0, 50.0, 73.3, 90.0, 99.0, 100.0] {
+            let mut buf = samples.clone();
+            let got = percentile_unsorted(&mut buf, p);
+            assert!(
+                (got - cdf.percentile(p)).abs() < 1e-9,
+                "p{p}: {got} vs {}",
+                cdf.percentile(p)
+            );
+        }
+        let mut single = vec![3.5];
+        assert_eq!(percentile_unsorted(&mut single, 42.0), 3.5);
+    }
+
+    #[test]
+    fn log_histogram_percentile_within_bin_width() {
+        let samples: Vec<f64> = (1..=5_000).map(|i| 0.01 * 1.002f64.powi(i)).collect();
+        let mut h = LogHistogram::new(0.001, 1_000.0, 240);
+        for &x in &samples {
+            h.record(x);
+        }
+        let cdf = Cdf::from_samples(samples);
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let est = h.percentile(p).unwrap();
+            let exact = cdf.percentile(p);
+            let err = (est / exact).ln().abs();
+            assert!(
+                err <= 1.5 * h.bin_ratio().ln(),
+                "p{p}: est {est} exact {exact}"
+            );
+        }
+        assert_eq!(LogHistogram::new(1.0, 10.0, 4).percentile(50.0), None);
+    }
+
+    #[test]
+    fn log_histogram_percentile_saturates_at_bounds() {
+        let mut h = LogHistogram::new(1.0, 100.0, 4);
+        h.record(0.5); // underflow
+        h.record(500.0); // overflow
+        assert_eq!(h.percentile(0.0).unwrap(), 1.0);
+        assert!((h.percentile(100.0).unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -4,11 +4,42 @@
 use proptest::prelude::*;
 
 use hrv_trace::dist::{BoundedPareto, Clamped, LogUniform, Sampler, UniformDist};
+use hrv_trace::faas::{Workload, WorkloadSpec};
 use hrv_trace::harvest::{CpuChange, VmEnd, VmTrace};
+use hrv_trace::rng::SeedFactory;
 use hrv_trace::stats::{Cdf, OnlineStats};
+use hrv_trace::stream::{ArrivalStream, WorkloadStream};
 use hrv_trace::time::{SimDuration, SimTime};
 
 proptest! {
+    /// The streaming k-way merge emits exactly the same
+    /// `(id, arrival, function, duration)` sequence as the materialized
+    /// `Workload::invocations` for arbitrary workload shapes, horizons,
+    /// and seeds — both F_small- and F_large-shaped (bursty) app mixes.
+    #[test]
+    fn streaming_merge_matches_materialized(
+        seed in any::<u64>(),
+        n_apps in 2usize..24,
+        total_rps in 0.2f64..25.0,
+        horizon_mins in 1u64..20,
+        flarge in any::<bool>(),
+    ) {
+        let spec = if flarge {
+            WorkloadSpec::paper_flarge_scaled(n_apps).scaled(n_apps, total_rps)
+        } else {
+            WorkloadSpec::paper_fsmall().scaled(n_apps, total_rps)
+        };
+        let seeds = SeedFactory::new(seed);
+        let horizon = SimDuration::from_mins(horizon_mins);
+        let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds);
+        let mut stream = WorkloadStream::from_spec(&spec, horizon, &seeds);
+        for (i, expected) in trace.iter().enumerate() {
+            let got = stream.next_invocation();
+            prop_assert_eq!(got.as_ref(), Some(expected), "diverged at index {}", i);
+        }
+        prop_assert_eq!(stream.next_invocation(), None);
+    }
+
     /// Percentiles are monotone in `p`, bounded by min/max, and
     /// `fraction_at_or_below` is a non-decreasing CDF.
     #[test]
