@@ -19,7 +19,10 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().unwrap_or_default();
+                let Some(v) = it.next() else {
+                    eprintln!("--scale requires a value: quick|full");
+                    std::process::exit(2);
+                };
                 scale = Scale::parse(&v).unwrap_or_else(|| {
                     eprintln!("unknown scale {v:?}; use quick|full");
                     std::process::exit(2);

@@ -157,11 +157,23 @@ fn bench_replay() -> (f64, u64, u64) {
 /// what any O(invocations) leak would cost (10⁸ records ≈ 7 GiB).
 const SCALE_RSS_MARGIN_MB: f64 = 256.0;
 
-fn bench_scale() -> (StreamScaleReport, PlatformScaleReport) {
-    let target = std::env::var("PERFSMOKE_SCALE_INVOCATIONS")
-        .ok()
-        .and_then(|s| s.replace('_', "").parse::<u64>().ok())
-        .unwrap_or(100_000_000);
+/// Parses `PERFSMOKE_SCALE_INVOCATIONS`, exiting with a usage error on
+/// garbage. Called first thing in `main` so a typo fails before minutes
+/// of benches run.
+fn scale_target() -> u64 {
+    match std::env::var("PERFSMOKE_SCALE_INVOCATIONS") {
+        Ok(s) => match s.replace('_', "").parse::<u64>() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("perfsmoke: invalid PERFSMOKE_SCALE_INVOCATIONS {s:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => 100_000_000,
+    }
+}
+
+fn bench_scale(target: u64) -> (StreamScaleReport, PlatformScaleReport) {
     let cfg = StreamScaleConfig::paper_flarge_full(target);
     eprintln!(
         "perfsmoke: scale drain — F_large ({} apps, {:.0} req/s), {} invocations...",
@@ -191,6 +203,7 @@ fn bench_scale() -> (StreamScaleReport, PlatformScaleReport) {
 }
 
 fn main() {
+    let scale_invocations = scale_target();
     let calendar_events = 1_000_000usize;
     eprintln!("perfsmoke: calendar churn ({calendar_events} pops)...");
     let (cal_secs, cal_rate) = bench_calendar(calendar_events);
@@ -201,7 +214,7 @@ fn main() {
     eprintln!("perfsmoke: 10-minute MWS replay...");
     let (replay_secs, replay_events, replay_completed) = bench_replay();
 
-    let (scale_gen, scale_plat) = bench_scale();
+    let (scale_gen, scale_plat) = bench_scale(scale_invocations);
 
     let mut ps_json = String::new();
     for (i, r) in ps_rows.iter().enumerate() {
@@ -257,7 +270,13 @@ fn main() {
 
     // The binary lives two levels below the workspace root.
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perfsmoke.json");
-    std::fs::write(out_path, &json).expect("writing BENCH_perfsmoke.json");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        // Still print the report so the run's numbers aren't lost, but
+        // exit nonzero: CI must notice the missing artifact.
+        eprintln!("perfsmoke: cannot write {out_path}: {e}");
+        println!("{json}");
+        std::process::exit(1);
+    }
     println!("{json}");
     for r in &ps_rows {
         let speedup = r.new_per_sec / r.reference_per_sec;

@@ -1,0 +1,170 @@
+//! Chaos suite: Section-4-style degradation tables under injected
+//! faults.
+//!
+//! A homogeneous regular cluster (so the fault plan is the *only* source
+//! of failures) serves the FunctionBench workload while a compiled
+//! [`FaultSpec`] kills invokers crash-stop, suppresses eviction warnings,
+//! drops/delays dispatch messages, derates stragglers, and freezes the
+//! cluster view. The grid sweeps fault intensity × load-balancing policy
+//! × recovery (retry/re-dispatch/quarantine on or off) and reports
+//! goodput, P99, and work lost for each cell — the platform-resilience
+//! analogue of the paper's Section 4 eviction-degradation analysis.
+
+use harvest_faas::experiment::{chaos_point, run_parallel, ChaosPoint, SweepConfig};
+use harvest_faas::hrv_fault::FaultSpec;
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_platform::world::ClusterSpec;
+use harvest_faas::hrv_trace::time::SimDuration;
+use harvest_faas::report::{pct, secs, Table};
+
+use crate::scale::Scale;
+
+/// The policies compared in every chaos table.
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Mws, PolicyKind::Jsq, PolicyKind::Vanilla];
+
+fn sweep_config(scale: Scale) -> SweepConfig {
+    SweepConfig {
+        n_functions: scale.pick(30, 120),
+        duration: scale.pick(SimDuration::from_mins(4), SimDuration::from_mins(20)),
+        warmup: scale.pick(SimDuration::from_secs(30), SimDuration::from_mins(3)),
+        seed: 2021,
+        ..SweepConfig::quick()
+    }
+}
+
+/// Degradation grid: fault intensity × policy × recovery.
+pub fn chaos(scale: Scale) -> String {
+    let cfg = sweep_config(scale);
+    let intensities: Vec<f64> = scale.pick(vec![0.0, 1.0], vec![0.0, 0.5, 1.0, 2.0]);
+    let rps = scale.pick(4.0, 8.0);
+    // Regular (non-harvest) cluster: with no organic evictions, every
+    // loss in the table traces back to the injected plan.
+    let cluster = ClusterSpec::regular(
+        scale.pick(4, 8),
+        8,
+        32 * 1024,
+        cfg.duration + SimDuration::from_mins(5),
+    );
+    let mut grid = Vec::new();
+    for &intensity in &intensities {
+        for policy in POLICIES {
+            for recovery in [false, true] {
+                grid.push((intensity, policy, recovery));
+            }
+        }
+    }
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(intensity, policy, recovery)| {
+            let cluster = cluster.clone();
+            let cfg = cfg.clone();
+            move || {
+                let fault = if intensity == 0.0 {
+                    FaultSpec::none()
+                } else {
+                    FaultSpec::chaos(intensity)
+                };
+                chaos_point(&cluster, policy, rps, &cfg, &fault, recovery)
+            }
+        })
+        .collect();
+    let points = run_parallel(jobs);
+    let mut t = Table::new(
+        "Chaos — degradation under injected faults (crash-stop kills, lost warnings, \
+         dispatch loss, stragglers, view staleness)",
+        &[
+            "intensity",
+            "policy",
+            "recovery",
+            "arrivals",
+            "completed",
+            "goodput",
+            "p99",
+            "work_lost",
+            "retries",
+            "redispatch",
+            "crashes",
+            "quarantine_s",
+        ],
+    );
+    for ((intensity, policy, recovery), p) in grid.iter().zip(&points) {
+        t.row(vec![
+            format!("{intensity:.1}"),
+            policy.label().to_string(),
+            if *recovery { "on" } else { "off" }.to_string(),
+            p.arrivals.to_string(),
+            p.completed.to_string(),
+            pct(p.goodput),
+            secs(p.p99),
+            p.work_lost.to_string(),
+            p.retries.to_string(),
+            p.redispatches.to_string(),
+            p.crashes.to_string(),
+            format!("{:.0}", p.quarantine_secs),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&summarize(&grid, &points));
+    out
+}
+
+/// Cross-checks the grid's key invariants and renders the takeaway. The
+/// suite is deterministic, so these hold on every run of the same scale.
+fn summarize(grid: &[(f64, PolicyKind, bool)], points: &[ChaosPoint]) -> String {
+    let cell = |intensity: f64, policy: PolicyKind, recovery: bool| -> &ChaosPoint {
+        grid.iter()
+            .zip(points)
+            .find(|((i, p, r), _)| *i == intensity && *p == policy && *r == recovery)
+            .map(|(_, point)| point)
+            .expect("grid cell missing")
+    };
+    let max_i = grid.iter().map(|g| g.0).fold(0.0, f64::max);
+    // Zero intensity loses nothing, with or without recovery.
+    for policy in POLICIES {
+        for recovery in [false, true] {
+            let p = cell(0.0, policy, recovery);
+            assert_eq!(
+                p.work_lost, 0,
+                "zero-intensity cell lost work: {policy:?} recovery={recovery}"
+            );
+        }
+    }
+    // At the highest intensity, recovery must strictly reduce MWS's lost
+    // work — the acceptance bar for the whole subsystem.
+    let bare = cell(max_i, PolicyKind::Mws, false);
+    let recovered = cell(max_i, PolicyKind::Mws, true);
+    assert!(
+        recovered.work_lost < bare.work_lost,
+        "recovery did not strictly reduce MWS work lost at intensity {max_i}: {} vs {}",
+        recovered.work_lost,
+        bare.work_lost
+    );
+    format!(
+        "at intensity {max_i}: MWS loses {} invocations without recovery, {} with \
+         ({} retries, {} re-dispatches, {:.0} s quarantined); zero-intensity rows \
+         lose nothing\n",
+        bare.work_lost,
+        recovered.work_lost,
+        recovered.retries,
+        recovered.redispatches,
+        recovered.quarantine_secs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_report_renders_and_holds_invariants() {
+        let text = chaos(Scale::Quick);
+        assert!(text.contains("intensity"));
+        assert!(text.contains("work_lost"));
+        assert!(text.contains("without recovery"));
+    }
+
+    #[test]
+    fn chaos_report_is_deterministic() {
+        assert_eq!(chaos(Scale::Quick), chaos(Scale::Quick));
+    }
+}

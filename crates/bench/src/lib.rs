@@ -7,6 +7,7 @@
 
 pub mod ablation;
 pub mod budget;
+pub mod chaos;
 pub mod characterization;
 pub mod evictions;
 pub mod loadbalancing;
@@ -40,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig19",
     "migration",
     "ablation",
+    "chaos",
 ];
 
 /// Runs one experiment by name, returning its report.
@@ -70,6 +72,7 @@ pub fn run(name: &str, scale: Scale) -> Option<String> {
         "fig19" | "fig20" | "fig21" | "table5" => replay::all(scale),
         "migration" => migration::migration(scale),
         "ablation" => ablation::all(scale),
+        "chaos" => chaos::chaos(scale),
         _ => return None,
     };
     Some(report)

@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use hrv_fault::FaultSpec;
 use hrv_lb::policy::PolicyKind;
 use hrv_platform::config::PlatformConfig;
 use hrv_platform::world::{ClusterSpec, Simulation};
@@ -370,6 +371,93 @@ pub fn reliability(
     }
 }
 
+/// One measured operating point of a chaos (fault-injection) run: the
+/// Section-4-style degradation reading for one fault intensity × policy ×
+/// recovery combination.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Arrivals in the measurement window.
+    pub arrivals: u64,
+    /// Completed invocations in the measurement window.
+    pub completed: u64,
+    /// `completed / arrivals` — the fraction of offered work delivered.
+    pub goodput: f64,
+    /// P99 end-to-end latency, seconds (`None` if nothing completed).
+    pub p99: Option<f64>,
+    /// Invocations permanently destroyed: eviction failures plus
+    /// post-retry losses.
+    pub work_lost: u64,
+    /// Of `work_lost`, those that exhausted (or never had) recovery.
+    pub lost: u64,
+    /// Of `work_lost`, those reported through the legacy eviction-failure
+    /// path (recovery disabled).
+    pub eviction_failures: u64,
+    /// Re-dispatch attempts recovery actually launched.
+    pub retries: u64,
+    /// Destroyed placements recovery picked up for re-dispatch.
+    pub redispatches: u64,
+    /// Crash-stop kills the fault plan landed.
+    pub crashes: u64,
+    /// Total invoker-seconds spent quarantined.
+    pub quarantine_secs: f64,
+}
+
+/// Runs one fault-injected simulation point: compiles `fault` into a
+/// deterministic plan over the run horizon, injects it, and reduces the
+/// run to a [`ChaosPoint`]. The workload, plan, and platform seeds all
+/// derive from `cfg.seed`, so the same arguments always reproduce the
+/// same point; `recovery` toggles the platform's retry/re-dispatch/
+/// quarantine machinery while changing nothing else.
+///
+/// # Panics
+///
+/// Panics if the run violates invocation conservation
+/// (arrivals ≠ completed + destroyed + rejected + censored).
+pub fn chaos_point(
+    cluster: &ClusterSpec,
+    policy: PolicyKind,
+    rps: f64,
+    cfg: &SweepConfig,
+    fault: &FaultSpec,
+    recovery: bool,
+) -> ChaosPoint {
+    let seeds = SeedFactory::new(cfg.seed).child("chaos");
+    let workload = funcbench::workload(cfg.n_functions, rps, &seeds);
+    let trace = workload.invocations(cfg.duration, &seeds.child("arrivals"));
+    let horizon = cfg.duration + SimDuration::from_mins(3);
+    let plan = fault.compile(cluster.vms.len() as u32, horizon, &seeds.child("faults"));
+    let mut platform = cfg.platform.clone();
+    platform.recovery.enabled = recovery;
+    let sim = Simulation::with_faults(
+        cluster.clone(),
+        trace,
+        policy.build(),
+        platform,
+        seeds.seed_for("platform"),
+        plan,
+    );
+    let out = sim.run(horizon);
+    out.collector.assert_conservation();
+    let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
+    ChaosPoint {
+        arrivals: m.arrivals,
+        completed: m.completed,
+        goodput: if m.arrivals == 0 {
+            0.0
+        } else {
+            m.completed as f64 / m.arrivals as f64
+        },
+        p99: m.latency_percentile(99.0),
+        work_lost: m.eviction_failures + m.lost,
+        lost: m.lost,
+        eviction_failures: m.eviction_failures,
+        retries: out.collector.streaming.retries,
+        redispatches: out.collector.streaming.redispatches,
+        crashes: out.collector.vm_crashes,
+        quarantine_secs: out.collector.streaming.quarantine_secs,
+    }
+}
+
 /// One row of the Harvest-vs-Spot comparison (Figure 18).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpotCompareRow {
@@ -539,6 +627,52 @@ mod tests {
         let max = sweep.max_rps_under_slo(P99_SLO_SECS);
         assert!(max >= 0.2, "low point should meet SLO: {sweep:?}");
         assert!(max < 16.0, "high point must saturate: {sweep:?}");
+    }
+
+    #[test]
+    fn chaos_point_zero_fault_loses_nothing() {
+        let cfg = SweepConfig {
+            n_functions: 20,
+            duration: SimDuration::from_mins(2),
+            warmup: SimDuration::from_secs(30),
+            ..SweepConfig::quick()
+        };
+        let cluster = ClusterSpec::regular(4, 8, 32 * 1024, SimDuration::from_mins(10));
+        let p = chaos_point(
+            &cluster,
+            PolicyKind::Mws,
+            3.0,
+            &cfg,
+            &FaultSpec::none(),
+            false,
+        );
+        assert!(p.arrivals > 100);
+        assert_eq!(p.work_lost, 0);
+        assert_eq!(p.crashes, 0);
+        assert_eq!(p.retries, 0);
+        assert!(p.goodput > 0.95, "goodput {}", p.goodput);
+    }
+
+    #[test]
+    fn chaos_point_recovery_beats_none_under_crashes() {
+        let cfg = SweepConfig {
+            n_functions: 30,
+            duration: SimDuration::from_mins(4),
+            warmup: SimDuration::from_secs(30),
+            ..SweepConfig::quick()
+        };
+        let cluster = ClusterSpec::regular(4, 8, 32 * 1024, SimDuration::from_mins(10));
+        let fault = FaultSpec::chaos(1.0);
+        let bare = chaos_point(&cluster, PolicyKind::Mws, 4.0, &cfg, &fault, false);
+        let recovered = chaos_point(&cluster, PolicyKind::Mws, 4.0, &cfg, &fault, true);
+        assert!(bare.crashes > 0, "no crashes landed: {bare:?}");
+        assert!(recovered.retries > 0, "recovery never retried");
+        assert!(
+            recovered.work_lost < bare.work_lost,
+            "recovery did not reduce lost work: {} vs {}",
+            recovered.work_lost,
+            bare.work_lost
+        );
     }
 
     #[test]

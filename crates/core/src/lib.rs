@@ -21,7 +21,8 @@
 //!
 //! Re-exported substrates: [`hrv_trace`] (traces and workload models),
 //! [`hrv_sim`] (discrete-event engine), [`hrv_lb`] (MWS/JSQ/vanilla load
-//! balancers), [`hrv_platform`] (the OpenWhisk-like platform).
+//! balancers), [`hrv_platform`] (the OpenWhisk-like platform), and
+//! [`hrv_fault`] (deterministic fault-injection plans).
 //!
 //! # Examples
 //!
@@ -47,6 +48,7 @@ pub mod live;
 pub mod provision;
 pub mod report;
 
+pub use hrv_fault;
 pub use hrv_lb;
 pub use hrv_platform;
 pub use hrv_sim;

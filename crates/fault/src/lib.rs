@@ -1,0 +1,38 @@
+//! Deterministic fault injection for the harvest-serverless platform.
+//!
+//! The paper's Section 4 judges eviction-handling strategies by how much
+//! in-flight work they destroy — but the only failure the platform models
+//! natively is the *cooperative* Harvest-VM eviction, announced 30 seconds
+//! in advance. Real control planes also face crash-stop workers, lost or
+//! late eviction warnings, dropped dispatch messages, silently slow
+//! machines, and stale cluster views. This crate expresses those as data.
+//!
+//! The design splits *what can go wrong* from *when it goes wrong*:
+//!
+//! * [`spec::FaultSpec`] describes fault **processes** — Poisson rates for
+//!   crash-stop kills, straggler windows and view-staleness windows,
+//!   probabilities for warning loss/delay, and a Bernoulli/Pareto model
+//!   for dispatch-message loss and delay.
+//! * [`spec::FaultSpec::compile`] draws from a [`SeedFactory`] and
+//!   freezes the processes into a [`plan::FaultPlan`]: a sorted list of
+//!   timed [`plan::FaultEvent`]s plus per-invoker warning faults and a
+//!   seeded runtime sampler for dispatch faults.
+//!
+//! The platform consumes only the *plan*, scheduling its events into the
+//! discrete-event calendar at world-build time. Because every draw comes
+//! from labelled [`SeedFactory`] streams, the same spec, seed and cluster
+//! shape always produce byte-identical chaos runs — and the zero plan
+//! ([`plan::FaultPlan::default`]) compiles to *no* events, *no* extra RNG
+//! draws and *no* behavioural change, so fault-free runs stay bit-identical
+//! to a build without this crate linked in.
+//!
+//! [`SeedFactory`]: hrv_trace::rng::SeedFactory
+
+pub mod plan;
+pub mod spec;
+
+pub use plan::{
+    DispatchFaults, DispatchOutcome, DispatchSampler, FaultEvent, FaultKind, FaultPlan,
+    WarningFault,
+};
+pub use spec::FaultSpec;

@@ -1,0 +1,228 @@
+//! Compiled fault plans: timed events plus runtime samplers.
+//!
+//! A [`FaultPlan`] is the frozen, replayable form of a fault scenario.
+//! All randomness has either already been drawn (timed events, warning
+//! faults) or is pinned to an embedded seed (the dispatch sampler), so a
+//! plan injected twice into identical worlds produces identical runs.
+
+use std::collections::BTreeMap;
+
+use hrv_trace::dist::{BoundedPareto, Sampler};
+use hrv_trace::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index of the targeted invoker slot, matching the platform's
+/// `InvokerIndex` (position in the cluster's VM list).
+pub type InvokerSlot = u32;
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Crash-stop kill: the VM vanishes instantly with no eviction
+    /// warning and no notification to the controller. Unlike a Harvest
+    /// eviction, nothing announces the death — detection (if any) is the
+    /// health-probe machinery's job.
+    Crash { invoker: InvokerSlot },
+    /// The invoker's effective processor-sharing capacity drops to
+    /// `factor` of its allocated CPUs. The slowdown is invisible in
+    /// health reports except through rising queue pressure.
+    StragglerStart { invoker: InvokerSlot, factor: f64 },
+    /// The straggler window ends; capacity returns to the allocation.
+    StragglerEnd { invoker: InvokerSlot },
+    /// The controller's cluster view freezes: health pings are dropped
+    /// until the matching [`FaultKind::ViewThaw`], so placement decisions
+    /// run on stale load and liveness information.
+    ViewFreeze,
+    /// The staleness window ends; pings flow again.
+    ViewThaw,
+}
+
+/// A fault pinned to a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// What happens to one invoker's 30-second eviction warning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarningFault {
+    /// The warning never arrives: the eviction lands unannounced.
+    Drop,
+    /// The warning arrives late by this much; if the delay pushes it past
+    /// the eviction itself, it is effectively dropped.
+    Delay(SimDuration),
+}
+
+/// Parameters of the controller→invoker dispatch-message fault process.
+///
+/// Each dispatch independently rolls: drop with probability `drop_prob`,
+/// else delay with probability `delay_prob` by a bounded-Pareto-sampled
+/// duration, else deliver normally. The embedded `seed` makes the roll
+/// sequence part of the plan, so replays are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchFaults {
+    pub drop_prob: f64,
+    pub delay_prob: f64,
+    /// Delay distribution, in seconds.
+    pub delay: BoundedPareto,
+    pub seed: u64,
+}
+
+impl DispatchFaults {
+    /// Builds the runtime sampler for this process.
+    pub fn sampler(&self) -> DispatchSampler {
+        DispatchSampler {
+            cfg: *self,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+/// Outcome of one dispatch-fault roll.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchOutcome {
+    /// The message goes through at the nominal bus latency.
+    Deliver,
+    /// The message arrives, but this much later than the bus latency.
+    Delay(SimDuration),
+    /// The message is lost in flight.
+    Drop,
+}
+
+/// Stateful per-run sampler over a [`DispatchFaults`] process.
+#[derive(Debug)]
+pub struct DispatchSampler {
+    cfg: DispatchFaults,
+    rng: StdRng,
+}
+
+impl DispatchSampler {
+    /// Rolls the fate of one dispatch message.
+    pub fn roll(&mut self) -> DispatchOutcome {
+        let u: f64 = self.rng.random();
+        if u < self.cfg.drop_prob {
+            return DispatchOutcome::Drop;
+        }
+        if u < self.cfg.drop_prob + self.cfg.delay_prob {
+            let secs = self.cfg.delay.sample(&mut self.rng);
+            return DispatchOutcome::Delay(SimDuration::from_secs_f64(secs));
+        }
+        DispatchOutcome::Deliver
+    }
+}
+
+/// A frozen fault scenario, ready to inject into a platform world.
+///
+/// The default value is the **zero plan**: no events, no warning faults,
+/// no dispatch process. Injecting it is contractually a no-op — the
+/// platform schedules nothing extra and draws no extra randomness, so a
+/// zero-plan run is byte-identical to one that never saw this crate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Timed faults, sorted by time (ties keep insertion order).
+    pub events: Vec<FaultEvent>,
+    /// Per-invoker eviction-warning faults, applied when the world
+    /// schedules each VM's warning.
+    pub warnings: BTreeMap<InvokerSlot, WarningFault>,
+    /// Dispatch-message fault process, if any.
+    pub dispatch: Option<DispatchFaults>,
+}
+
+impl FaultPlan {
+    /// The zero plan (alias for [`Default::default`], for call-site
+    /// clarity).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when injecting this plan changes nothing.
+    pub fn is_zero(&self) -> bool {
+        self.events.is_empty() && self.warnings.is_empty() && self.dispatch.is_none()
+    }
+
+    /// The warning fault for `invoker`, if any.
+    pub fn warning_fault(&self, invoker: InvokerSlot) -> Option<WarningFault> {
+        self.warnings.get(&invoker).copied()
+    }
+
+    /// Appends a timed fault (re-sorts on [`FaultPlan::finish`]).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Sorts events by time, keeping insertion order for ties so plans
+    /// built from the same draws are identical.
+    pub fn finish(&mut self) {
+        self.events.sort_by_key(|e| e.at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(FaultPlan::none().is_zero());
+        assert!(FaultPlan::default().is_zero());
+        let mut p = FaultPlan::default();
+        p.push(SimTime::from_secs(1), FaultKind::ViewFreeze);
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn finish_sorts_stably() {
+        let mut p = FaultPlan::default();
+        p.push(SimTime::from_secs(5), FaultKind::ViewThaw);
+        p.push(SimTime::from_secs(1), FaultKind::Crash { invoker: 0 });
+        p.push(SimTime::from_secs(5), FaultKind::ViewFreeze);
+        p.finish();
+        assert_eq!(p.events[0].kind, FaultKind::Crash { invoker: 0 });
+        // Equal timestamps keep insertion order.
+        assert_eq!(p.events[1].kind, FaultKind::ViewThaw);
+        assert_eq!(p.events[2].kind, FaultKind::ViewFreeze);
+    }
+
+    #[test]
+    fn dispatch_sampler_replays_identically() {
+        let cfg = DispatchFaults {
+            drop_prob: 0.1,
+            delay_prob: 0.3,
+            delay: BoundedPareto::new(0.05, 2.0, 1.3),
+            seed: 99,
+        };
+        let mut a = cfg.sampler();
+        let mut b = cfg.sampler();
+        for _ in 0..512 {
+            assert_eq!(a.roll(), b.roll());
+        }
+    }
+
+    #[test]
+    fn dispatch_sampler_hits_all_outcomes() {
+        let cfg = DispatchFaults {
+            drop_prob: 0.2,
+            delay_prob: 0.3,
+            delay: BoundedPareto::new(0.05, 2.0, 1.3),
+            seed: 7,
+        };
+        let mut s = cfg.sampler();
+        let (mut drops, mut delays, mut delivers) = (0u32, 0u32, 0u32);
+        for _ in 0..2_000 {
+            match s.roll() {
+                DispatchOutcome::Drop => drops += 1,
+                DispatchOutcome::Delay(d) => {
+                    assert!(d > SimDuration::ZERO);
+                    delays += 1;
+                }
+                DispatchOutcome::Deliver => delivers += 1,
+            }
+        }
+        // Loose frequency sanity: 20% / 30% / 50% within wide bands.
+        assert!((300..=500).contains(&drops), "drops = {drops}");
+        assert!((450..=750).contains(&delays), "delays = {delays}");
+        assert!((800..=1200).contains(&delivers), "delivers = {delivers}");
+    }
+}

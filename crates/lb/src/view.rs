@@ -56,6 +56,11 @@ pub struct InvokerView {
     pub eviction_pending: bool,
     /// False when health pings stopped arriving (crashed/evicted VM).
     pub healthy: bool,
+    /// True while recovery's health-probe machinery has sidelined this
+    /// invoker (silent past the probe timeout, or a persistent
+    /// straggler); quarantined invokers take no new placements but stay
+    /// registered until declared down.
+    pub quarantined: bool,
     /// When the last health ping arrived.
     pub last_ping: SimTime,
 }
@@ -74,6 +79,7 @@ impl InvokerView {
             inflight_demand_secs: 0.0,
             eviction_pending: false,
             healthy: true,
+            quarantined: false,
             last_ping: now,
         }
     }
@@ -121,7 +127,7 @@ impl InvokerView {
 
     /// True if the controller may place new work here.
     pub fn placeable(&self) -> bool {
-        self.healthy && !self.eviction_pending
+        self.healthy && !self.eviction_pending && !self.quarantined
     }
 }
 
@@ -252,6 +258,9 @@ mod tests {
         assert!(!view.placeable());
         view.eviction_pending = false;
         view.healthy = false;
+        assert!(!view.placeable());
+        view.healthy = true;
+        view.quarantined = true;
         assert!(!view.placeable());
     }
 

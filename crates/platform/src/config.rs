@@ -79,6 +79,56 @@ impl Default for MigrationConfig {
     }
 }
 
+/// Failure recovery: retry/re-dispatch of destroyed work plus
+/// health-probe quarantine of silent or straggling invokers. Off by
+/// default — with it disabled the platform behaves bit-identically to a
+/// build that predates fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// How many times one invocation may be re-dispatched before it is
+    /// declared lost.
+    pub max_retries: u32,
+    /// First retry backoff; attempt `n` waits `base * 2^n`, capped.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Global budget of retries across the whole run; once spent, further
+    /// destroyed work is declared lost immediately.
+    pub retry_budget: u64,
+    /// How often the controller sweeps invoker health.
+    pub probe_interval: SimDuration,
+    /// Silence (no ping) after which an invoker is quarantined out of
+    /// placement. Must exceed the ping interval.
+    pub probe_timeout: SimDuration,
+    /// Silence after which a quarantined invoker is removed from the
+    /// cluster view entirely.
+    pub down_after: SimDuration,
+    /// Queue-pressure level a ping must report for it to count as a
+    /// straggler strike.
+    pub straggler_pressure: f64,
+    /// Consecutive straggler strikes before quarantine.
+    pub straggler_strikes: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_secs(10),
+            retry_budget: 1_000_000,
+            probe_interval: SimDuration::from_secs(1),
+            probe_timeout: SimDuration::from_secs(3),
+            down_after: SimDuration::from_secs(10),
+            straggler_pressure: 8.0,
+            straggler_strikes: 5,
+        }
+    }
+}
+
 /// All tunables of the platform model. Defaults follow OpenWhisk defaults
 /// and the paper's setup where stated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +161,8 @@ pub struct PlatformConfig {
     pub monitor: ResourceMonitorConfig,
     /// Live-migration settings (Section 4.4 extension).
     pub migration: MigrationConfig,
+    /// Failure-recovery settings (retry, re-dispatch, quarantine).
+    pub recovery: RecoveryConfig,
     /// Utilization sampling period for time-series metrics (Figure 20);
     /// zero disables sampling.
     pub sample_interval: SimDuration,
@@ -134,6 +186,7 @@ impl Default for PlatformConfig {
             controllers: 1,
             monitor: ResourceMonitorConfig::default(),
             migration: MigrationConfig::default(),
+            recovery: RecoveryConfig::default(),
             sample_interval: SimDuration::ZERO,
             record_invocations: true,
         }
@@ -165,6 +218,31 @@ impl PlatformConfig {
             self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),
             "bad cold-start tax"
         );
+        if self.recovery.enabled {
+            let r = &self.recovery;
+            assert!(
+                !r.probe_interval.is_zero(),
+                "probe interval must be positive"
+            );
+            assert!(
+                r.probe_timeout > self.ping_interval,
+                "probe timeout must exceed the ping interval, or every \
+                 healthy invoker reads as silent"
+            );
+            assert!(
+                r.down_after >= r.probe_timeout,
+                "down_after must be at least the probe timeout"
+            );
+            assert!(
+                !r.backoff_base.is_zero() && r.backoff_cap >= r.backoff_base,
+                "backoff must be positive and capped above its base"
+            );
+            assert!(
+                r.straggler_pressure > 0.0 && r.straggler_strikes >= 1,
+                "straggler quarantine needs a positive pressure threshold \
+                 and at least one strike"
+            );
+        }
     }
 }
 
@@ -194,6 +272,22 @@ mod tests {
             admission_pressure: 0.0,
             ..PlatformConfig::default()
         };
+        config.validate();
+    }
+
+    #[test]
+    fn enabled_recovery_defaults_are_valid() {
+        let mut config = PlatformConfig::default();
+        config.recovery.enabled = true;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probe timeout")]
+    fn recovery_probe_timeout_must_exceed_ping_interval() {
+        let mut config = PlatformConfig::default();
+        config.recovery.enabled = true;
+        config.recovery.probe_timeout = config.ping_interval;
         config.validate();
     }
 }

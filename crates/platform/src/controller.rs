@@ -219,6 +219,36 @@ impl Controller {
         self.inflight.retain(|_, info| info.invoker != id);
     }
 
+    /// Sets or clears quarantine on an invoker. Quarantined invokers take
+    /// no new placements but stay registered (they may recover). Returns
+    /// true when the flag actually changed.
+    pub fn set_quarantined(&mut self, id: InvokerId, quarantined: bool) -> bool {
+        match self.view.get_mut(id) {
+            Some(v) if v.quarantined != quarantined => {
+                v.quarantined = quarantined;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Invokers whose last ping is at least `timeout` old, with their
+    /// silence spans — the health-probe sweep's input, ordered by id.
+    pub fn silent_invokers(
+        &self,
+        now: SimTime,
+        timeout: hrv_trace::time::SimDuration,
+    ) -> Vec<(InvokerId, hrv_trace::time::SimDuration)> {
+        self.view
+            .all()
+            .iter()
+            .filter_map(|v| {
+                let silence = now.saturating_since(v.last_ping);
+                (silence >= timeout).then_some((v.id, silence))
+            })
+            .collect()
+    }
+
     /// Drops a single in-flight entry (used when a delivery raced a dead
     /// invoker). Returns true if it existed.
     pub fn forget_inflight(&mut self, invocation_id: u64) -> bool {
@@ -407,6 +437,40 @@ mod tests {
         c.on_invoker_down(InvokerId(0));
         assert!(c.view.get(InvokerId(0)).is_none());
         assert!(c.inflight_len() < before);
+    }
+
+    #[test]
+    fn quarantine_blocks_placement_until_cleared() {
+        let mut c = controller_with(1);
+        assert!(c.set_quarantined(InvokerId(0), true));
+        assert!(!c.set_quarantined(InvokerId(0), true)); // idempotent
+        assert_eq!(c.route(SimTime::ZERO, inv(0, 1)), RouteOutcome::Queued);
+        assert_eq!(c.placeable_cpus(), 0);
+        assert!(c.set_quarantined(InvokerId(0), false));
+        let (placed, _) = c.retry_queue(SimTime::from_secs(1), SimDuration::from_secs(60));
+        assert_eq!(placed.len(), 1);
+        // Unknown invokers are a no-op.
+        assert!(!c.set_quarantined(InvokerId(9), true));
+    }
+
+    #[test]
+    fn silent_invokers_reports_stale_pings() {
+        let mut c = controller_with(2);
+        c.on_ping(
+            SimTime::from_secs(10),
+            InvokerId(1),
+            HealthSnapshot {
+                cpus: 8,
+                cpus_in_use: 0.0,
+                memory_used_mb: 0,
+                eviction_pending: false,
+                pressure: 0.0,
+            },
+        );
+        let silent = c.silent_invokers(SimTime::from_secs(12), SimDuration::from_secs(3));
+        assert_eq!(silent.len(), 1);
+        assert_eq!(silent[0].0, InvokerId(0));
+        assert_eq!(silent[0].1, SimDuration::from_secs(12));
     }
 
     #[test]

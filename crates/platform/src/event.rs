@@ -120,6 +120,37 @@ pub enum Event {
         /// The invocation id (for controller bookkeeping joins).
         invocation: u64,
     },
+    /// Fault injection: the VM dies crash-stop, with no warning and no
+    /// notification — unlike [`Event::VmEvict`], nothing else is
+    /// scheduled; detection is the health-probe machinery's job.
+    FaultCrash {
+        /// The killed invoker.
+        invoker: InvokerIndex,
+    },
+    /// Fault injection: the invoker's effective PS capacity becomes
+    /// `factor` of its allocated CPUs (`factor == 1.0` ends the window).
+    FaultStraggler {
+        /// Affected invoker.
+        invoker: InvokerIndex,
+        /// Fraction of allocated CPUs actually progressing.
+        factor: f64,
+    },
+    /// Fault injection: the controller's cluster view freezes (pings are
+    /// dropped) or thaws.
+    FaultViewFreeze {
+        /// `true` opens a staleness window, `false` closes it.
+        frozen: bool,
+    },
+    /// Recovery: re-route an invocation whose previous placement was
+    /// destroyed (unwarned kill, eviction, dead delivery) or whose
+    /// dispatch message was lost. Fires after detection plus backoff.
+    Redispatch {
+        /// The invocation to route again.
+        invocation: Invocation,
+    },
+    /// Recovery: the controller's periodic health-probe sweep, which
+    /// quarantines silent invokers and removes long-dead ones.
+    HealthSweep,
     /// The controller retries its queue of unplaced invocations.
     RetryQueue,
     /// The resource monitor checks the capacity floor.

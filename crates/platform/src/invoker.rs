@@ -101,6 +101,15 @@ pub struct InvokerState {
     pub warned_at: Option<SimTime>,
     /// Memory capacity, MiB.
     pub memory_mb: u64,
+    /// Stale startup/completion events that raced with eviction teardown
+    /// and were dropped instead of processed (each one is work already
+    /// accounted for through [`EvictedWork`]).
+    pub dropped_completions: u64,
+    /// CPUs the Harvest VM has allocated — what health pings advertise.
+    allocated_cpus: u32,
+    /// Straggler derating: the PS queue progresses at
+    /// `allocated_cpus * derate`. 1.0 outside fault windows.
+    derate: f64,
     ps: PsQueue,
     containers: BTreeMap<u64, Container>,
     /// Invocation parked in each starting container.
@@ -133,6 +142,9 @@ impl InvokerState {
             warned: false,
             warned_at: None,
             memory_mb,
+            dropped_completions: 0,
+            allocated_cpus: 0,
+            derate: 1.0,
             ps: PsQueue::new(0.0),
             containers: BTreeMap::new(),
             starting: BTreeMap::new(),
@@ -153,13 +165,16 @@ impl InvokerState {
         assert!(!self.alive, "invoker {} deployed twice", self.index);
         self.alive = true;
         self.warned = false;
+        self.allocated_cpus = cpus;
+        self.derate = 1.0;
         self.ps = PsQueue::new(f64::from(cpus));
         self.ps.advance(now);
     }
 
-    /// Current CPU allocation.
+    /// Current CPU allocation (what the VM advertises; a straggler's
+    /// effective capacity may be lower).
     pub fn cpus(&self) -> u32 {
-        self.ps.capacity() as u32
+        self.allocated_cpus
     }
 
     /// Number of invocations waiting in the invoker queue.
@@ -359,10 +374,15 @@ impl InvokerState {
         cfg: &PlatformConfig,
     ) {
         if !self.alive {
-            return; // raced with an eviction
+            // Raced with an eviction: the work was already surfaced
+            // through `EvictedWork`, so only count the stale event.
+            self.dropped_completions += 1;
+            return;
         }
         let Some(invocation) = self.starting.remove(&cid) else {
-            return; // container was destroyed by eviction handling
+            // Container destroyed by eviction handling; same accounting.
+            self.dropped_completions += 1;
+            return;
         };
         self.starting_cap = (self.starting_cap - invocation.cpu_demand).max(0.0);
         let c = self
@@ -397,6 +417,7 @@ impl InvokerState {
         cfg: &PlatformConfig,
     ) -> Vec<RunningInvocation> {
         if !self.alive {
+            self.dropped_completions += 1;
             return Vec::new();
         }
         // The event driving this tick is the armed timer (stale timers are
@@ -457,9 +478,31 @@ impl InvokerState {
         if !self.alive {
             return;
         }
+        self.allocated_cpus = cpus;
         self.ps.advance(now);
-        self.ps.set_capacity(f64::from(cpus));
+        self.ps.set_capacity(f64::from(cpus) * self.derate);
         // Growth may unblock queued work; shrink re-plans completions.
+        self.drain(now, cal, cfg);
+    }
+
+    /// Applies (or, with `factor == 1.0`, clears) a straggler derating:
+    /// the VM still advertises its allocated CPUs, but the PS queue only
+    /// progresses at `factor` of them — a silent slowdown the controller
+    /// can only observe through rising pressure.
+    pub fn set_derate(
+        &mut self,
+        now: SimTime,
+        factor: f64,
+        cal: &mut Calendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        if !self.alive {
+            return;
+        }
+        self.derate = factor.clamp(0.0, 1.0);
+        self.ps.advance(now);
+        self.ps
+            .set_capacity(f64::from(self.allocated_cpus) * self.derate);
         self.drain(now, cal, cfg);
     }
 
@@ -503,6 +546,8 @@ impl InvokerState {
         self.starting_cap = 0.0;
         self.containers.clear();
         self.memory_used = 0;
+        self.allocated_cpus = 0;
+        self.derate = 1.0;
         self.ps = PsQueue::new(0.0);
         self.ps.advance(now);
         EvictedWork { started, queued }
@@ -815,6 +860,53 @@ mod tests {
         // Post-eviction timers are ignored gracefully.
         let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(100));
         assert!(finished.is_empty());
+    }
+
+    #[test]
+    fn stale_startup_after_eviction_is_counted_not_processed() {
+        let (mut iv, mut cal) = fresh(1, 64 * 1024);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 1, 30.0, 256), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 1);
+        // Evict before the 500 ms StartupDone fires.
+        let work = iv.evict(SimTime::from_micros(100_000), &mut cal);
+        assert_eq!(work.started.len(), 1);
+        assert_eq!(iv.dropped_completions, 0);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(100));
+        assert!(finished.is_empty());
+        // The stale StartupDone was dropped and accounted.
+        assert_eq!(iv.dropped_completions, 1);
+    }
+
+    #[test]
+    fn derate_slows_execution_but_not_the_advertised_cpus() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = PlatformConfig {
+            cold_start_delay: SimDuration::ZERO,
+            admission_pressure: 10.0, // let jobs contend
+            ..cfg()
+        };
+        // Two 4-second 1-core jobs on 4 CPUs would finish at t=4 each;
+        // derated to a quarter (1 effective core, GPS share 0.5 each)
+        // they finish at t=8.
+        iv.deliver(SimTime::ZERO, inv(0, 1, 4.0, 256), &mut cal, &c);
+        iv.deliver(SimTime::ZERO, inv(1, 2, 4.0, 256), &mut cal, &c);
+        iv.set_derate(SimTime::ZERO, 0.25, &mut cal, &c);
+        // Advertised CPUs are unchanged; only effective capacity drops.
+        assert_eq!(iv.snapshot().cpus, 4);
+        assert_eq!(iv.cpus(), 4);
+        // Bound the drive short of the keep-alive expiries so `cal.now()`
+        // lands on the last completion.
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(9));
+        assert_eq!(finished.len(), 2);
+        assert_eq!(cal.now(), SimTime::from_secs(8));
+        // Clearing the derate restores full speed for the next pair.
+        iv.set_derate(SimTime::from_secs(10), 1.0, &mut cal, &c);
+        iv.deliver(SimTime::from_secs(10), inv(2, 1, 4.0, 256), &mut cal, &c);
+        iv.deliver(SimTime::from_secs(10), inv(3, 2, 4.0, 256), &mut cal, &c);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(15));
+        assert_eq!(finished.len(), 2);
+        assert_eq!(cal.now(), SimTime::from_secs(14));
     }
 
     #[test]

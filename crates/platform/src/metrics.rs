@@ -34,6 +34,10 @@ pub enum Outcome {
     /// Still in flight when the measurement window closed (excluded from
     /// latency statistics).
     Censored,
+    /// Permanently lost to an injected fault: a dropped dispatch message
+    /// with recovery disabled, or destroyed work whose retries were
+    /// exhausted (or whose retry budget ran out).
+    Lost,
 }
 
 /// One finished invocation.
@@ -155,6 +159,17 @@ pub struct StreamingMetrics {
     pub rejections: u64,
     /// Invocations still in flight at window close.
     pub censored: u64,
+    /// Invocations permanently lost to faults (dropped dispatches without
+    /// recovery, or retries exhausted).
+    pub lost: u64,
+    /// Re-dispatch attempts fired by recovery (every `Redispatch` event).
+    pub retries: u64,
+    /// Destroyed in-flight work salvaged into the retry path (unwarned
+    /// kills, evictions, dead deliveries) — a subset of what `retries`
+    /// counts, which also covers lost dispatch messages.
+    pub redispatches: u64,
+    /// Total invoker-seconds spent quarantined out of placement.
+    pub quarantine_secs: f64,
     /// Invocations whose execution began.
     pub started: u64,
     /// Started invocations that cold-started.
@@ -188,6 +203,10 @@ impl Default for StreamingMetrics {
             eviction_failures: 0,
             rejections: 0,
             censored: 0,
+            lost: 0,
+            retries: 0,
+            redispatches: 0,
+            quarantine_secs: 0.0,
             started: 0,
             cold_started: 0,
             first_arrival: None,
@@ -226,6 +245,7 @@ impl StreamingMetrics {
             Outcome::FailedEviction => self.eviction_failures += 1,
             Outcome::Rejected => self.rejections += 1,
             Outcome::Censored => self.censored += 1,
+            Outcome::Lost => self.lost += 1,
         }
     }
 
@@ -290,12 +310,21 @@ pub struct MetricsCollector {
     pub cold_starts: u64,
     /// Number of VM evictions that hit the platform.
     pub vm_evictions: u64,
+    /// Number of crash-stop kills injected by a fault plan.
+    pub vm_crashes: u64,
     /// Invocations killed by evictions.
     pub eviction_failures: u64,
     /// Invocations rejected at placement.
     pub rejections: u64,
+    /// Invocations permanently lost to faults.
+    pub lost: u64,
     /// Live migrations completed (invocations moved off warned VMs).
     pub migrations: u64,
+    /// Times recovery put an invoker into quarantine.
+    pub quarantines: u64,
+    /// Stale invoker-side events (startup/completion races with eviction
+    /// teardown) that were dropped rather than processed.
+    pub dropped_completions: u64,
     record_sink: bool,
 }
 
@@ -309,9 +338,13 @@ impl Default for MetricsCollector {
             warm_starts: 0,
             cold_starts: 0,
             vm_evictions: 0,
+            vm_crashes: 0,
             eviction_failures: 0,
             rejections: 0,
+            lost: 0,
             migrations: 0,
+            quarantines: 0,
+            dropped_completions: 0,
             record_sink: true,
         }
     }
@@ -343,12 +376,63 @@ impl MetricsCollector {
         match record.outcome {
             Outcome::FailedEviction => self.eviction_failures += 1,
             Outcome::Rejected => self.rejections += 1,
+            Outcome::Lost => self.lost += 1,
             Outcome::Completed | Outcome::Censored => {}
         }
         self.streaming.record(&record);
         if self.record_sink {
             self.records.push(record);
         }
+    }
+
+    /// Counts one re-dispatch attempt (a `Redispatch` event firing).
+    pub fn note_retry(&mut self) {
+        self.streaming.retries += 1;
+    }
+
+    /// Counts one destroyed in-flight invocation salvaged into the retry
+    /// path instead of being recorded as a failure.
+    pub fn note_redispatch(&mut self) {
+        self.streaming.redispatches += 1;
+    }
+
+    /// Counts one invoker entering quarantine.
+    pub fn note_quarantine(&mut self) {
+        self.quarantines += 1;
+    }
+
+    /// Accumulates time an invoker spent quarantined.
+    pub fn note_quarantine_span(&mut self, span: SimDuration) {
+        self.streaming.quarantine_secs += span.as_secs_f64();
+    }
+
+    /// Invocation conservation: every arrival the controller accepted must
+    /// end in exactly one record. Returns `(arrivals, accounted)` where
+    /// `accounted` sums completions, eviction kills, rejections, censored
+    /// rows and fault losses.
+    pub fn conservation(&self) -> (u64, u64) {
+        let s = &self.streaming;
+        (
+            self.arrivals,
+            s.completed + s.eviction_failures + s.rejections + s.censored + s.lost,
+        )
+    }
+
+    /// Panics unless arrivals are fully accounted for.
+    pub fn assert_conservation(&self) {
+        let (arrivals, accounted) = self.conservation();
+        assert_eq!(
+            arrivals,
+            accounted,
+            "invocation conservation violated: {arrivals} arrivals vs \
+             {accounted} accounted (completed {} + evicted {} + rejected {} \
+             + censored {} + lost {})",
+            self.streaming.completed,
+            self.streaming.eviction_failures,
+            self.streaming.rejections,
+            self.streaming.censored,
+            self.streaming.lost,
+        );
     }
 
     /// Records a utilization sample.
@@ -374,6 +458,7 @@ impl MetricsCollector {
         let mut cold = 0u64;
         let mut failures = 0u64;
         let mut rejected = 0u64;
+        let mut lost = 0u64;
         let mut first_arrival = SimTime::MAX;
         let mut last_finished = SimTime::ZERO;
         let mut latencies: Vec<f64> = Vec::new();
@@ -397,6 +482,7 @@ impl MetricsCollector {
                 }
                 Outcome::FailedEviction => failures += 1,
                 Outcome::Rejected => rejected += 1,
+                Outcome::Lost => lost += 1,
                 Outcome::Censored => {}
             }
         }
@@ -415,6 +501,7 @@ impl MetricsCollector {
             completed,
             eviction_failures: failures,
             rejections: rejected,
+            lost,
             cold_start_rate: if started == 0 {
                 0.0
             } else {
@@ -470,6 +557,8 @@ pub struct RunMetrics {
     pub eviction_failures: u64,
     /// Invocations rejected at placement.
     pub rejections: u64,
+    /// Invocations permanently lost to faults.
+    pub lost: u64,
     /// Cold starts over started invocations.
     pub cold_start_rate: f64,
     /// Eviction failures over arrivals.
@@ -667,6 +756,22 @@ mod tests {
         assert!(off.samples.is_empty());
         assert_eq!(on.streaming.utilization.count(), 1);
         assert_eq!(off.streaming.utilization.count(), 1);
+    }
+
+    #[test]
+    fn lost_outcome_counts_and_conserves() {
+        let mut c = MetricsCollector::new();
+        c.arrivals = 3;
+        c.push(rec(0, 1, 1.0, false, Outcome::Completed));
+        c.push(rec(1, 2, 0.0, false, Outcome::Lost));
+        c.push(rec(2, 3, 0.0, false, Outcome::Censored));
+        assert_eq!(c.lost, 1);
+        assert_eq!(c.streaming.lost, 1);
+        assert_eq!(c.aggregate(SimTime::ZERO).lost, 1);
+        c.assert_conservation();
+        c.arrivals = 4;
+        let (arrivals, accounted) = c.conservation();
+        assert_ne!(arrivals, accounted);
     }
 
     #[test]

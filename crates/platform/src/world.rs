@@ -1,6 +1,9 @@
 //! The platform world: wires VM traces, invokers, the controller, and the
 //! workload into one deterministic discrete-event simulation.
 
+use std::collections::{BTreeMap, HashMap};
+
+use hrv_fault::{DispatchOutcome, DispatchSampler, FaultKind, FaultPlan, WarningFault};
 use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::InvokerId;
 use hrv_sim::calendar::{Calendar, Scheduled};
@@ -78,6 +81,25 @@ enum SlotSource {
     Monitor(VmTemplate),
 }
 
+/// Why an invocation's current placement was destroyed — determines the
+/// detection delay before recovery can re-dispatch it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LossCause {
+    /// The hosting VM was evicted (warned or not); the controller learns
+    /// of the death from ping loss after one ping interval.
+    Eviction,
+    /// Crash-stop kill: nothing announces the death, so detection waits
+    /// for the health-probe timeout.
+    Crash,
+    /// The dispatch message landed on an already-dead invoker; silence
+    /// until the probe timeout.
+    DeadDelivery,
+    /// The dispatch message itself was lost. The controller's send is
+    /// fire-and-forget, so recovery re-rolls immediately (modeling an
+    /// at-least-once bus retry) with only the backoff delay.
+    DispatchDrop,
+}
+
 /// The complete simulated platform.
 pub struct PlatformWorld {
     cfg: PlatformConfig,
@@ -89,6 +111,23 @@ pub struct PlatformWorld {
     pub metrics: MetricsCollector,
     retry_armed: bool,
     monitor_pending_cpus: u32,
+    /// Dispatch-message fault process, if the fault plan carries one.
+    dispatch_faults: Option<DispatchSampler>,
+    /// True inside a view-staleness window: health pings are dropped.
+    view_frozen: bool,
+    /// Re-dispatch attempts per in-flight invocation id (empty unless
+    /// recovery is actively retrying something).
+    attempts: HashMap<u64, u32>,
+    /// Invocations waiting on a scheduled [`Event::Redispatch`], so a run
+    /// that ends first can censor them.
+    pending_redispatch: BTreeMap<u64, Invocation>,
+    /// Remaining global retry budget (from
+    /// [`crate::config::RecoveryConfig`]).
+    retry_budget: u64,
+    /// When each currently-quarantined invoker entered quarantine.
+    quarantine_since: BTreeMap<InvokerIndex, SimTime>,
+    /// Consecutive straggler strikes per invoker.
+    straggler_strikes: HashMap<InvokerIndex, u32>,
 }
 
 impl std::fmt::Debug for PlatformWorld {
@@ -128,10 +167,28 @@ impl PlatformWorld {
     /// runs in constant memory.
     pub fn from_stream(
         spec: ClusterSpec,
+        arrivals: Box<dyn ArrivalStream>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+    ) -> (Self, Calendar<Event>) {
+        PlatformWorld::from_stream_with_faults(spec, arrivals, policy, cfg, seed, FaultPlan::none())
+    }
+
+    /// [`PlatformWorld::from_stream`] plus an injected fault plan.
+    ///
+    /// The plan's timed faults become calendar events, its warning faults
+    /// rewrite each VM's eviction-warning schedule, and its dispatch
+    /// process (if any) gates every controller→invoker placement message.
+    /// Injecting [`FaultPlan::none`] is a strict no-op: no extra events,
+    /// no extra randomness, byte-identical runs.
+    pub fn from_stream_with_faults(
+        spec: ClusterSpec,
         mut arrivals: Box<dyn ArrivalStream>,
         policy: Box<dyn LoadBalancer>,
         cfg: PlatformConfig,
         seed: u64,
+        faults: FaultPlan,
     ) -> (Self, Calendar<Event>) {
         cfg.validate();
         let mut cal = Calendar::new();
@@ -155,17 +212,51 @@ impl PlatformWorld {
                 VmEnd::Censored => {}
                 VmEnd::Evicted | VmEnd::Removed => {
                     if let Some(warn_at) = vm.warning_time() {
-                        cal.schedule(warn_at.max(vm.deploy), Event::VmWarn { invoker: index });
+                        match faults.warning_fault(index) {
+                            None => {
+                                cal.schedule(
+                                    warn_at.max(vm.deploy),
+                                    Event::VmWarn { invoker: index },
+                                );
+                            }
+                            Some(WarningFault::Drop) => {}
+                            Some(WarningFault::Delay(by)) => {
+                                // A warning delayed past the eviction
+                                // itself is as good as dropped.
+                                let at = (warn_at + by).max(vm.deploy);
+                                if at < vm.end {
+                                    cal.schedule(at, Event::VmWarn { invoker: index });
+                                }
+                            }
+                        }
                     }
                     cal.schedule(vm.end, Event::VmEvict { invoker: index });
                 }
             }
+        }
+        for fe in &faults.events {
+            let event = match fe.kind {
+                FaultKind::Crash { invoker } => Event::FaultCrash { invoker },
+                FaultKind::StragglerStart { invoker, factor } => {
+                    Event::FaultStraggler { invoker, factor }
+                }
+                FaultKind::StragglerEnd { invoker } => Event::FaultStraggler {
+                    invoker,
+                    factor: 1.0,
+                },
+                FaultKind::ViewFreeze => Event::FaultViewFreeze { frozen: true },
+                FaultKind::ViewThaw => Event::FaultViewFreeze { frozen: false },
+            };
+            cal.schedule(fe.at, event);
         }
         if let Some(first) = arrivals.next_invocation() {
             cal.schedule(first.arrival, Event::Arrival(first));
         }
         if cfg.monitor.enabled {
             cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
+        }
+        if cfg.recovery.enabled {
+            cal.schedule_after(cfg.recovery.probe_interval, Event::HealthSweep);
         }
         if !cfg.sample_interval.is_zero() {
             cal.schedule(SimTime::ZERO, Event::Sample);
@@ -177,6 +268,7 @@ impl PlatformWorld {
         };
         let world = PlatformWorld {
             controller: Controller::new(policy, seed),
+            retry_budget: cfg.recovery.retry_budget,
             cfg,
             invokers,
             slots,
@@ -184,6 +276,12 @@ impl PlatformWorld {
             metrics,
             retry_armed: false,
             monitor_pending_cpus: 0,
+            dispatch_faults: faults.dispatch.map(|d| d.sampler()),
+            view_frozen: false,
+            attempts: HashMap::new(),
+            pending_redispatch: BTreeMap::new(),
+            quarantine_since: BTreeMap::new(),
+            straggler_strikes: HashMap::new(),
         };
         (world, cal)
     }
@@ -210,17 +308,92 @@ impl PlatformWorld {
 
     fn schedule_delivery(
         &mut self,
+        now: SimTime,
         cal: &mut Calendar<Event>,
         invoker: InvokerId,
         invocation: Invocation,
     ) {
-        cal.schedule_after(
-            self.cfg.bus_latency,
+        let delay = match self.dispatch_faults.as_mut().map(DispatchSampler::roll) {
+            None | Some(DispatchOutcome::Deliver) => self.cfg.bus_latency,
+            Some(DispatchOutcome::Delay(by)) => self.cfg.bus_latency + by,
+            Some(DispatchOutcome::Drop) => {
+                // The placement message vanished in the bus; the invoker
+                // never hears about this invocation.
+                self.fail_or_recover(now, invocation, false, false, LossCause::DispatchDrop, cal);
+                return;
+            }
+        };
+        cal.schedule(
+            now + delay,
             Event::Deliver {
                 invoker: invoker.0,
                 invocation,
             },
         );
+    }
+
+    /// An invocation's placement was destroyed (`cause` says how). With
+    /// recovery enabled and budget left, schedules a re-dispatch after the
+    /// cause's detection delay plus capped exponential backoff; otherwise
+    /// records the invocation as permanently gone.
+    fn fail_or_recover(
+        &mut self,
+        now: SimTime,
+        inv: Invocation,
+        exec_started: bool,
+        cold: bool,
+        cause: LossCause,
+        cal: &mut Calendar<Event>,
+    ) {
+        self.controller.forget_inflight(inv.id);
+        let r = self.cfg.recovery;
+        let attempt = if r.enabled {
+            self.attempts.get(&inv.id).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        if r.enabled && attempt < r.max_retries && self.retry_budget > 0 {
+            self.retry_budget -= 1;
+            self.attempts.insert(inv.id, attempt + 1);
+            let backoff = r
+                .backoff_base
+                .mul_f64(2f64.powi(attempt as i32))
+                .min(r.backoff_cap);
+            let detection = match cause {
+                LossCause::Eviction => self.cfg.ping_interval,
+                LossCause::Crash | LossCause::DeadDelivery => r.probe_timeout,
+                LossCause::DispatchDrop => SimDuration::ZERO,
+            };
+            if cause != LossCause::DispatchDrop {
+                self.metrics.note_redispatch();
+            }
+            self.pending_redispatch.insert(inv.id, inv);
+            cal.schedule(
+                now + detection + backoff,
+                Event::Redispatch { invocation: inv },
+            );
+            return;
+        }
+        self.attempts.remove(&inv.id);
+        // Without recovery, a destroyed placement surfaces exactly as the
+        // pre-fault platform reported it (an eviction failure) so legacy
+        // runs stay byte-identical; a lost dispatch message has no legacy
+        // equivalent and is always a loss.
+        let outcome = if r.enabled || cause == LossCause::DispatchDrop {
+            Outcome::Lost
+        } else {
+            Outcome::FailedEviction
+        };
+        self.metrics.push(InvocationRecord {
+            id: inv.id,
+            arrival: inv.arrival,
+            finished: now,
+            latency_secs: 0.0,
+            exec_secs: 0.0,
+            cold,
+            exec_started,
+            outcome,
+        });
     }
 
     fn arm_retry(&mut self, cal: &mut Calendar<Event>) {
@@ -237,7 +410,7 @@ impl PlatformWorld {
             cal.schedule(next.arrival, Event::Arrival(next));
         }
         match self.controller.route(now, invocation) {
-            RouteOutcome::Placed(id) => self.schedule_delivery(cal, id, invocation),
+            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, id, invocation),
             RouteOutcome::Queued => self.arm_retry(cal),
         }
     }
@@ -252,17 +425,7 @@ impl PlatformWorld {
         let invoker = &mut self.invokers[idx as usize];
         if !invoker.alive {
             // The VM died while the message was in flight.
-            self.controller.forget_inflight(inv.id);
-            self.metrics.push(InvocationRecord {
-                id: inv.id,
-                arrival: inv.arrival,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: false,
-                exec_started: false,
-                outcome: Outcome::FailedEviction,
-            });
+            self.fail_or_recover(now, inv, false, false, LossCause::DeadDelivery, cal);
             return;
         }
         invoker.deliver(now, inv, cal, &self.cfg);
@@ -277,6 +440,10 @@ impl PlatformWorld {
     ) {
         for run in finished {
             let inv = run.invocation;
+            if !self.attempts.is_empty() {
+                // A retried invocation finally finished; stop tracking it.
+                self.attempts.remove(&inv.id);
+            }
             let latency = now.since(inv.arrival).as_secs_f64();
             let exec = now.since(run.exec_start).as_secs_f64();
             if run.cold {
@@ -322,33 +489,107 @@ impl PlatformWorld {
         self.metrics.vm_evictions += 1;
         let work = invoker.evict(now, cal);
         for run in work.started {
-            self.controller.forget_inflight(run.invocation.id);
-            self.metrics.push(InvocationRecord {
-                id: run.invocation.id,
-                arrival: run.invocation.arrival,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: run.cold,
-                exec_started: true,
-                outcome: Outcome::FailedEviction,
-            });
+            self.fail_or_recover(
+                now,
+                run.invocation,
+                true,
+                run.cold,
+                LossCause::Eviction,
+                cal,
+            );
         }
         for inv in work.queued {
-            self.controller.forget_inflight(inv.id);
-            self.metrics.push(InvocationRecord {
-                id: inv.id,
-                arrival: inv.arrival,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: false,
-                exec_started: false,
-                outcome: Outcome::FailedEviction,
-            });
+            self.fail_or_recover(now, inv, false, false, LossCause::Eviction, cal);
         }
         // The controller notices the dead invoker after a ping interval.
         cal.schedule_after(self.cfg.ping_interval, Event::InvokerDown { invoker: idx });
+    }
+
+    /// Fault injection: crash-stop kill. The VM vanishes mid-flight with
+    /// no warning and — unlike [`PlatformWorld::on_evict`] — no
+    /// [`Event::InvokerDown`] follows: nothing announces the death, so
+    /// without the health-probe sweep the controller keeps routing work
+    /// at the corpse indefinitely.
+    fn on_crash(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+        let invoker = &mut self.invokers[idx as usize];
+        if !invoker.alive {
+            return;
+        }
+        self.metrics.vm_crashes += 1;
+        let work = invoker.evict(now, cal);
+        for run in work.started {
+            self.fail_or_recover(now, run.invocation, true, run.cold, LossCause::Crash, cal);
+        }
+        for inv in work.queued {
+            self.fail_or_recover(now, inv, false, false, LossCause::Crash, cal);
+        }
+    }
+
+    /// Quarantines an invoker out of placement (no-op if already there).
+    fn quarantine(&mut self, now: SimTime, idx: InvokerIndex) {
+        if self.controller.set_quarantined(InvokerId(idx), true) {
+            self.metrics.note_quarantine();
+            self.quarantine_since.insert(idx, now);
+        }
+    }
+
+    /// Lifts a quarantine and accounts the time spent inside it.
+    fn unquarantine(&mut self, now: SimTime, idx: InvokerIndex) {
+        if self.controller.set_quarantined(InvokerId(idx), false) {
+            if let Some(since) = self.quarantine_since.remove(&idx) {
+                self.metrics
+                    .note_quarantine_span(now.saturating_since(since));
+            }
+        }
+    }
+
+    /// Straggler detection off the health pings: sustained high queue
+    /// pressure earns strikes; enough consecutive strikes quarantine the
+    /// invoker, and one healthy reading clears everything.
+    fn track_straggler(&mut self, now: SimTime, idx: InvokerIndex, pressure: f64) {
+        let r = self.cfg.recovery;
+        if pressure >= r.straggler_pressure {
+            let strikes = self.straggler_strikes.entry(idx).or_insert(0);
+            *strikes += 1;
+            if *strikes >= r.straggler_strikes {
+                self.quarantine(now, idx);
+            }
+        } else {
+            self.straggler_strikes.remove(&idx);
+            self.unquarantine(now, idx);
+        }
+    }
+
+    /// The controller's periodic health-probe sweep: invokers silent past
+    /// the probe timeout are quarantined; silent past `down_after`, they
+    /// are declared dead and removed from the view.
+    fn on_health_sweep(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        let r = self.cfg.recovery;
+        if !r.enabled {
+            return;
+        }
+        for (id, silence) in self.controller.silent_invokers(now, r.probe_timeout) {
+            if silence >= r.down_after {
+                self.unquarantine(now, id.0);
+                self.controller.on_invoker_down(id);
+            } else {
+                self.quarantine(now, id.0);
+            }
+        }
+        cal.schedule_after(r.probe_interval, Event::HealthSweep);
+    }
+
+    /// Recovery re-dispatch: routes a previously-destroyed invocation
+    /// again, as if it had just arrived.
+    fn on_redispatch(&mut self, now: SimTime, inv: Invocation, cal: &mut Calendar<Event>) {
+        if self.pending_redispatch.remove(&inv.id).is_none() {
+            return;
+        }
+        self.metrics.note_retry();
+        match self.controller.route(now, inv) {
+            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, id, inv),
+            RouteOutcome::Queued => self.arm_retry(cal),
+        }
     }
 
     fn on_monitor_tick(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
@@ -509,6 +750,24 @@ impl PlatformWorld {
                 outcome: Outcome::Censored,
             });
         }
+        // Invocations still waiting on a scheduled re-dispatch.
+        for (_, inv) in std::mem::take(&mut self.pending_redispatch) {
+            self.metrics.push(InvocationRecord {
+                id: inv.id,
+                arrival: inv.arrival,
+                finished: now,
+                latency_secs: 0.0,
+                exec_secs: 0.0,
+                cold: false,
+                exec_started: false,
+                outcome: Outcome::Censored,
+            });
+        }
+        // Close quarantine intervals still open at the horizon.
+        for (_, since) in std::mem::take(&mut self.quarantine_since) {
+            self.metrics
+                .note_quarantine_span(now.saturating_since(since));
+        }
     }
 }
 
@@ -537,7 +796,14 @@ impl World for PlatformWorld {
                 let inv = &self.invokers[invoker as usize];
                 if inv.alive {
                     let snap = inv.snapshot();
-                    self.controller.on_ping(now, InvokerId(invoker), snap);
+                    // Inside a staleness window the ping is dropped on the
+                    // floor; the invoker keeps pinging regardless.
+                    if !self.view_frozen {
+                        self.controller.on_ping(now, InvokerId(invoker), snap);
+                        if self.cfg.recovery.enabled {
+                            self.track_straggler(now, invoker, snap.pressure);
+                        }
+                    }
                     cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker });
                 }
             }
@@ -566,12 +832,19 @@ impl World for PlatformWorld {
                 invocation,
             } => self.on_migrate_done(now, src, dst, container, invocation, cal),
             Event::VmEvict { invoker } => self.on_evict(now, invoker, cal),
+            Event::FaultCrash { invoker } => self.on_crash(now, invoker, cal),
+            Event::FaultStraggler { invoker, factor } => {
+                self.invokers[invoker as usize].set_derate(now, factor, cal, &self.cfg);
+            }
+            Event::FaultViewFreeze { frozen } => self.view_frozen = frozen,
+            Event::Redispatch { invocation } => self.on_redispatch(now, invocation, cal),
+            Event::HealthSweep => self.on_health_sweep(now, cal),
             Event::RetryQueue => {
                 self.retry_armed = false;
                 let (placed, rejected) =
                     self.controller.retry_queue(now, self.cfg.placement_timeout);
                 for (inv, id) in placed {
-                    self.schedule_delivery(cal, id, inv);
+                    self.schedule_delivery(now, cal, id, inv);
                 }
                 for q in rejected {
                     self.metrics.push(InvocationRecord {
@@ -627,6 +900,27 @@ impl Simulation {
         Simulation { world, calendar }
     }
 
+    /// [`Simulation::new`] plus an injected [`FaultPlan`]. With the zero
+    /// plan this is byte-identical to [`Simulation::new`].
+    pub fn with_faults(
+        spec: ClusterSpec,
+        workload: Vec<Invocation>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+        faults: FaultPlan,
+    ) -> Self {
+        let (world, calendar) = PlatformWorld::from_stream_with_faults(
+            spec,
+            Box::new(SortedTraceStream::new(workload)),
+            policy,
+            cfg,
+            seed,
+            faults,
+        );
+        Simulation { world, calendar }
+    }
+
     /// Builds a simulation fed by a lazy arrival stream. With
     /// `cfg.record_invocations = false` this runs in constant memory
     /// regardless of how many invocations the stream produces; metrics
@@ -653,6 +947,12 @@ impl Simulation {
         let end = SimTime::ZERO + horizon;
         let run = run_until(&mut self.world, &mut self.calendar, end, max_events);
         self.world.censor_remaining(self.calendar.now());
+        self.world.metrics.dropped_completions = self
+            .world
+            .invokers
+            .iter()
+            .map(|i| i.dropped_completions)
+            .sum();
         SimOutput {
             cold_starts: self.world.total_cold_starts(),
             warm_starts: self.world.total_warm_starts(),
@@ -1142,5 +1442,251 @@ mod migration_tests {
         )
         .run(horizon);
         assert_eq!(out.collector.migrations, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use hrv_lb::policy::PolicyKind;
+    use hrv_trace::faas::{Workload, WorkloadSpec};
+    use hrv_trace::rng::SeedFactory;
+
+    fn workload(rps: f64, horizon: SimDuration) -> Vec<Invocation> {
+        let spec = WorkloadSpec::paper_fsmall().scaled(30, rps);
+        Workload::generate(&spec, &SeedFactory::new(17)).invocations(horizon, &SeedFactory::new(17))
+    }
+
+    fn crash_plan(at_secs: u64, invoker: u32) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        plan.push(SimTime::from_secs(at_secs), FaultKind::Crash { invoker });
+        plan.finish();
+        plan
+    }
+
+    fn run_crash(recovery: bool) -> SimOutput {
+        let horizon = SimDuration::from_secs(400);
+        let spec = ClusterSpec::regular(2, 8, 32 * 1024, horizon);
+        let mut cfg = PlatformConfig::default();
+        cfg.recovery.enabled = recovery;
+        Simulation::with_faults(
+            spec,
+            workload(4.0, SimDuration::from_secs(300)),
+            PolicyKind::Mws.build(),
+            cfg,
+            42,
+            crash_plan(60, 0),
+        )
+        .run(horizon)
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_run() {
+        let horizon = SimDuration::from_secs(400);
+        let mk_plain = || {
+            Simulation::new(
+                ClusterSpec::regular(3, 8, 32 * 1024, horizon),
+                workload(3.0, SimDuration::from_secs(300)),
+                PolicyKind::Mws.build(),
+                PlatformConfig::default(),
+                42,
+            )
+            .run(horizon)
+        };
+        let mk_faulted = || {
+            Simulation::with_faults(
+                ClusterSpec::regular(3, 8, 32 * 1024, horizon),
+                workload(3.0, SimDuration::from_secs(300)),
+                PolicyKind::Mws.build(),
+                PlatformConfig::default(),
+                42,
+                FaultPlan::none(),
+            )
+            .run(horizon)
+        };
+        let plain = mk_plain();
+        let faulted = mk_faulted();
+        assert_eq!(plain.collector.records, faulted.collector.records);
+        assert_eq!(plain.cold_starts, faulted.cold_starts);
+        assert_eq!(
+            plain.collector.streaming.completed,
+            faulted.collector.streaming.completed
+        );
+    }
+
+    #[test]
+    fn crash_without_recovery_keeps_killing_work() {
+        let out = run_crash(false);
+        assert_eq!(out.collector.vm_crashes, 1);
+        // Nothing announces the crash: work on the corpse at kill time
+        // dies, and the controller keeps routing fresh work at the dead
+        // invoker, which dies too on delivery.
+        let m = out.collector.aggregate(SimTime::ZERO);
+        assert!(m.eviction_failures > 20, "failures {}", m.eviction_failures);
+        assert_eq!(out.collector.streaming.retries, 0);
+        out.collector.assert_conservation();
+    }
+
+    #[test]
+    fn crash_with_recovery_redispatches_and_quarantines() {
+        let without = run_crash(false);
+        let with = run_crash(true);
+        assert_eq!(with.collector.vm_crashes, 1);
+        // Health probes take the corpse out of the view and retries
+        // re-dispatch the destroyed work.
+        assert!(with.collector.quarantines >= 1, "no quarantine happened");
+        assert!(with.collector.streaming.retries > 0, "no retries happened");
+        assert!(with.collector.streaming.redispatches > 0);
+        let lost_with = with.collector.eviction_failures + with.collector.lost;
+        let lost_without = without.collector.eviction_failures + without.collector.lost;
+        assert!(
+            lost_with < lost_without,
+            "recovery did not reduce lost work: {lost_with} vs {lost_without}"
+        );
+        with.collector.assert_conservation();
+        without.collector.assert_conservation();
+    }
+
+    #[test]
+    fn dropped_warning_turns_eviction_into_surprise() {
+        // A warned VM sheds placements before dying; with the warning
+        // suppressed, the eviction kills strictly more work.
+        let horizon = SimDuration::from_secs(400);
+        let dying = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::from_secs(120),
+            VmEnd::Evicted,
+            8,
+            32 * 1024,
+        );
+        let safe = VmTrace::constant(
+            SimTime::ZERO,
+            SimTime::ZERO + horizon,
+            VmEnd::Censored,
+            8,
+            32 * 1024,
+        );
+        let mk = |plan: FaultPlan| {
+            Simulation::with_faults(
+                ClusterSpec::from_traces(vec![dying.clone(), safe.clone()]),
+                workload(4.0, SimDuration::from_secs(300)),
+                PolicyKind::Jsq.build(),
+                PlatformConfig::default(),
+                7,
+                plan,
+            )
+            .run(horizon)
+        };
+        let warned = mk(FaultPlan::none());
+        let mut plan = FaultPlan::default();
+        plan.warnings.insert(0, WarningFault::Drop);
+        let surprised = mk(plan);
+        assert!(
+            surprised.collector.eviction_failures > warned.collector.eviction_failures,
+            "dropping the warning should kill more work: {} vs {}",
+            surprised.collector.eviction_failures,
+            warned.collector.eviction_failures
+        );
+    }
+
+    #[test]
+    fn straggler_window_quarantines_then_recovers() {
+        let horizon = SimDuration::from_secs(400);
+        let mut plan = FaultPlan::default();
+        plan.push(
+            SimTime::from_secs(60),
+            FaultKind::StragglerStart {
+                invoker: 0,
+                factor: 0.05,
+            },
+        );
+        plan.push(
+            SimTime::from_secs(200),
+            FaultKind::StragglerEnd { invoker: 0 },
+        );
+        plan.finish();
+        let mut cfg = PlatformConfig::default();
+        cfg.recovery.enabled = true;
+        let out = Simulation::with_faults(
+            ClusterSpec::regular(2, 4, 16 * 1024, horizon),
+            workload(6.0, SimDuration::from_secs(300)),
+            PolicyKind::Jsq.build(),
+            cfg,
+            42,
+            plan,
+        )
+        .run(horizon);
+        assert!(
+            out.collector.quarantines >= 1,
+            "straggler never quarantined"
+        );
+        assert!(
+            out.collector.streaming.quarantine_secs > 0.0,
+            "no quarantine time accumulated"
+        );
+        out.collector.assert_conservation();
+    }
+
+    #[test]
+    fn dispatch_drops_are_recovered() {
+        use hrv_fault::DispatchFaults;
+        use hrv_trace::dist::BoundedPareto;
+        let horizon = SimDuration::from_secs(400);
+        let plan = FaultPlan {
+            dispatch: Some(DispatchFaults {
+                drop_prob: 0.2,
+                delay_prob: 0.1,
+                delay: BoundedPareto::new(0.05, 1.0, 1.3),
+                seed: 9,
+            }),
+            ..Default::default()
+        };
+        let mut cfg = PlatformConfig::default();
+        cfg.recovery.enabled = true;
+        let out = Simulation::with_faults(
+            ClusterSpec::regular(2, 8, 32 * 1024, horizon),
+            workload(3.0, SimDuration::from_secs(300)),
+            PolicyKind::Mws.build(),
+            cfg,
+            42,
+            plan,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        assert!(out.collector.streaming.retries > 0, "no drops were retried");
+        // With retries covering the drops, nearly everything completes.
+        assert!(
+            m.completed as f64 / m.arrivals as f64 > 0.95,
+            "completed {}/{}",
+            m.completed,
+            m.arrivals
+        );
+        out.collector.assert_conservation();
+    }
+
+    #[test]
+    fn view_freeze_window_is_survivable() {
+        let horizon = SimDuration::from_secs(300);
+        let mut plan = FaultPlan::default();
+        plan.push(SimTime::from_secs(50), FaultKind::ViewFreeze);
+        plan.push(SimTime::from_secs(100), FaultKind::ViewThaw);
+        plan.finish();
+        let out = Simulation::with_faults(
+            ClusterSpec::regular(2, 8, 32 * 1024, horizon),
+            workload(3.0, SimDuration::from_secs(200)),
+            PolicyKind::Jsq.build(),
+            PlatformConfig::default(),
+            42,
+            plan,
+        )
+        .run(horizon);
+        let m = out.collector.aggregate(SimTime::ZERO);
+        assert!(
+            m.completed as f64 / m.arrivals as f64 > 0.95,
+            "completed {}/{}",
+            m.completed,
+            m.arrivals
+        );
+        out.collector.assert_conservation();
     }
 }

@@ -141,6 +141,7 @@ fn rejection_after_placement_timeout() {
         .records
         .iter()
         .all(|r| r.outcome == Outcome::Rejected));
+    out.collector.assert_conservation();
 }
 
 #[test]
@@ -185,6 +186,9 @@ fn monitor_replaces_lost_capacity_end_to_end() {
         .filter(|r| r.arrival >= SimTime::from_secs(120) && r.outcome == Outcome::Completed)
         .count();
     assert!(late_ok >= 25, "only {late_ok} late invocations completed");
+    // Even across the eviction gap, every arrival must be accounted for:
+    // completed, destroyed by the eviction, rejected, censored, or lost.
+    out.collector.assert_conservation();
 }
 
 #[test]
