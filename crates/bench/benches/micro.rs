@@ -9,8 +9,10 @@ use std::hint::black_box;
 
 use harvest_faas::hrv_lb::estimate::SampleHistogram;
 use harvest_faas::hrv_lb::hashring::HashRing;
+use harvest_faas::hrv_lb::hashring::WalkSeen;
 use harvest_faas::hrv_lb::view::InvokerId;
 use harvest_faas::hrv_sim::calendar::Calendar;
+use harvest_faas::hrv_sim::calendar_reference;
 use harvest_faas::hrv_sim::ps::{JobId, PsQueue};
 use harvest_faas::hrv_trace::faas::{AppId, FunctionId};
 use harvest_faas::hrv_trace::time::SimTime;
@@ -32,6 +34,37 @@ fn bench_calendar(c: &mut Criterion) {
     c.bench_function("calendar/cancel_heavy", |b| {
         b.iter(|| {
             let mut cal = Calendar::new();
+            let ids: Vec<_> = (0..1_000u64)
+                .map(|i| cal.schedule(SimTime::from_micros(i), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                cal.cancel(*id);
+            }
+            let mut n = 0;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    // The same workloads against the executable spec (heap + tombstone
+    // set), so `cargo bench` reports the timer wheel's speedup directly.
+    c.bench_function("calendar_reference/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut cal = calendar_reference::Calendar::new();
+            for i in 0..1_000u64 {
+                cal.schedule(SimTime::from_micros(i * 37 % 50_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(ev) = cal.pop() {
+                acc = acc.wrapping_add(ev.event);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("calendar_reference/cancel_heavy", |b| {
+        b.iter(|| {
+            let mut cal = calendar_reference::Calendar::new();
             let ids: Vec<_> = (0..1_000u64)
                 .map(|i| cal.schedule(SimTime::from_micros(i), i))
                 .collect();
@@ -86,6 +119,16 @@ fn bench_hash_ring(c: &mut Criterion) {
                 func: 0,
             };
             black_box(ring.walk(f).take(5).count())
+        })
+    });
+    c.bench_function("ring/walk_5_reused_scratch", |b| {
+        let mut seen = WalkSeen::new();
+        b.iter(|| {
+            let f = FunctionId {
+                app: AppId(7),
+                func: 0,
+            };
+            black_box(ring.walk_with(f, &mut seen).take(5).count())
         })
     });
     c.bench_function("ring/member_churn", |b| {

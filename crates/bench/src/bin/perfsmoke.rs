@@ -1,17 +1,23 @@
 //! Perf-smoke harness: quick wall-clock numbers for the simulator's hot
 //! paths, written to `BENCH_perfsmoke.json` at the repo root.
 //!
-//! Four probes:
+//! Six probes:
 //!
 //! 1. **calendar** — schedule/cancel/pop churn through the event
 //!    calendar, the data structure every simulated event crosses;
-//! 2. **ps** — completion throughput of the virtual-time [`PsQueue`]
+//! 2. **calendar_churn** — a cancel-dominated mix with far-future
+//!    (overflow-ladder) timers, asserting the tombstone bound
+//!    `tombstones ≤ max(live, 1024)` after every operation batch;
+//! 3. **ps** — completion throughput of the virtual-time [`PsQueue`]
 //!    against the segment-walking reference implementation at 10, 100,
 //!    1 000 and 10 000 concurrent jobs (the rewrite must clear 3× at
 //!    1 000);
-//! 3. **replay** — a short end-to-end MWS replay on the Harvest cluster,
+//! 4. **placement** — MWS and sampled-JSQ placement decisions per second
+//!    against a 64-invoker view with live load bookkeeping (the
+//!    dispatch hot path the scratch-buffer work de-allocates);
+//! 5. **replay** — a short end-to-end MWS replay on the Harvest cluster,
 //!    the closest thing to "how fast do real experiments run";
-//! 4. **scale** — the full-volume `F_large` streaming drain (default
+//! 6. **scale** — the full-volume `F_large` streaming drain (default
 //!    10⁸ invocations; override with `PERFSMOKE_SCALE_INVOCATIONS` for
 //!    CI-sized runs) plus a constant-memory full-platform replay, both
 //!    under an RSS-growth assertion.
@@ -29,7 +35,30 @@ use hrv_bench::replay;
 use hrv_bench::scale::{
     run_platform_scale, run_stream_scale, PlatformScaleReport, StreamScaleConfig, StreamScaleReport,
 };
+use hrv_lb::jsq::{Jsq, JsqMetric};
+use hrv_lb::mws::Mws;
+use hrv_lb::policy::LoadBalancer;
+use hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
 use hrv_sim::calendar::Calendar;
+use hrv_trace::faas::{AppId, FunctionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs a probe `rounds` times and keeps the round with the highest rate
+/// (`f` returns `(wall_secs, rate, ..)`). The micro probes finish in tens
+/// of milliseconds, where scheduler noise on shared runners dominates;
+/// best-of-N recovers the machine's actual throughput the way
+/// min-statistics benchmarking does.
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> (f64, f64, T)) -> (f64, f64, T) {
+    let mut best = f();
+    for _ in 1..rounds {
+        let next = f();
+        if next.1 > best.1 {
+            best = next;
+        }
+    }
+    best
+}
 
 /// Calendar churn: a rolling window of pending timers where half of all
 /// scheduled events are cancelled before they fire — the invoker
@@ -61,6 +90,123 @@ fn bench_calendar(total_events: usize) -> (f64, f64) {
     }
     let secs = start.elapsed().as_secs_f64();
     (secs, popped as f64 / secs)
+}
+
+/// Cancel-dominated calendar churn: 75% of near-term timers are cancelled
+/// before firing and every burst arms far-future (overflow-ladder) timers
+/// that are also cancelled — the worst case for tombstone accumulation.
+/// Asserts the bounded-tombstone invariant after every burst.
+fn bench_calendar_churn(total_ops: usize) -> (f64, f64, usize) {
+    let start = Instant::now();
+    let mut cal: Calendar<u64> = Calendar::with_capacity(4_096);
+    let mut near: Vec<hrv_sim::calendar::EventId> = Vec::with_capacity(64);
+    let mut far: std::collections::VecDeque<hrv_sim::calendar::EventId> =
+        std::collections::VecDeque::with_capacity(16);
+    let mut ops = 0usize;
+    let mut max_tombstones = 0usize;
+    let mut i = 0u64;
+    while ops < total_ops {
+        let base = cal.now().as_micros();
+        for k in 0..64u64 {
+            let at = SimTime::from_micros(base + k + 1);
+            let id = cal.schedule(at, i * 64 + k);
+            if k % 4 != 3 {
+                near.push(id);
+            }
+        }
+        // Far-future timers land on the overflow ladder (≥ 2⁴³ µs away),
+        // like VM-lifetime sentinels; cancel the previous burst's pair.
+        for k in 0..2u64 {
+            let at = SimTime::from_micros(base + (1 << 43) + k);
+            far.push_back(cal.schedule(at, k));
+        }
+        while far.len() > 2 {
+            cal.cancel(far.pop_front().unwrap());
+            ops += 1;
+        }
+        for id in near.drain(..) {
+            cal.cancel(id);
+            ops += 1;
+        }
+        // Tombstones peak right after the cancel storm, before pops sweep
+        // the opened ticks; the bound must hold here too.
+        max_tombstones = max_tombstones.max(cal.tombstones());
+        assert!(
+            cal.tombstones() <= cal.len().max(1_024),
+            "stale-tombstone leak after cancels: {} tombstones vs {} live events",
+            cal.tombstones(),
+            cal.len()
+        );
+        for _ in 0..16 {
+            if cal.pop().is_some() {
+                ops += 1;
+            }
+        }
+        ops += 66; // the schedules above
+        assert!(
+            cal.tombstones() <= cal.len().max(1_024),
+            "stale-tombstone leak: {} tombstones vs {} live events",
+            cal.tombstones(),
+            cal.len()
+        );
+        i += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs, ops as f64 / secs, max_tombstones)
+}
+
+/// Placement decisions per second: drives one load balancer against a
+/// 64-invoker view, cycling 509 functions, with controller-style load
+/// bookkeeping through `ClusterView::update` so the placeable index stays
+/// on its incremental path.
+fn drive_placement(lb: &mut dyn LoadBalancer, placements: u64) -> f64 {
+    let mut view = ClusterView::new();
+    for i in 0..64 {
+        lb.on_invoker_join(InvokerId(i));
+        view.add(InvokerView::register(
+            InvokerId(i),
+            8,
+            64 * 1024,
+            SimTime::ZERO,
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    let start = Instant::now();
+    for i in 0..placements {
+        let f = FunctionId {
+            app: AppId((i % 509) as u32),
+            func: 0,
+        };
+        let now = SimTime::from_micros(i * 200);
+        lb.on_arrival(f, now);
+        let id = lb
+            .place(now, f, 256, &view, &mut rng)
+            .expect("fleet is placeable");
+        view.update(id, |v| {
+            v.cpu_in_use = (v.cpu_in_use + 0.25).min(8.0);
+            v.inflight += 1;
+        });
+        if i % 2 == 1 {
+            // Completion-style decay on a rotating invoker.
+            view.update(InvokerId((i % 64) as u32), |v| {
+                v.cpu_in_use = (v.cpu_in_use - 0.45).max(0.0);
+                v.inflight = v.inflight.saturating_sub(1);
+            });
+        }
+    }
+    placements as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_placement(placements: u64) -> (f64, f64) {
+    let (_, mws_rate, ()) = best_of(3, || {
+        let mut mws = Mws::new(LoadWeights::default(), 1);
+        (0.0, drive_placement(&mut mws, placements), ())
+    });
+    let (_, jsq_rate, ()) = best_of(3, || {
+        let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, Some(2));
+        (0.0, drive_placement(&mut jsq, placements), ())
+    });
+    (mws_rate, jsq_rate)
 }
 
 /// Drives a PS queue at steady `concurrency`: every completion is
@@ -191,25 +337,47 @@ fn bench_scale(target: u64) -> (StreamScaleReport, PlatformScaleReport) {
              memory is no longer independent of invocation count"
         );
     }
-    eprintln!("perfsmoke: scale platform — streaming F_large replay on 480 CPUs...");
-    let plat = run_platform_scale(200, 4.0, SimDuration::from_mins(30));
-    if let Some(growth) = plat.rss_growth_mb {
-        assert!(
-            growth <= SCALE_RSS_MARGIN_MB,
-            "streaming platform run RSS grew {growth:.0} MiB (> {SCALE_RSS_MARGIN_MB} MiB)"
-        );
+    eprintln!("perfsmoke: scale platform — streaming F_large replay on 480 CPUs (best of 5)...");
+    let mut plat: Option<PlatformScaleReport> = None;
+    for _ in 0..5 {
+        let p = run_platform_scale(200, 4.0, SimDuration::from_mins(30));
+        if let Some(growth) = p.rss_growth_mb {
+            assert!(
+                growth <= SCALE_RSS_MARGIN_MB,
+                "streaming platform run RSS grew {growth:.0} MiB (> {SCALE_RSS_MARGIN_MB} MiB)"
+            );
+        }
+        if plat
+            .as_ref()
+            .map(|b| p.events_per_sec > b.events_per_sec)
+            .unwrap_or(true)
+        {
+            plat = Some(p);
+        }
     }
-    (gen, plat)
+    (gen, plat.expect("at least one platform round ran"))
 }
 
 fn main() {
     let scale_invocations = scale_target();
     let calendar_events = 1_000_000usize;
-    eprintln!("perfsmoke: calendar churn ({calendar_events} pops)...");
-    let (cal_secs, cal_rate) = bench_calendar(calendar_events);
+    eprintln!("perfsmoke: calendar churn ({calendar_events} pops, best of 3)...");
+    let (cal_secs, cal_rate, ()) = best_of(3, || {
+        let (s, r) = bench_calendar(calendar_events);
+        (s, r, ())
+    });
+
+    let churn_ops = 2_000_000usize;
+    eprintln!("perfsmoke: calendar cancel-heavy churn ({churn_ops} ops, best of 3)...");
+    let (churn_secs, churn_rate, churn_max_tombstones) =
+        best_of(3, || bench_calendar_churn(churn_ops));
 
     eprintln!("perfsmoke: ps queue new vs reference...");
     let ps_rows = bench_ps();
+
+    let placements = 200_000u64;
+    eprintln!("perfsmoke: placement loop ({placements} placements per policy, best of 3)...");
+    let (mws_rate, jsq_rate) = bench_placement(placements);
 
     eprintln!("perfsmoke: 10-minute MWS replay...");
     let (replay_secs, replay_events, replay_completed) = bench_replay();
@@ -261,7 +429,12 @@ fn main() {
     );
     let json = format!(
         "{{\n  \"calendar\": {{ \"pops\": {calendar_events}, \"wall_secs\": {cal_secs:.3}, \
-         \"pops_per_sec\": {cal_rate:.0} }},\n  \"ps\": [\n{ps_json}\n  ],\n  \
+         \"pops_per_sec\": {cal_rate:.0} }},\n  \"calendar_churn\": {{ \"ops\": {churn_ops}, \
+         \"wall_secs\": {churn_secs:.3}, \"ops_per_sec\": {churn_rate:.0}, \
+         \"max_tombstones\": {churn_max_tombstones} }},\n  \"ps\": [\n{ps_json}\n  ],\n  \
+         \"placement\": {{ \"placements\": {placements}, \
+         \"mws_placements_per_sec\": {mws_rate:.0}, \
+         \"jsq_sampled_placements_per_sec\": {jsq_rate:.0} }},\n  \
          \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
          \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
          \"completed_invocations\": {replay_completed} }},\n{scale_json}\n}}\n",

@@ -5,6 +5,11 @@
 //! when VMs are evicted or deployed: only the functions whose home was the
 //! departed VM (or falls to the new VM) are reshuffled, which is what
 //! keeps the cold-start rate flat across churn.
+//!
+//! Ring walks are the placement hot path (one or two per arrival), so the
+//! ring stores compact member *slots* instead of invoker ids and walk
+//! deduplication uses an epoch-stamped mark table ([`WalkSeen`]) that a
+//! caller can reuse across placements — a full walk allocates nothing.
 
 use hrv_trace::faas::FunctionId;
 use hrv_trace::rng::{label_id, splitmix64};
@@ -15,11 +20,53 @@ use crate::view::InvokerId;
 /// share each invoker owns at the cost of a bigger ring.
 pub const DEFAULT_VNODES: u32 = 64;
 
+/// Reusable walk-deduplication scratch: one mark per member slot, stamped
+/// with the epoch of the walk that last saw it. Starting a new walk bumps
+/// the epoch instead of clearing the marks, so `begin` is O(1) and a walk
+/// performs zero allocations once the table has grown to the fleet size.
+#[derive(Debug, Clone, Default)]
+pub struct WalkSeen {
+    epoch: u64,
+    marks: Vec<u64>,
+}
+
+impl WalkSeen {
+    /// Creates an empty scratch table.
+    pub fn new() -> Self {
+        WalkSeen::default()
+    }
+
+    fn begin(&mut self, members: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale marks could alias the new epoch.
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        if self.marks.len() < members {
+            self.marks.resize(members, 0);
+        }
+    }
+
+    /// Marks `slot` as seen this walk; returns true if it was new.
+    fn insert(&mut self, slot: u32) -> bool {
+        let m = &mut self.marks[slot as usize];
+        if *m == self.epoch {
+            false
+        } else {
+            *m = self.epoch;
+            true
+        }
+    }
+}
+
 /// A consistent-hash ring over invokers with virtual nodes.
 #[derive(Debug, Clone, Default)]
 pub struct HashRing {
-    /// `(hash, invoker)` pairs sorted by hash.
-    ring: Vec<(u64, InvokerId)>,
+    /// `(hash, member slot)` pairs sorted by hash. Slots index `members`.
+    ring: Vec<(u64, u32)>,
+    /// Slot → invoker table; slots are dense and renumbered on removal.
+    members: Vec<InvokerId>,
     vnodes: u32,
 }
 
@@ -28,6 +75,7 @@ impl HashRing {
     pub fn new() -> Self {
         HashRing {
             ring: Vec::new(),
+            members: Vec::new(),
             vnodes: DEFAULT_VNODES,
         }
     }
@@ -41,6 +89,7 @@ impl HashRing {
         assert!(vnodes >= 1);
         HashRing {
             ring: Vec::new(),
+            members: Vec::new(),
             vnodes,
         }
     }
@@ -62,36 +111,48 @@ impl HashRing {
     /// Panics if the invoker is already on the ring.
     pub fn add(&mut self, id: InvokerId) {
         assert!(!self.contains(id), "invoker {id:?} already on ring");
+        let slot = self.members.len() as u32;
+        self.members.push(id);
         for r in 0..self.vnodes {
             let h = Self::vnode_hash(id, r);
             let pos = self.ring.partition_point(|&(rh, _)| rh < h);
-            self.ring.insert(pos, (h, id));
+            self.ring.insert(pos, (h, slot));
         }
     }
 
     /// Removes an invoker's virtual nodes. Returns `true` if it was present.
     pub fn remove(&mut self, id: InvokerId) -> bool {
-        let before = self.ring.len();
-        self.ring.retain(|&(_, rid)| rid != id);
-        before != self.ring.len()
+        let Some(slot) = self.members.iter().position(|&m| m == id) else {
+            return false;
+        };
+        let slot = slot as u32;
+        let last = (self.members.len() - 1) as u32;
+        self.ring.retain(|&(_, s)| s != slot);
+        self.members.swap_remove(slot as usize);
+        if slot != last {
+            // The member formerly in the last slot moved into the hole.
+            for entry in &mut self.ring {
+                if entry.1 == last {
+                    entry.1 = slot;
+                }
+            }
+        }
+        true
     }
 
     /// True if the invoker has nodes on the ring.
     pub fn contains(&self, id: InvokerId) -> bool {
-        self.ring.iter().any(|&(_, rid)| rid == id)
+        self.members.contains(&id)
     }
 
     /// Number of distinct invokers on the ring.
     pub fn members(&self) -> usize {
-        let mut ids: Vec<InvokerId> = self.ring.iter().map(|&(_, id)| id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        self.members.len()
     }
 
     /// True when the ring has no members.
     pub fn is_empty(&self) -> bool {
-        self.ring.is_empty()
+        self.members.is_empty()
     }
 
     /// The home invoker of `function`: the first vnode clockwise from the
@@ -101,14 +162,30 @@ impl HashRing {
     }
 
     /// Walks invokers clockwise from `hash`, skipping duplicate invokers,
-    /// visiting each member exactly once.
+    /// visiting each member exactly once. Allocates its own dedup scratch;
+    /// hot paths should prefer [`HashRing::successors_with`].
     pub fn successors(&self, hash: u64) -> Successors<'_> {
-        let start = self.ring.partition_point(|&(rh, _)| rh < hash);
+        let mut seen = WalkSeen::new();
+        seen.begin(self.members.len());
         Successors {
             ring: &self.ring,
+            members: &self.members,
             offset: 0,
-            start,
-            seen: std::collections::HashSet::new(),
+            start: self.ring.partition_point(|&(rh, _)| rh < hash),
+            seen: SeenStore::Owned(seen),
+        }
+    }
+
+    /// Like [`HashRing::successors`], but deduplicates through a
+    /// caller-owned [`WalkSeen`] so repeated walks allocate nothing.
+    pub fn successors_with<'a>(&'a self, hash: u64, seen: &'a mut WalkSeen) -> Successors<'a> {
+        seen.begin(self.members.len());
+        Successors {
+            ring: &self.ring,
+            members: &self.members,
+            offset: 0,
+            start: self.ring.partition_point(|&(rh, _)| rh < hash),
+            seen: SeenStore::Borrowed(seen),
         }
     }
 
@@ -117,18 +194,40 @@ impl HashRing {
     pub fn walk(&self, function: FunctionId) -> Successors<'_> {
         self.successors(Self::function_hash(function))
     }
+
+    /// Allocation-free variant of [`HashRing::walk`].
+    pub fn walk_with<'a>(&'a self, function: FunctionId, seen: &'a mut WalkSeen) -> Successors<'a> {
+        self.successors_with(Self::function_hash(function), seen)
+    }
+}
+
+#[derive(Debug)]
+enum SeenStore<'a> {
+    Owned(WalkSeen),
+    Borrowed(&'a mut WalkSeen),
+}
+
+impl SeenStore<'_> {
+    fn get(&mut self) -> &mut WalkSeen {
+        match self {
+            SeenStore::Owned(s) => s,
+            SeenStore::Borrowed(s) => s,
+        }
+    }
 }
 
 /// Iterator over distinct invokers in clockwise ring order.
 ///
-/// Deduplication uses a hash set so a full walk is O(ring) rather than
-/// O(members²); the *yield order* stays the deterministic ring order.
+/// Deduplication uses epoch-stamped slot marks so a full walk is O(ring)
+/// rather than O(members²); the *yield order* stays the deterministic ring
+/// order.
 #[derive(Debug)]
 pub struct Successors<'a> {
-    ring: &'a [(u64, InvokerId)],
+    ring: &'a [(u64, u32)],
+    members: &'a [InvokerId],
     offset: usize,
     start: usize,
-    seen: std::collections::HashSet<InvokerId>,
+    seen: SeenStore<'a>,
 }
 
 impl Iterator for Successors<'_> {
@@ -138,9 +237,9 @@ impl Iterator for Successors<'_> {
         while self.offset < self.ring.len() {
             let idx = (self.start + self.offset) % self.ring.len();
             self.offset += 1;
-            let (_, id) = self.ring[idx];
-            if self.seen.insert(id) {
-                return Some(id);
+            let (_, slot) = self.ring[idx];
+            if self.seen.get().insert(slot) {
+                return Some(self.members[slot as usize]);
             }
         }
         None
@@ -192,6 +291,35 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 8);
         assert_eq!(order[0], ring.home(f(7, 0)).unwrap());
+    }
+
+    #[test]
+    fn walk_with_reused_scratch_matches_allocating_walk() {
+        let ring = ring_of(12);
+        let mut seen = WalkSeen::new();
+        for app in 0..200u32 {
+            let func = f(app, 0);
+            let borrowed: Vec<InvokerId> = ring.walk_with(func, &mut seen).collect();
+            let owned: Vec<InvokerId> = ring.walk(func).collect();
+            assert_eq!(borrowed, owned);
+        }
+    }
+
+    #[test]
+    fn walk_with_scratch_survives_membership_churn() {
+        let mut ring = ring_of(6);
+        let mut seen = WalkSeen::new();
+        assert_eq!(ring.walk_with(f(3, 0), &mut seen).count(), 6);
+        ring.remove(InvokerId(2));
+        assert_eq!(ring.walk_with(f(3, 0), &mut seen).count(), 5);
+        ring.add(InvokerId(9));
+        ring.add(InvokerId(10));
+        let order: Vec<InvokerId> = ring.walk_with(f(3, 0), &mut seen).collect();
+        assert_eq!(order.len(), 7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
     }
 
     #[test]
@@ -256,6 +384,32 @@ mod tests {
         ring.remove(InvokerId(1));
         assert_eq!(ring.members(), 2);
         assert!(!ring.contains(InvokerId(1)));
+    }
+
+    #[test]
+    fn slot_renumbering_keeps_ring_consistent() {
+        // Removing a middle member swaps the last slot into the hole; every
+        // remaining vnode must still resolve to its original invoker.
+        let mut ring = ring_of(5);
+        ring.remove(InvokerId(1));
+        let order: Vec<InvokerId> = ring.walk(f(0, 0)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![InvokerId(0), InvokerId(2), InvokerId(3), InvokerId(4)]
+        );
+        // Homes of surviving members' functions match a ring built fresh.
+        let fresh = {
+            let mut r = HashRing::new();
+            for i in [0u32, 2, 3, 4] {
+                r.add(InvokerId(i));
+            }
+            r
+        };
+        for app in 0..500u32 {
+            assert_eq!(ring.home(f(app, 0)), fresh.home(f(app, 0)));
+        }
     }
 
     #[test]

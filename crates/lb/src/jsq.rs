@@ -102,8 +102,25 @@ impl LoadBalancer for Jsq {
         };
         match self.sample_d {
             Some(d) => {
-                let candidates: Vec<&InvokerView> = view.placeable().collect();
-                let n = candidates.len();
+                // Candidates are the placeable invokers in id order. The
+                // view's maintained index gives indexed access with no
+                // allocation; a dirty view (raw get_mut happened) falls
+                // back to collecting positions once.
+                let all = view.all();
+                let fallback: Vec<u32>;
+                let positions: &[u32] = match view.placeable_positions() {
+                    Some(p) => p,
+                    None => {
+                        fallback = all
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, v)| v.placeable())
+                            .map(|(i, _)| i as u32)
+                            .collect();
+                        &fallback
+                    }
+                };
+                let n = positions.len();
                 if n == 0 {
                     return None;
                 }
@@ -120,7 +137,7 @@ impl LoadBalancer for Jsq {
                     let t = rng.random_range(0..=j);
                     let idx = if chosen.contains(&t) { j } else { t };
                     chosen.push(idx);
-                    let v = candidates[idx];
+                    let v = &all[positions[idx] as usize];
                     let s = self.score(v);
                     best = Some(match best {
                         Some((bs, bv)) if bs.total_cmp(&s).then(bv.id.cmp(&v.id)).is_le() => {

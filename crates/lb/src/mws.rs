@@ -18,7 +18,7 @@ use hrv_trace::faas::FunctionId;
 use hrv_trace::time::{SimDuration, SimTime};
 
 use crate::estimate::{StatsPriors, StatsRegistry};
-use crate::hashring::HashRing;
+use crate::hashring::{HashRing, WalkSeen};
 use crate::policy::LoadBalancer;
 use crate::view::{ClusterView, InvokerId, LoadWeights};
 
@@ -63,6 +63,11 @@ pub struct Mws {
     stats: StatsRegistry,
     weights: LoadWeights,
     sets: HashMap<FunctionId, SetState>,
+    /// Reused ring-walk dedup scratch (placement is the hot path: one or
+    /// two walks per arrival).
+    walk_seen: WalkSeen,
+    /// Reused worker-set member buffer, emptied between placements.
+    scratch: Vec<InvokerId>,
 }
 
 impl Mws {
@@ -74,6 +79,8 @@ impl Mws {
             stats: StatsRegistry::new(StatsPriors::default(), controllers),
             weights,
             sets: HashMap::new(),
+            walk_seen: WalkSeen::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -93,25 +100,33 @@ impl Mws {
         &mut self.stats
     }
 
-    /// Computes the minimal covering set per Algorithm 1: walk clockwise
-    /// from the home VM accumulating `usable_resources` until the
-    /// function's estimated usage is covered. Only placeable invokers
-    /// count. Returns at least one member when any invoker is placeable.
-    fn covering_set(&self, usage: f64, function: FunctionId, view: &ClusterView) -> Vec<InvokerId> {
-        let mut set = Vec::new();
+    /// Computes the minimal covering set per Algorithm 1 into `out`: walk
+    /// clockwise from the home VM accumulating `usable_resources` until
+    /// the function's estimated usage is covered. Only placeable invokers
+    /// count. Yields at least one member when any invoker is placeable.
+    /// Free function over the fields it needs so `place` can borrow the
+    /// ring, the walk scratch, and the member buffer disjointly.
+    fn covering_set_into(
+        ring: &HashRing,
+        seen: &mut WalkSeen,
+        usage: f64,
+        function: FunctionId,
+        view: &ClusterView,
+        out: &mut Vec<InvokerId>,
+    ) {
+        out.clear();
         let mut covered = 0.0;
-        for id in self.ring.walk(function) {
+        for id in ring.walk_with(function, seen) {
             let Some(v) = view.get(id) else { continue };
             if !v.placeable() {
                 continue;
             }
             covered += v.usable_cpus();
-            set.push(id);
-            if covered >= usage && !set.is_empty() {
+            out.push(id);
+            if covered >= usage && !out.is_empty() {
                 break;
             }
         }
-        set
     }
 
     /// Applies the 30-second shrink damping: growth is immediate, shrink
@@ -145,17 +160,25 @@ impl LoadBalancer for Mws {
         _rng: &mut dyn rand::Rng,
     ) -> Option<InvokerId> {
         let usage = self.stats.usage_estimate(function, now);
-        let covering = self.covering_set(usage, function, view);
-        if covering.is_empty() {
+        let mut members = std::mem::take(&mut self.scratch);
+        Self::covering_set_into(
+            &self.ring,
+            &mut self.walk_seen,
+            usage,
+            function,
+            view,
+            &mut members,
+        );
+        if members.is_empty() {
+            self.scratch = members;
             return None;
         }
-        let k = self.damped_size(function, covering.len(), now).max(1);
+        let k = self.damped_size(function, members.len(), now).max(1);
 
         // The damped set may be larger than the covering set: extend the
         // walk to `k` placeable members.
-        let mut members = covering;
         if members.len() < k {
-            for id in self.ring.walk(function) {
+            for id in self.ring.walk_with(function, &mut self.walk_seen) {
                 if members.len() >= k {
                     break;
                 }
@@ -173,14 +196,17 @@ impl LoadBalancer for Mws {
 
         // Least-loaded member by the weighted CPU+memory metric; ties break
         // toward the earliest ring position (stable).
-        members
-            .into_iter()
-            .filter_map(|id| view.get(id))
+        let choice = members
+            .iter()
+            .filter_map(|&id| view.get(id))
             .min_by(|a, b| {
                 a.weighted_load(self.weights)
                     .total_cmp(&b.weighted_load(self.weights))
             })
-            .map(|v| v.id)
+            .map(|v| v.id);
+        members.clear();
+        self.scratch = members;
+        choice
     }
 
     fn on_arrival(&mut self, function: FunctionId, now: SimTime) {

@@ -132,9 +132,24 @@ impl InvokerView {
 }
 
 /// The whole fleet as the controller sees it, ordered by invoker id.
+///
+/// Placement runs once per arrival, so the view maintains an index of
+/// placeable invokers incrementally: mutations routed through
+/// [`ClusterView::update`] patch the index in O(log n) (placeability flips
+/// are rare — load bookkeeping never touches it), and [`ClusterView::placeable`]
+/// iterates the index instead of re-filtering the whole fleet. Raw
+/// [`ClusterView::get_mut`] access is still available for tests and
+/// one-off tweaks; it conservatively marks the index dirty and iteration
+/// falls back to a scan until the next `update` rebuilds it.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterView {
     invokers: Vec<InvokerView>,
+    /// Indices into `invokers` of placeable members, ascending (= id
+    /// order). Trustworthy only while `dirty` is false.
+    placeable_pos: Vec<u32>,
+    /// Set when a `get_mut` may have flipped placeability behind the
+    /// index's back.
+    dirty: bool,
 }
 
 impl ClusterView {
@@ -155,13 +170,33 @@ impl ClusterView {
             "invoker {:?} already registered",
             view.id
         );
+        let placeable = view.placeable();
         self.invokers.insert(pos, view);
+        if !self.dirty {
+            let p = self.placeable_pos.partition_point(|&x| (x as usize) < pos);
+            for x in &mut self.placeable_pos[p..] {
+                *x += 1;
+            }
+            if placeable {
+                self.placeable_pos.insert(p, pos as u32);
+            }
+        }
     }
 
     /// Removes an invoker (VM evicted/crashed). Returns its last view.
     pub fn remove(&mut self, id: InvokerId) -> Option<InvokerView> {
         let pos = self.invokers.iter().position(|v| v.id == id)?;
-        Some(self.invokers.remove(pos))
+        let removed = self.invokers.remove(pos);
+        if !self.dirty {
+            let p = self.placeable_pos.partition_point(|&x| (x as usize) < pos);
+            if self.placeable_pos.get(p) == Some(&(pos as u32)) {
+                self.placeable_pos.remove(p);
+            }
+            for x in &mut self.placeable_pos[p..] {
+                *x -= 1;
+            }
+        }
+        Some(removed)
     }
 
     /// Immutable lookup.
@@ -172,12 +207,55 @@ impl ClusterView {
             .map(|i| &self.invokers[i])
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Marks the placeable index dirty (the caller may
+    /// flip placeability); hot paths should use [`ClusterView::update`],
+    /// which keeps the index intact.
     pub fn get_mut(&mut self, id: InvokerId) -> Option<&mut InvokerView> {
         self.invokers
             .binary_search_by_key(&id, |v| v.id)
             .ok()
-            .map(move |i| &mut self.invokers[i])
+            .map(move |i| {
+                self.dirty = true;
+                &mut self.invokers[i]
+            })
+    }
+
+    /// Mutates one invoker through a closure, patching the placeable
+    /// index when the mutation flips placeability. Returns false when the
+    /// id is unknown. Rebuilds the index first if a prior `get_mut` left
+    /// it dirty.
+    pub fn update(&mut self, id: InvokerId, f: impl FnOnce(&mut InvokerView)) -> bool {
+        let Ok(i) = self.invokers.binary_search_by_key(&id, |v| v.id) else {
+            return false;
+        };
+        if self.dirty {
+            self.rebuild_index();
+        }
+        let was = self.invokers[i].placeable();
+        f(&mut self.invokers[i]);
+        let now = self.invokers[i].placeable();
+        if was != now {
+            let p = self.placeable_pos.partition_point(|&x| (x as usize) < i);
+            if now {
+                self.placeable_pos.insert(p, i as u32);
+            } else {
+                debug_assert_eq!(self.placeable_pos.get(p), Some(&(i as u32)));
+                self.placeable_pos.remove(p);
+            }
+        }
+        true
+    }
+
+    fn rebuild_index(&mut self) {
+        self.placeable_pos.clear();
+        self.placeable_pos.extend(
+            self.invokers
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.placeable())
+                .map(|(i, _)| i as u32),
+        );
+        self.dirty = false;
     }
 
     /// All invokers, ordered by id.
@@ -185,9 +263,23 @@ impl ClusterView {
         &self.invokers
     }
 
+    /// Positions of placeable invokers in [`ClusterView::all`], ascending,
+    /// or `None` while the index is dirty. Lets samplers index placeable
+    /// members directly without collecting them.
+    pub fn placeable_positions(&self) -> Option<&[u32]> {
+        (!self.dirty).then_some(self.placeable_pos.as_slice())
+    }
+
     /// Invokers accepting new placements, ordered by id.
-    pub fn placeable(&self) -> impl Iterator<Item = &InvokerView> {
-        self.invokers.iter().filter(|v| v.placeable())
+    pub fn placeable(&self) -> Placeable<'_> {
+        Placeable {
+            invokers: &self.invokers,
+            mode: if self.dirty {
+                PlaceableMode::Scan(self.invokers.iter())
+            } else {
+                PlaceableMode::Indexed(self.placeable_pos.iter())
+            },
+        }
     }
 
     /// Number of registered invokers.
@@ -203,6 +295,32 @@ impl ClusterView {
     /// Total CPUs across placeable invokers.
     pub fn total_cpus(&self) -> u32 {
         self.placeable().map(|v| v.total_cpus).sum()
+    }
+}
+
+/// Iterator returned by [`ClusterView::placeable`]: walks the maintained
+/// index when it is clean, falls back to a filtering scan when dirty.
+/// Either way the yield order is ascending invoker id.
+#[derive(Debug)]
+pub struct Placeable<'a> {
+    invokers: &'a [InvokerView],
+    mode: PlaceableMode<'a>,
+}
+
+#[derive(Debug)]
+enum PlaceableMode<'a> {
+    Indexed(std::slice::Iter<'a, u32>),
+    Scan(std::slice::Iter<'a, InvokerView>),
+}
+
+impl<'a> Iterator for Placeable<'a> {
+    type Item = &'a InvokerView;
+
+    fn next(&mut self) -> Option<&'a InvokerView> {
+        match &mut self.mode {
+            PlaceableMode::Indexed(it) => it.next().map(|&p| &self.invokers[p as usize]),
+            PlaceableMode::Scan(it) => it.find(|v| v.placeable()),
+        }
     }
 }
 
@@ -297,5 +415,59 @@ mod tests {
         cv.add(warned);
         assert_eq!(cv.placeable().count(), 1);
         assert_eq!(cv.total_cpus(), 4);
+    }
+
+    #[test]
+    fn update_maintains_placeable_index() {
+        let mut cv = ClusterView::new();
+        for i in 0..4 {
+            cv.add(v(i, 4, 0.0));
+        }
+        assert_eq!(cv.placeable_positions(), Some(&[0u32, 1, 2, 3][..]));
+        // Placeability flip patches the index.
+        assert!(cv.update(InvokerId(1), |x| x.eviction_pending = true));
+        assert_eq!(cv.placeable_positions(), Some(&[0u32, 2, 3][..]));
+        // Load-only mutation leaves it untouched.
+        assert!(cv.update(InvokerId(2), |x| x.cpu_in_use = 3.0));
+        assert_eq!(cv.placeable_positions(), Some(&[0u32, 2, 3][..]));
+        // Flip back.
+        assert!(cv.update(InvokerId(1), |x| x.eviction_pending = false));
+        assert_eq!(cv.placeable_positions(), Some(&[0u32, 1, 2, 3][..]));
+        // Unknown ids are a no-op.
+        assert!(!cv.update(InvokerId(9), |x| x.healthy = false));
+    }
+
+    #[test]
+    fn add_and_remove_keep_index_consistent() {
+        let mut cv = ClusterView::new();
+        cv.add(v(1, 4, 0.0));
+        cv.add(v(5, 4, 0.0));
+        let mut quarantined = v(3, 4, 0.0);
+        quarantined.quarantined = true;
+        cv.add(quarantined);
+        // Positions are indices: invoker 3 (position 1) is unplaceable.
+        assert_eq!(cv.placeable_positions(), Some(&[0u32, 2][..]));
+        cv.remove(InvokerId(1)).unwrap();
+        assert_eq!(cv.placeable_positions(), Some(&[1u32][..]));
+        cv.remove(InvokerId(3)).unwrap();
+        assert_eq!(cv.placeable_positions(), Some(&[0u32][..]));
+        let ids: Vec<u32> = cv.placeable().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![5]);
+    }
+
+    #[test]
+    fn get_mut_dirties_index_and_update_rebuilds() {
+        let mut cv = ClusterView::new();
+        for i in 0..3 {
+            cv.add(v(i, 4, 0.0));
+        }
+        cv.get_mut(InvokerId(0)).unwrap().healthy = false;
+        // Dirty: no positions, but iteration still filters correctly.
+        assert!(cv.placeable_positions().is_none());
+        let ids: Vec<u32> = cv.placeable().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // Any update() rebuilds and resumes incremental maintenance.
+        assert!(cv.update(InvokerId(2), |x| x.quarantined = true));
+        assert_eq!(cv.placeable_positions(), Some(&[1u32][..]));
     }
 }

@@ -132,13 +132,12 @@ impl Controller {
             &mut self.rng,
         )?;
         let expected = self.expected(invocation.function) * invocation.cpu_demand;
-        let v = self
-            .view
-            .get_mut(id)
-            .expect("policy placed on an unknown invoker");
-        v.memory_pending_mb += invocation.memory_mb;
-        v.inflight += 1;
-        v.inflight_demand_secs += expected;
+        let updated = self.view.update(id, |v| {
+            v.memory_pending_mb += invocation.memory_mb;
+            v.inflight += 1;
+            v.inflight_demand_secs += expected;
+        });
+        assert!(updated, "policy placed on an unknown invoker");
         self.inflight.insert(
             invocation.id,
             PlacementInfo {
@@ -177,14 +176,14 @@ impl Controller {
 
     /// Applies a health ping.
     pub fn on_ping(&mut self, now: SimTime, invoker: InvokerId, snap: HealthSnapshot) {
-        if let Some(v) = self.view.get_mut(invoker) {
+        self.view.update(invoker, |v| {
             v.total_cpus = snap.cpus;
             v.cpu_in_use = snap.cpus_in_use;
             v.memory_used_mb = snap.memory_used_mb;
             v.eviction_pending = snap.eviction_pending;
             v.healthy = true;
             v.last_ping = now;
-        }
+        });
     }
 
     /// Applies a completion report: releases bookkeeping and feeds the
@@ -194,12 +193,12 @@ impl Controller {
             .on_completion(report.function, report.exec_duration, report.cpu_cores);
         self.learn_expected(report.function, report.exec_duration.as_secs_f64());
         if let Some(info) = self.inflight.remove(&report.invocation) {
-            if let Some(v) = self.view.get_mut(info.invoker) {
+            self.view.update(info.invoker, |v| {
                 v.memory_pending_mb = v.memory_pending_mb.saturating_sub(info.memory_mb);
                 v.inflight = v.inflight.saturating_sub(1);
                 v.inflight_demand_secs =
                     (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
-            }
+            });
         }
     }
 
@@ -223,10 +222,9 @@ impl Controller {
     /// no new placements but stay registered (they may recover). Returns
     /// true when the flag actually changed.
     pub fn set_quarantined(&mut self, id: InvokerId, quarantined: bool) -> bool {
-        match self.view.get_mut(id) {
+        match self.view.get(id) {
             Some(v) if v.quarantined != quarantined => {
-                v.quarantined = quarantined;
-                true
+                self.view.update(id, |v| v.quarantined = quarantined)
             }
             _ => false,
         }
@@ -253,12 +251,12 @@ impl Controller {
     /// invoker). Returns true if it existed.
     pub fn forget_inflight(&mut self, invocation_id: u64) -> bool {
         if let Some(info) = self.inflight.remove(&invocation_id) {
-            if let Some(v) = self.view.get_mut(info.invoker) {
+            self.view.update(info.invoker, |v| {
                 v.memory_pending_mb = v.memory_pending_mb.saturating_sub(info.memory_mb);
                 v.inflight = v.inflight.saturating_sub(1);
                 v.inflight_demand_secs =
                     (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
-            }
+            });
             true
         } else {
             false
@@ -275,16 +273,16 @@ impl Controller {
         let src = info.invoker;
         let (memory_mb, expected) = (info.memory_mb, info.expected_demand_secs);
         info.invoker = dst;
-        if let Some(v) = self.view.get_mut(src) {
+        self.view.update(src, |v| {
             v.memory_pending_mb = v.memory_pending_mb.saturating_sub(memory_mb);
             v.inflight = v.inflight.saturating_sub(1);
             v.inflight_demand_secs = (v.inflight_demand_secs - expected).max(0.0);
-        }
-        if let Some(v) = self.view.get_mut(dst) {
+        });
+        self.view.update(dst, |v| {
             v.memory_pending_mb += memory_mb;
             v.inflight += 1;
             v.inflight_demand_secs += expected;
-        }
+        });
         true
     }
 

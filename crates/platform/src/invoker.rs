@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use hrv_sim::calendar::{Calendar, EventId};
+use hrv_sim::calendar::{EventCalendar, EventId};
 use hrv_sim::ps::{JobId, PsQueue};
 use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::time::SimTime;
@@ -225,7 +225,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         invocation: Invocation,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) {
         debug_assert!(self.alive, "delivery to dead invoker");
@@ -234,7 +234,7 @@ impl InvokerState {
     }
 
     /// Starts as many queued invocations as admission and memory allow.
-    fn drain(&mut self, now: SimTime, cal: &mut Calendar<Event>, cfg: &PlatformConfig) {
+    fn drain(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>, cfg: &PlatformConfig) {
         self.ps.advance(now);
         while let Some(front) = self.queue.front().copied() {
             // Admission control: delay new work when CPU pressure is at or
@@ -267,7 +267,7 @@ impl InvokerState {
 
     /// Frees memory for a new container by reaping idle (LRU-first)
     /// containers. Returns false if even that cannot make room.
-    fn make_room(&mut self, needed_mb: u64, cal: &mut Calendar<Event>) -> bool {
+    fn make_room(&mut self, needed_mb: u64, cal: &mut impl EventCalendar<Event>) -> bool {
         if needed_mb > self.memory_mb {
             return false;
         }
@@ -286,7 +286,7 @@ impl InvokerState {
         true
     }
 
-    fn destroy_container(&mut self, cid: u64, cal: &mut Calendar<Event>) {
+    fn destroy_container(&mut self, cid: u64, cal: &mut impl EventCalendar<Event>) {
         let c = self
             .containers
             .remove(&cid)
@@ -307,7 +307,7 @@ impl InvokerState {
         now: SimTime,
         cid: u64,
         invocation: Invocation,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) {
         let c = self
             .containers
@@ -337,7 +337,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         invocation: Invocation,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) {
         let cid = self.container_id();
@@ -370,7 +370,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         cid: u64,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) {
         if !self.alive {
@@ -413,7 +413,7 @@ impl InvokerState {
     pub fn completion_tick(
         &mut self,
         now: SimTime,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) -> Vec<RunningInvocation> {
         if !self.alive {
@@ -453,7 +453,7 @@ impl InvokerState {
     }
 
     /// Reaps an idle container whose keep-alive expired.
-    pub fn keepalive_expired(&mut self, cid: u64, cal: &mut Calendar<Event>) {
+    pub fn keepalive_expired(&mut self, cid: u64, cal: &mut impl EventCalendar<Event>) {
         if !self.alive {
             return;
         }
@@ -472,7 +472,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         cpus: u32,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) {
         if !self.alive {
@@ -493,7 +493,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         factor: f64,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
     ) {
         if !self.alive {
@@ -516,7 +516,7 @@ impl InvokerState {
 
     /// Tears the invoker down at eviction time, returning the work that
     /// dies with it.
-    pub fn evict(&mut self, now: SimTime, cal: &mut Calendar<Event>) -> EvictedWork {
+    pub fn evict(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) -> EvictedWork {
         if !self.alive {
             return EvictedWork::default();
         }
@@ -590,7 +590,7 @@ impl InvokerState {
         &mut self,
         now: SimTime,
         cid: u64,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) -> Option<(RunningInvocation, f64)> {
         if !self.alive {
             return None;
@@ -623,7 +623,7 @@ impl InvokerState {
         now: SimTime,
         run: RunningInvocation,
         remaining: f64,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) -> bool {
         if !self.alive {
             return false;
@@ -659,7 +659,7 @@ impl InvokerState {
     /// pending timer is still correct and cancel + reschedule would be
     /// pure churn. This matters because `drain` — and through it every
     /// delivery and resize — ends here.
-    fn rearm_completion(&mut self, cal: &mut Calendar<Event>) {
+    fn rearm_completion(&mut self, cal: &mut impl EventCalendar<Event>) {
         match self.ps.next_completion() {
             Some(next) => {
                 if self.completion_timer.is_some() && self.armed == Some(next) {
@@ -715,9 +715,9 @@ mod tests {
         }
     }
 
-    fn fresh(cpus: u32, mem: u64) -> (InvokerState, Calendar<Event>) {
+    fn fresh(cpus: u32, mem: u64) -> (InvokerState, hrv_sim::calendar::Calendar<Event>) {
         let mut iv = InvokerState::new(0, mem);
-        let cal = Calendar::new();
+        let cal = hrv_sim::calendar::Calendar::new();
         iv.deploy(SimTime::ZERO, cpus);
         (iv, cal)
     }
@@ -726,7 +726,7 @@ mod tests {
     /// finished invocations. Ignores events addressed elsewhere.
     fn drive(
         iv: &mut InvokerState,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         cfg: &PlatformConfig,
         until: SimTime,
     ) -> Vec<RunningInvocation> {

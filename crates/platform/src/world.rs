@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use hrv_fault::{DispatchOutcome, DispatchSampler, FaultKind, FaultPlan, WarningFault};
 use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::InvokerId;
-use hrv_sim::calendar::{Calendar, Scheduled};
+use hrv_sim::calendar::{Calendar, EventCalendar, Scheduled};
 use hrv_sim::engine::{run_until, RunStats, World};
 use hrv_trace::faas::Invocation;
 use hrv_trace::harvest::{VmEnd, VmTrace};
@@ -184,14 +184,33 @@ impl PlatformWorld {
     /// no extra randomness, byte-identical runs.
     pub fn from_stream_with_faults(
         spec: ClusterSpec,
-        mut arrivals: Box<dyn ArrivalStream>,
+        arrivals: Box<dyn ArrivalStream>,
         policy: Box<dyn LoadBalancer>,
         cfg: PlatformConfig,
         seed: u64,
         faults: FaultPlan,
     ) -> (Self, Calendar<Event>) {
-        cfg.validate();
         let mut cal = Calendar::new();
+        let world = PlatformWorld::from_stream_with_faults_in(
+            spec, arrivals, policy, cfg, seed, faults, &mut cal,
+        );
+        (world, cal)
+    }
+
+    /// [`PlatformWorld::from_stream_with_faults`], seeding events into a
+    /// caller-provided calendar. Generic over the calendar implementation
+    /// so differential tests can drive the whole platform through the
+    /// reference spec ([`hrv_sim::calendar_reference`]).
+    pub fn from_stream_with_faults_in(
+        spec: ClusterSpec,
+        mut arrivals: Box<dyn ArrivalStream>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+        faults: FaultPlan,
+        cal: &mut impl EventCalendar<Event>,
+    ) -> Self {
+        cfg.validate();
         let mut invokers = Vec::with_capacity(spec.vms.len());
         let mut slots = Vec::with_capacity(spec.vms.len());
         for (i, vm) in spec.vms.iter().enumerate() {
@@ -266,7 +285,7 @@ impl PlatformWorld {
         } else {
             MetricsCollector::streaming_only()
         };
-        let world = PlatformWorld {
+        PlatformWorld {
             controller: Controller::new(policy, seed),
             retry_budget: cfg.recovery.retry_budget,
             cfg,
@@ -282,8 +301,7 @@ impl PlatformWorld {
             pending_redispatch: BTreeMap::new(),
             quarantine_since: BTreeMap::new(),
             straggler_strikes: HashMap::new(),
-        };
-        (world, cal)
+        }
     }
 
     /// The controller, for post-run inspection.
@@ -309,7 +327,7 @@ impl PlatformWorld {
     fn schedule_delivery(
         &mut self,
         now: SimTime,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
         invoker: InvokerId,
         invocation: Invocation,
     ) {
@@ -343,7 +361,7 @@ impl PlatformWorld {
         exec_started: bool,
         cold: bool,
         cause: LossCause,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) {
         self.controller.forget_inflight(inv.id);
         let r = self.cfg.recovery;
@@ -396,14 +414,19 @@ impl PlatformWorld {
         });
     }
 
-    fn arm_retry(&mut self, cal: &mut Calendar<Event>) {
+    fn arm_retry(&mut self, cal: &mut impl EventCalendar<Event>) {
         if !self.retry_armed {
             self.retry_armed = true;
             cal.schedule_after(self.cfg.placement_retry, Event::RetryQueue);
         }
     }
 
-    fn on_arrival(&mut self, now: SimTime, invocation: Invocation, cal: &mut Calendar<Event>) {
+    fn on_arrival(
+        &mut self,
+        now: SimTime,
+        invocation: Invocation,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         self.metrics.arrivals += 1;
         // Feed the next arrival lazily to keep the calendar small.
         if let Some(next) = self.arrivals.next_invocation() {
@@ -420,7 +443,7 @@ impl PlatformWorld {
         now: SimTime,
         idx: InvokerIndex,
         inv: Invocation,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) {
         let invoker = &mut self.invokers[idx as usize];
         if !invoker.alive {
@@ -436,7 +459,7 @@ impl PlatformWorld {
         now: SimTime,
         idx: InvokerIndex,
         finished: Vec<RunningInvocation>,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) {
         for run in finished {
             let inv = run.invocation;
@@ -481,7 +504,7 @@ impl PlatformWorld {
         }
     }
 
-    fn on_evict(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+    fn on_evict(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut impl EventCalendar<Event>) {
         let invoker = &mut self.invokers[idx as usize];
         if !invoker.alive {
             return;
@@ -510,7 +533,7 @@ impl PlatformWorld {
     /// [`Event::InvokerDown`] follows: nothing announces the death, so
     /// without the health-probe sweep the controller keeps routing work
     /// at the corpse indefinitely.
-    fn on_crash(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+    fn on_crash(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut impl EventCalendar<Event>) {
         let invoker = &mut self.invokers[idx as usize];
         if !invoker.alive {
             return;
@@ -563,7 +586,7 @@ impl PlatformWorld {
     /// The controller's periodic health-probe sweep: invokers silent past
     /// the probe timeout are quarantined; silent past `down_after`, they
     /// are declared dead and removed from the view.
-    fn on_health_sweep(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    fn on_health_sweep(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) {
         let r = self.cfg.recovery;
         if !r.enabled {
             return;
@@ -581,7 +604,12 @@ impl PlatformWorld {
 
     /// Recovery re-dispatch: routes a previously-destroyed invocation
     /// again, as if it had just arrived.
-    fn on_redispatch(&mut self, now: SimTime, inv: Invocation, cal: &mut Calendar<Event>) {
+    fn on_redispatch(
+        &mut self,
+        now: SimTime,
+        inv: Invocation,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         if self.pending_redispatch.remove(&inv.id).is_none() {
             return;
         }
@@ -592,7 +620,7 @@ impl PlatformWorld {
         }
     }
 
-    fn on_monitor_tick(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    fn on_monitor_tick(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) {
         let m = self.cfg.monitor;
         if !m.enabled {
             return;
@@ -616,7 +644,7 @@ impl PlatformWorld {
         cal.schedule_after(m.interval, Event::MonitorTick);
     }
 
-    fn on_deploy(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut Calendar<Event>) {
+    fn on_deploy(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut impl EventCalendar<Event>) {
         let (cpus, memory_mb) = match &self.slots[idx as usize] {
             SlotSource::Trace(vm) => (vm.cpus_at(now).max(vm.base_cpus), vm.memory_mb),
             SlotSource::Monitor(t) => {
@@ -632,7 +660,7 @@ impl PlatformWorld {
         self.arm_retry(cal);
     }
 
-    fn on_sample(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+    fn on_sample(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) {
         let mut total = 0u32;
         let mut used = 0.0;
         for inv in &self.invokers {
@@ -651,7 +679,12 @@ impl PlatformWorld {
 
     /// On an eviction warning, schedules live migrations for the long
     /// invocations that would otherwise die (Section 4.4 extension).
-    fn plan_migrations(&mut self, now: SimTime, src: InvokerIndex, cal: &mut Calendar<Event>) {
+    fn plan_migrations(
+        &mut self,
+        now: SimTime,
+        src: InvokerIndex,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         let m = self.cfg.migration;
         if !m.enabled {
             return;
@@ -703,7 +736,7 @@ impl PlatformWorld {
         dst: InvokerIndex,
         container: u64,
         invocation: u64,
-        cal: &mut Calendar<Event>,
+        cal: &mut impl EventCalendar<Event>,
     ) {
         if !self.invokers[dst as usize].alive {
             return; // destination died; the invocation stays on the source
@@ -774,7 +807,7 @@ impl PlatformWorld {
 impl World for PlatformWorld {
     type Event = Event;
 
-    fn handle(&mut self, ev: Scheduled<Event>, cal: &mut Calendar<Event>) {
+    fn handle<C: EventCalendar<Event>>(&mut self, ev: Scheduled<Event>, cal: &mut C) {
         let now = ev.at;
         match ev.event {
             Event::Arrival(inv) => self.on_arrival(now, inv, cal),
@@ -1060,6 +1093,125 @@ mod tests {
         let b = mk();
         assert_eq!(a.collector.records, b.collector.records);
         assert_eq!(a.cold_starts, b.cold_starts);
+    }
+
+    /// Drives the *same* MWS harvest simulation once on the timer-wheel
+    /// calendar and once on the heap reference spec: records, event
+    /// counts, and start counters must be byte-identical. This is the
+    /// platform-scale extension of the calendar differential proptest —
+    /// it exercises EventIds held across invoker resizes, keep-alive
+    /// cancellations, eviction teardowns, and far-future VM lifetimes.
+    #[test]
+    fn wheel_and_reference_calendars_are_byte_identical() {
+        let horizon = SimDuration::from_secs(400);
+        let build = || {
+            // A harvest-flavored cluster: CPUs wobble, one VM is evicted
+            // (with warning) mid-run.
+            let harvested = VmTrace {
+                deploy: SimTime::ZERO,
+                end: SimTime::from_secs(240),
+                ended: VmEnd::Evicted,
+                base_cpus: 4,
+                max_cpus: 16,
+                initial_cpus: 16,
+                memory_mb: 32 * 1024,
+                cpu_changes: vec![
+                    CpuChange {
+                        at: SimTime::from_secs(45),
+                        cpus: 6,
+                    },
+                    CpuChange {
+                        at: SimTime::from_secs(90),
+                        cpus: 12,
+                    },
+                    CpuChange {
+                        at: SimTime::from_secs(150),
+                        cpus: 4,
+                    },
+                ],
+            };
+            let wobbling = VmTrace {
+                deploy: SimTime::ZERO,
+                end: SimTime::ZERO + horizon,
+                ended: VmEnd::Censored,
+                base_cpus: 2,
+                max_cpus: 8,
+                initial_cpus: 8,
+                memory_mb: 32 * 1024,
+                cpu_changes: vec![
+                    CpuChange {
+                        at: SimTime::from_secs(60),
+                        cpus: 2,
+                    },
+                    CpuChange {
+                        at: SimTime::from_secs(120),
+                        cpus: 8,
+                    },
+                ],
+            };
+            let steady = VmTrace::constant(
+                SimTime::ZERO,
+                SimTime::ZERO + horizon,
+                VmEnd::Censored,
+                8,
+                32 * 1024,
+            );
+            (
+                ClusterSpec::from_traces(vec![harvested, wobbling, steady]),
+                workload(4.0, SimDuration::from_secs(300)),
+            )
+        };
+        let end = SimTime::ZERO + horizon;
+
+        let (spec, wl) = build();
+        let mut wheel_cal = Calendar::new();
+        let mut wheel_world = PlatformWorld::from_stream_with_faults_in(
+            spec,
+            Box::new(SortedTraceStream::new(wl)),
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            42,
+            FaultPlan::none(),
+            &mut wheel_cal,
+        );
+        let wheel_run = run_until(&mut wheel_world, &mut wheel_cal, end, u64::MAX);
+        wheel_world.censor_remaining(wheel_cal.now());
+
+        let (spec, wl) = build();
+        let mut ref_cal = hrv_sim::calendar_reference::Calendar::new();
+        let mut ref_world = PlatformWorld::from_stream_with_faults_in(
+            spec,
+            Box::new(SortedTraceStream::new(wl)),
+            PolicyKind::Mws.build(),
+            PlatformConfig::default(),
+            42,
+            FaultPlan::none(),
+            &mut ref_cal,
+        );
+        let ref_run = run_until(&mut ref_world, &mut ref_cal, end, u64::MAX);
+        ref_world.censor_remaining(ref_cal.now());
+
+        assert_eq!(wheel_run.events, ref_run.events, "event counts diverged");
+        assert_eq!(wheel_run.end_time, ref_run.end_time, "end times diverged");
+        assert_eq!(
+            wheel_world.metrics.records, ref_world.metrics.records,
+            "records diverged"
+        );
+        assert_eq!(
+            wheel_world.total_cold_starts(),
+            ref_world.total_cold_starts()
+        );
+        assert_eq!(
+            wheel_world.total_warm_starts(),
+            ref_world.total_warm_starts()
+        );
+        // Guard against the comparison degenerating into a trivial run.
+        assert_eq!(wheel_world.metrics.vm_evictions, 1);
+        assert!(
+            wheel_world.metrics.records.len() > 500,
+            "only {} records",
+            wheel_world.metrics.records.len()
+        );
     }
 
     #[test]

@@ -5,15 +5,44 @@
 //! scheduled for the same instant are therefore delivered in the order they
 //! were scheduled, on every platform, independent of hash seeds or
 //! allocation order.
+//!
+//! # Implementation
+//!
+//! A hierarchical timer wheel ([`LEVELS`] levels of [`SLOTS`] slots, 1 µs
+//! base tick) backed by a generation-stamped slab. Scheduling, cancelling
+//! and popping are near-O(1): a slot index computed from the xor of the
+//! cursor and the delivery time, and a slab index lookup instead of a hash
+//! probe. Events beyond the wheel's range — VM lifetimes, armed-but-idle
+//! timers at `SimTime::MAX` — wait in an *overflow ladder* (a small binary
+//! heap) and migrate into the wheel as the cursor approaches them.
+//!
+//! The previous `BinaryHeap` + tombstone-set implementation survives as
+//! [`crate::calendar_reference`], the executable specification: the
+//! differential proptests in `tests/props.rs` assert that both deliver
+//! byte-identical `Scheduled` sequences under arbitrary interleavings.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use hrv_trace::time::{SimDuration, SimTime};
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    /// Builds an id from an implementation-defined raw token. The wheel
+    /// packs `(generation, slab index)`; the reference calendar packs its
+    /// sequence counter. Ids are opaque outside this crate and only
+    /// meaningful to the calendar that issued them.
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// An event popped from the calendar.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,30 +55,63 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// The calendar operations the engine and platform are written against.
+///
+/// Implemented by the timer-wheel [`Calendar`] and by the reference heap
+/// ([`crate::calendar_reference::Calendar`]), so an entire simulation can
+/// be driven through the executable spec for differential testing.
+pub trait EventCalendar<E> {
+    /// The current simulation time.
+    fn now(&self) -> SimTime;
+    /// Number of events delivered so far.
+    fn processed(&self) -> u64;
+    /// Number of pending (non-cancelled) events.
+    fn len(&self) -> usize;
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Schedules `event` at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, event: E) -> EventId;
+    /// Schedules `event` after a delay from the current time.
+    fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId;
+    /// Cancels a pending event; `true` if it was still pending.
+    fn cancel(&mut self, id: EventId) -> bool;
+    /// Delivery time of the next pending event, if any.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Pops the next event, advancing the clock to its delivery time.
+    fn pop(&mut self) -> Option<Scheduled<E>>;
 }
 
-// Order entries so the *smallest* (time, seq) is the greatest for
-// `BinaryHeap`'s max-heap semantics.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels; level `l` slots span `64^l` µs each.
+const LEVELS: usize = 7;
+/// Ticks (µs) covered by the wheel from its cursor — `64^7` ≈ 51 days.
+/// Delivery times at least this far out wait in the overflow ladder.
+const WHEEL_RANGE: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+/// Lifecycle of a slab slot.
+#[derive(Debug)]
+enum Body<E> {
+    /// On the free list.
+    Vacant,
+    /// Cancelled; its index still sits in some bucket (tombstone).
+    Dead,
+    /// Pending delivery.
+    Live(E),
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+#[derive(Debug)]
+struct Slot<E> {
+    /// Bumped every time the slot leaves `Live`, so a stale [`EventId`]
+    /// can never cancel an unrelated reuse of the same index.
+    gen: u32,
+    at: SimTime,
+    seq: u64,
+    body: Body<E>,
 }
 
 /// A cancellable, deterministic event calendar with a simulation clock.
@@ -70,11 +132,34 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct Calendar<E> {
     now: SimTime,
-    heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Ids scheduled but neither delivered nor cancelled yet.
-    pending: HashSet<u64>,
     processed: u64,
+    /// Live (pending, non-cancelled) entry count.
+    live: usize,
+    /// Tombstoned entry count, bounded by `maybe_purge`.
+    dead: usize,
+    /// Wheel cursor in µs. `now.as_micros() <= elapsed`; every wheel and
+    /// overflow entry has `at > elapsed` (overflow: `at >= elapsed +
+    /// WHEEL_RANGE` modulo shared high bits), every staged entry has
+    /// `at <= elapsed`.
+    elapsed: u64,
+    slots: Vec<Slot<E>>,
+    /// Vacant slab indices available for reuse.
+    free: Vec<u32>,
+    /// `LEVELS * SLOTS` buckets of slab indices, row-major by level.
+    buckets: Vec<Vec<u32>>,
+    /// Per-level bitmap of non-empty buckets.
+    occupied: [u64; LEVELS],
+    /// Far-future events, min-first by `(at, slab index)`. The index
+    /// tiebreak is arbitrary: equal-time entries are re-sorted by `seq`
+    /// when their shared tick's bucket is opened.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Due events in delivery order: `staging[staging_head..]` is sorted
+    /// by `(at, seq)`; the prefix has already been delivered.
+    staging: Vec<u32>,
+    staging_head: usize,
+    /// Reusable buffer for cascades and purge rebuilds.
+    scratch: Vec<u32>,
 }
 
 impl<E> Default for Calendar<E> {
@@ -84,9 +169,9 @@ impl<E> Default for Calendar<E> {
 }
 
 impl<E> Calendar<E> {
-    /// Heap sizes below this never trigger a cancelled-entry purge: the
-    /// memory is negligible and `skim_cancelled` handles the head lazily.
-    const PURGE_MIN_HEAP: usize = 1_024;
+    /// Tombstone counts below this never trigger a purge: the memory is
+    /// negligible and dead entries are freed lazily as the cursor passes.
+    pub(crate) const PURGE_MIN_DEAD: usize = 1_024;
 
     /// Creates an empty calendar with the clock at `SimTime::ZERO`.
     pub fn new() -> Self {
@@ -94,14 +179,25 @@ impl<E> Calendar<E> {
     }
 
     /// Creates an empty calendar sized for roughly `capacity` concurrent
-    /// pending events, avoiding rehash/regrow churn during warm-up.
+    /// pending events, avoiding slab regrow churn during warm-up.
     pub fn with_capacity(capacity: usize) -> Self {
         Calendar {
             now: SimTime::ZERO,
-            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            pending: HashSet::with_capacity(capacity),
             processed: 0,
+            live: 0,
+            dead: 0,
+            elapsed: 0,
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            buckets: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            staging: Vec::new(),
+            staging_head: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -118,12 +214,19 @@ impl<E> Calendar<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Number of cancelled entries whose bucket indices have not been
+    /// swept yet. Bounded: after every operation,
+    /// `tombstones() <= max(len(), PURGE_MIN_DEAD)`.
+    pub fn tombstones(&self) -> usize {
+        self.dead
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -139,9 +242,30 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.pending.insert(seq);
-        EventId(seq)
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                debug_assert!(matches!(s.body, Body::Vacant));
+                s.at = at;
+                s.seq = seq;
+                s.body = Body::Live(event);
+                idx
+            }
+            None => {
+                debug_assert!(self.slots.len() < u32::MAX as usize);
+                self.slots.push(Slot {
+                    gen: 0,
+                    at,
+                    seq,
+                    body: Body::Live(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        let id = Self::id_of(self.slots[idx as usize].gen, idx);
+        self.place(idx);
+        id
     }
 
     /// Schedules `event` after a delay from the current time.
@@ -152,62 +276,304 @@ impl<E> Calendar<E> {
 
     /// Cancels a previously scheduled event. Returns `true` if the event
     /// was still pending. Cancelling twice, or cancelling an already
-    /// delivered event, returns `false`.
+    /// delivered event, returns `false` — the generation stamp makes a
+    /// stale id harmless even after its slab slot has been reused.
     ///
-    /// Cancellation is lazy — the heap entry stays behind a tombstone —
-    /// but when tombstones outnumber live events in a large heap the
-    /// whole heap is rebuilt from the live set, bounding memory and the
-    /// `skim_cancelled` work on every peek/pop to O(live) amortized.
+    /// Cancellation is lazy — the bucket index stays behind as a
+    /// tombstone — but when tombstones outnumber live events in bulk the
+    /// wheel is rebuilt from the live set, bounding memory on long
+    /// streaming runs.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let was_pending = self.pending.remove(&id.0);
-        if was_pending
-            && self.heap.len() >= Self::PURGE_MIN_HEAP
-            && self.heap.len() - self.pending.len() > self.pending.len()
-        {
-            self.purge_cancelled();
+        let idx = (id.0 & u64::from(u32::MAX)) as usize;
+        let gen = (id.0 >> 32) as u32;
+        let Some(s) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        if s.gen != gen || !matches!(s.body, Body::Live(_)) {
+            return false;
         }
-        was_pending
+        s.body = Body::Dead;
+        s.gen = s.gen.wrapping_add(1);
+        self.live -= 1;
+        self.dead += 1;
+        self.maybe_purge();
+        true
     }
 
     /// Delivery time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skim_cancelled();
-        self.heap.peek().map(|e| e.at)
+        self.settle().map(|idx| self.slots[idx as usize].at)
     }
 
     /// Pops the next event, advancing the clock to its delivery time.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.skim_cancelled();
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.pending.remove(&entry.seq);
-        self.now = entry.at;
+        let idx = self.settle()?;
+        self.staging_head += 1;
+        if self.staging_head == self.staging.len() {
+            self.staging.clear();
+            self.staging_head = 0;
+        }
+        let s = &mut self.slots[idx as usize];
+        let id = Self::id_of(s.gen, idx);
+        let at = s.at;
+        let Body::Live(event) = std::mem::replace(&mut s.body, Body::Vacant) else {
+            unreachable!("settle returned a non-live entry");
+        };
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.processed += 1;
-        Some(Scheduled {
-            at: entry.at,
-            id: EventId(entry.seq),
-            event: entry.event,
-        })
+        self.maybe_purge();
+        Some(Scheduled { at, id, event })
     }
 
-    /// Drops cancelled entries sitting at the top of the heap.
-    fn skim_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.pending.contains(&top.seq) {
-                break;
+    fn id_of(gen: u32, idx: u32) -> EventId {
+        EventId(u64::from(gen) << 32 | u64::from(idx))
+    }
+
+    /// Ensures the head of `staging` is the globally next live event and
+    /// returns its slab index, advancing the cursor — opening level-0
+    /// buckets, cascading higher levels, migrating overflow — as needed.
+    fn settle(&mut self) -> Option<u32> {
+        loop {
+            // Sweep staged tombstones off the front.
+            while let Some(&idx) = self.staging.get(self.staging_head) {
+                match self.slots[idx as usize].body {
+                    Body::Live(_) => return Some(idx),
+                    Body::Dead => {
+                        self.staging_head += 1;
+                        self.free_dead(idx);
+                    }
+                    Body::Vacant => unreachable!("vacant slot staged"),
+                }
             }
-            self.heap.pop();
+            self.staging.clear();
+            self.staging_head = 0;
+            if self.live == 0 {
+                // Any remaining tombstones stay until purge or drop; their
+                // count is below PURGE_MIN_DEAD by the purge invariant.
+                return None;
+            }
+            self.migrate_overflow();
+            if self.staging_head < self.staging.len() {
+                // Migration staged due events directly (cursor jumped to
+                // the overflow horizon); deliver them before advancing.
+                continue;
+            }
+            match self.next_occupied() {
+                Some((0, slot)) => self.open_tick(slot),
+                Some((level, slot)) => self.cascade(level, slot),
+                None => {
+                    // Wheel empty: jump the cursor to the overflow horizon
+                    // and let migrate_overflow pull the head in.
+                    let Reverse((t, _)) = *self
+                        .overflow
+                        .peek()
+                        .expect("live events exist but wheel and overflow are empty");
+                    self.elapsed = t;
+                }
+            }
         }
     }
 
-    /// Rebuilds the heap from only the still-pending entries (O(live)
-    /// heapify), discarding every tombstoned one at once.
-    fn purge_cancelled(&mut self) {
-        let entries = std::mem::take(&mut self.heap).into_vec();
-        self.heap = entries
-            .into_iter()
-            .filter(|e| self.pending.contains(&e.seq))
-            .collect();
+    /// Lowest occupied `(level, slot)` at or after the cursor, if any.
+    /// Levels are scanned bottom-up: lower levels always hold earlier
+    /// events than higher ones within the shared cursor epoch.
+    fn next_occupied(&self) -> Option<(usize, usize)> {
+        for level in 0..LEVELS {
+            let cursor = (self.elapsed >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1);
+            let mask = self.occupied[level] & (u64::MAX << cursor);
+            if mask != 0 {
+                return Some((level, mask.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Opens the level-0 bucket at `slot`: advances the cursor to its
+    /// tick and stages its entries in `seq` order (they share one
+    /// timestamp, so `seq` alone is the delivery order).
+    fn open_tick(&mut self, slot: usize) {
+        let tick = (self.elapsed & !(SLOTS as u64 - 1)) | slot as u64;
+        debug_assert!(tick >= self.elapsed);
+        self.elapsed = tick;
+        self.occupied[0] &= !(1 << slot);
+        debug_assert!(self.staging.is_empty());
+        // Swap so both the staging and bucket allocations are reused.
+        std::mem::swap(&mut self.staging, &mut self.buckets[slot]);
+        let slots = &self.slots;
+        self.staging
+            .sort_unstable_by_key(|&idx| slots[idx as usize].seq);
+    }
+
+    /// Redistributes the level-`level` bucket at `slot` one level down,
+    /// advancing the cursor to the start of the slot's time range.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let shift = LEVEL_BITS * level as u32;
+        let high = self.elapsed & !((1u64 << (shift + LEVEL_BITS)) - 1);
+        let slot_start = high | (slot as u64) << shift;
+        debug_assert!(slot_start >= self.elapsed);
+        self.elapsed = self.elapsed.max(slot_start);
+        self.occupied[level] &= !(1 << slot);
+        let mut moved = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut moved, &mut self.buckets[level * SLOTS + slot]);
+        for idx in moved.drain(..) {
+            match self.slots[idx as usize].body {
+                Body::Dead => self.free_dead(idx),
+                Body::Live(_) => self.place(idx),
+                Body::Vacant => unreachable!("vacant slot in bucket"),
+            }
+        }
+        self.scratch = moved;
+    }
+
+    /// Routes a live slab entry to staging, a wheel bucket, or the
+    /// overflow ladder according to its delivery time vs the cursor.
+    fn place(&mut self, idx: u32) {
+        let t = self.slots[idx as usize].at.as_micros();
+        let x = self.elapsed ^ t;
+        if t <= self.elapsed {
+            // Due now (the cursor can run ahead of `now` after a peek);
+            // order within staging is maintained explicitly.
+            self.stage(idx);
+        } else if x >= WHEEL_RANGE {
+            self.overflow.push(Reverse((t, idx)));
+        } else {
+            // Highest differing bit picks the level; since all higher
+            // bits equal the cursor's, the slot is >= the level cursor.
+            let level = (63 - x.leading_zeros()) as usize / LEVEL_BITS as usize;
+            let slot = ((t >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.buckets[level * SLOTS + slot].push(idx);
+            self.occupied[level] |= 1 << slot;
+        }
+    }
+
+    /// Inserts into the staging buffer, keeping `staging[staging_head..]`
+    /// sorted by `(at, seq)`. Appending is O(1) in the common cases —
+    /// bucket opens and schedules at the current tick arrive in key
+    /// order; only a schedule squeezed between a peek and a pop at an
+    /// earlier instant pays a binary insert.
+    fn stage(&mut self, idx: u32) {
+        let key = self.key(idx);
+        match self.staging.last() {
+            Some(&last) if self.key(last) > key => {
+                if self.staging_head > 0 {
+                    self.staging.drain(..self.staging_head);
+                    self.staging_head = 0;
+                }
+                let pos = self.staging.partition_point(|&i| self.key(i) < key);
+                self.staging.insert(pos, idx);
+            }
+            _ => self.staging.push(idx),
+        }
+    }
+
+    fn key(&self, idx: u32) -> (SimTime, u64) {
+        let s = &self.slots[idx as usize];
+        (s.at, s.seq)
+    }
+
+    /// Pulls overflow entries that have come within wheel range of the
+    /// cursor, freeing tombstoned entries found at the ladder head.
+    fn migrate_overflow(&mut self) {
+        while let Some(&Reverse((t, idx))) = self.overflow.peek() {
+            match self.slots[idx as usize].body {
+                Body::Dead => {
+                    self.overflow.pop();
+                    self.free_dead(idx);
+                }
+                Body::Live(_) if (t ^ self.elapsed) < WHEEL_RANGE => {
+                    self.overflow.pop();
+                    self.place(idx);
+                }
+                Body::Live(_) => break,
+                Body::Vacant => unreachable!("vacant slot in overflow"),
+            }
+        }
+    }
+
+    /// Returns a tombstoned slot to the free list once its last bucket
+    /// reference has been dropped. The generation was already bumped at
+    /// cancellation time.
+    fn free_dead(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        debug_assert!(matches!(s.body, Body::Dead));
+        s.body = Body::Vacant;
+        self.free.push(idx);
+        self.dead -= 1;
+    }
+
+    fn maybe_purge(&mut self) {
+        if self.dead > self.live && self.dead >= Self::PURGE_MIN_DEAD {
+            self.purge();
+        }
+    }
+
+    /// Rebuilds every container from the live slab entries, dropping all
+    /// tombstones at once. O(slab + live·log(live)), amortized against
+    /// the >= PURGE_MIN_DEAD cancellations that funded it.
+    fn purge(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.overflow.clear();
+        self.staging.clear();
+        self.staging_head = 0;
+        self.free.clear();
+        self.dead = 0;
+        let mut order = std::mem::take(&mut self.scratch);
+        order.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            match s.body {
+                Body::Live(_) => order.push(i as u32),
+                Body::Dead => {
+                    s.body = Body::Vacant;
+                    self.free.push(i as u32);
+                }
+                Body::Vacant => self.free.push(i as u32),
+            }
+        }
+        let slots = &self.slots;
+        order.sort_unstable_by_key(|&i| {
+            let s = &slots[i as usize];
+            (s.at, s.seq)
+        });
+        // Due entries re-stage in ascending key order (O(1) appends).
+        for &idx in &order {
+            self.place(idx);
+        }
+        order.clear();
+        self.scratch = order;
+    }
+}
+
+impl<E> EventCalendar<E> for Calendar<E> {
+    fn now(&self) -> SimTime {
+        Calendar::now(self)
+    }
+    fn processed(&self) -> u64 {
+        Calendar::processed(self)
+    }
+    fn len(&self) -> usize {
+        Calendar::len(self)
+    }
+    fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        Calendar::schedule(self, at, event)
+    }
+    fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        Calendar::schedule_after(self, delay, event)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        Calendar::cancel(self, id)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        Calendar::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        Calendar::pop(self)
     }
 }
 
@@ -297,13 +663,65 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut cal: Calendar<()> = Calendar::new();
-        assert!(!cal.cancel(EventId(42)));
+        assert!(!cal.cancel(EventId::from_raw(42)));
+    }
+
+    #[test]
+    fn stale_id_never_cancels_a_reused_slot() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        assert!(cal.cancel(a));
+        // "b" reuses a's slab slot; the stale id must not touch it.
+        let _b = cal.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.cancel(a), "stale generation must not cancel");
+        assert_eq!(cal.pop().unwrap().event, "b");
+        // Nor after delivery bumped the generation again.
+        assert!(!cal.cancel(a));
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_ladder() {
+        let mut cal = Calendar::new();
+        let sentinel = cal.schedule(SimTime::MAX, "armed-forever");
+        cal.schedule(SimTime::from_micros(1 << 50), "far");
+        cal.schedule(SimTime::from_secs(1), "near");
+        assert_eq!(cal.pop().unwrap().event, "near");
+        assert_eq!(cal.pop().unwrap().event, "far");
+        assert!(cal.cancel(sentinel), "overflow events must be cancellable");
+        assert!(cal.pop().is_none());
+        assert_eq!(cal.len(), 0);
+    }
+
+    #[test]
+    fn same_instant_overflow_ties_deliver_in_seq_order() {
+        let mut cal = Calendar::new();
+        let far = SimTime::from_micros((1 << 45) + 7);
+        for i in 0..20 {
+            cal.schedule(far, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_between_peek_and_pop_reorders_correctly() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(10), "late");
+        assert_eq!(cal.peek_time(), Some(SimTime::from_micros(10)));
+        // The peek ran the cursor ahead; an earlier (but still future)
+        // schedule must still be delivered first.
+        cal.schedule(SimTime::from_micros(5), "early");
+        cal.schedule(SimTime::from_micros(10), "late-tie");
+        assert_eq!(cal.pop().unwrap().event, "early");
+        assert_eq!(cal.pop().unwrap().event, "late");
+        assert_eq!(cal.pop().unwrap().event, "late-tie");
     }
 
     #[test]
     fn mass_cancellation_purges_but_preserves_order() {
         let mut cal = Calendar::new();
-        let n = 4 * Calendar::<u64>::PURGE_MIN_HEAP as u64;
+        let n = 4 * Calendar::<u64>::PURGE_MIN_DEAD as u64;
         let ids: Vec<EventId> = (0..n)
             .map(|i| cal.schedule(SimTime::from_micros(i), i))
             .collect();
@@ -316,10 +734,10 @@ mod tests {
         }
         assert_eq!(cal.len(), n as usize / 4);
         assert!(
-            cal.heap.len() <= cal.pending.len() + Calendar::<u64>::PURGE_MIN_HEAP,
-            "purge did not bound tombstones: heap {} vs pending {}",
-            cal.heap.len(),
-            cal.pending.len()
+            cal.tombstones() <= cal.len().max(Calendar::<u64>::PURGE_MIN_DEAD),
+            "purge did not bound tombstones: {} dead vs {} live",
+            cal.tombstones(),
+            cal.len()
         );
         let order: Vec<u64> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
         let expected: Vec<u64> = (0..n).filter(|i| i % 4 == 0).collect();

@@ -1,0 +1,265 @@
+//! Reference event calendar: the original `BinaryHeap` + tombstone-set
+//! implementation, kept as an executable specification for the timer-wheel
+//! [`crate::calendar::Calendar`] (the same pattern as [`crate::ps_reference`]
+//! for the processor-sharing queue).
+//!
+//! Differential proptests in `tests/props.rs` drive random
+//! schedule/cancel/pop interleavings through both implementations and
+//! assert byte-identical `Scheduled` sequences; the platform crate replays
+//! whole harvest simulations against it. This implementation is O(log n)
+//! per operation plus a hash probe on every pop/cancel — correct, slow,
+//! and obviously so.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use hrv_trace::time::{SimDuration, SimTime};
+
+use crate::calendar::{EventCalendar, EventId, Scheduled};
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order entries so the *smallest* (time, seq) is the greatest for
+// `BinaryHeap`'s max-heap semantics.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The specification calendar: a max-heap over reversed `(time, seq)` with
+/// a `HashSet` of still-pending sequence numbers for cancellation.
+///
+/// Its [`EventId`]s carry the raw sequence number; they are only
+/// meaningful to the calendar that issued them, exactly as with the wheel.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Ids scheduled but neither delivered nor cancelled yet.
+    pending: HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Heap sizes below this never trigger a cancelled-entry purge: the
+    /// memory is negligible and `skim_cancelled` handles the head lazily.
+    const PURGE_MIN_HEAP: usize = 1_024;
+
+    /// Creates an empty calendar with the clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Self::with_capacity(256)
+    }
+
+    /// Creates an empty calendar sized for roughly `capacity` concurrent
+    /// pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Calendar {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            pending: HashSet::with_capacity(capacity),
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — the engine never travels backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventId::from_raw(seq)
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let was_pending = self.pending.remove(&id.raw());
+        if was_pending
+            && self.heap.len() >= Self::PURGE_MIN_HEAP
+            && self.heap.len() - self.pending.len() > self.pending.len()
+        {
+            self.purge_cancelled();
+        }
+        was_pending
+    }
+
+    /// Delivery time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event, advancing the clock to its delivery time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.skim_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.pending.remove(&entry.seq);
+        self.now = entry.at;
+        self.processed += 1;
+        Some(Scheduled {
+            at: entry.at,
+            id: EventId::from_raw(entry.seq),
+            event: entry.event,
+        })
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Rebuilds the heap from only the still-pending entries (O(live)
+    /// heapify), discarding every tombstoned one at once.
+    fn purge_cancelled(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| self.pending.contains(&e.seq))
+            .collect();
+    }
+}
+
+impl<E> EventCalendar<E> for Calendar<E> {
+    fn now(&self) -> SimTime {
+        Calendar::now(self)
+    }
+    fn processed(&self) -> u64 {
+        Calendar::processed(self)
+    }
+    fn len(&self) -> usize {
+        Calendar::len(self)
+    }
+    fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        Calendar::schedule(self, at, event)
+    }
+    fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        Calendar::schedule_after(self, delay, event)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        Calendar::cancel(self, id)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        Calendar::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        Calendar::pop(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), 30);
+        cal.schedule(SimTime::from_secs(1), 10);
+        cal.schedule(SimTime::from_secs(1), 11);
+        cal.schedule(SimTime::from_secs(2), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn cancellation_is_exact_and_idempotent() {
+        let mut cal = Calendar::new();
+        let keep = cal.schedule(SimTime::from_secs(1), "keep");
+        let drop = cal.schedule(SimTime::from_secs(2), "drop");
+        assert!(cal.cancel(drop));
+        assert!(!cal.cancel(drop));
+        assert_eq!(cal.pop().unwrap().event, "keep");
+        assert!(cal.pop().is_none());
+        assert!(!cal.cancel(keep));
+    }
+
+    #[test]
+    fn mass_cancellation_purges_but_preserves_order() {
+        let mut cal = Calendar::new();
+        let n = 4 * Calendar::<u64>::PURGE_MIN_HEAP as u64;
+        let ids: Vec<EventId> = (0..n)
+            .map(|i| cal.schedule(SimTime::from_micros(i), i))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 4 != 0 {
+                assert!(cal.cancel(*id));
+            }
+        }
+        assert_eq!(cal.len(), n as usize / 4);
+        assert!(
+            cal.heap.len() <= cal.pending.len() + Calendar::<u64>::PURGE_MIN_HEAP,
+            "purge did not bound tombstones: heap {} vs pending {}",
+            cal.heap.len(),
+            cal.pending.len()
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop()).map(|s| s.event).collect();
+        let expected: Vec<u64> = (0..n).filter(|i| i % 4 == 0).collect();
+        assert_eq!(order, expected);
+    }
+}

@@ -3,16 +3,25 @@
 
 use hrv_trace::time::SimTime;
 
-use crate::calendar::{Calendar, Scheduled};
+use crate::calendar::{EventCalendar, Scheduled};
 
 /// A simulated system: receives events, mutates state, schedules follow-ups.
+///
+/// `handle` is generic over the calendar implementation so the same world
+/// can be driven by the timer-wheel calendar or the reference heap — the
+/// platform's differential tests replay entire simulations against the
+/// executable spec.
 pub trait World {
     /// The event payload type.
     type Event;
 
     /// Handles one delivered event. The world may schedule or cancel
     /// events on `calendar`; the clock has already advanced to `ev.at`.
-    fn handle(&mut self, ev: Scheduled<Self::Event>, calendar: &mut Calendar<Self::Event>);
+    fn handle<C: EventCalendar<Self::Event>>(
+        &mut self,
+        ev: Scheduled<Self::Event>,
+        calendar: &mut C,
+    );
 }
 
 /// Why a simulation run stopped.
@@ -42,9 +51,9 @@ pub struct RunStats {
 ///
 /// Events scheduled exactly at `until` are *not* delivered (the horizon is
 /// half-open, matching trace windows `[0, horizon)`).
-pub fn run_until<W: World>(
+pub fn run_until<W: World, C: EventCalendar<W::Event>>(
     world: &mut W,
-    calendar: &mut Calendar<W::Event>,
+    calendar: &mut C,
     until: SimTime,
     max_events: u64,
 ) -> RunStats {
@@ -82,9 +91,9 @@ pub fn run_until<W: World>(
 }
 
 /// Runs `world` until the calendar drains completely.
-pub fn run_to_completion<W: World>(
+pub fn run_to_completion<W: World, C: EventCalendar<W::Event>>(
     world: &mut W,
-    calendar: &mut Calendar<W::Event>,
+    calendar: &mut C,
     max_events: u64,
 ) -> RunStats {
     run_until(world, calendar, SimTime::MAX, max_events)
@@ -93,6 +102,7 @@ pub fn run_to_completion<W: World>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calendar::Calendar;
     use hrv_trace::time::SimDuration;
 
     /// A world that rings a bell every second, counting rings.
@@ -103,7 +113,7 @@ mod tests {
 
     impl World for Metronome {
         type Event = ();
-        fn handle(&mut self, _ev: Scheduled<()>, calendar: &mut Calendar<()>) {
+        fn handle<C: EventCalendar<()>>(&mut self, _ev: Scheduled<()>, calendar: &mut C) {
             self.rings += 1;
             if self.rings < self.stop_after {
                 calendar.schedule_after(SimDuration::from_secs(1), ());

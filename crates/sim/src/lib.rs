@@ -6,6 +6,7 @@
 //! contention on resizable Harvest VMs.
 
 pub mod calendar;
+pub mod calendar_reference;
 pub mod engine;
 pub mod ps;
 pub mod ps_reference;

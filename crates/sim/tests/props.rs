@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 
-use hrv_sim::calendar::Calendar;
+use hrv_sim::calendar::{Calendar, EventId};
+use hrv_sim::calendar_reference;
 use hrv_sim::ps::{JobId, PsQueue};
 use hrv_sim::ps_reference;
 use hrv_trace::time::{SimDuration, SimTime};
@@ -114,6 +115,80 @@ proptest! {
         popped.sort_unstable();
         expected.sort_unstable();
         prop_assert_eq!(popped, expected);
+    }
+
+    /// Differential test: the timer-wheel calendar and the heap reference
+    /// deliver byte-identical `Scheduled` sequences — same `(time, event)`
+    /// at every pop, same clock, same counters — under arbitrary
+    /// interleavings of schedules (same-instant ties, far-future overflow
+    /// delays, `SimTime::MAX` sentinels), cancels (including double
+    /// cancels and cancel-after-pop via stale ids), peeks, and pops.
+    #[test]
+    fn calendar_matches_reference_implementation(
+        ops in prop::collection::vec((0u8..8, any::<u64>(), any::<u64>()), 1..250),
+    ) {
+        let mut wheel: Calendar<u64> = Calendar::new();
+        let mut spec: calendar_reference::Calendar<u64> = calendar_reference::Calendar::new();
+        // Parallel id pairs; entries are never removed, so late cancels
+        // exercise the stale-id (cancel-after-pop, double-cancel) paths.
+        let mut ids: Vec<(EventId, EventId)> = Vec::new();
+        let mut payload = 0u64;
+        for &(kind, a, b) in &ops {
+            match kind {
+                // Schedule, biased across delay classes: same-instant
+                // ties, wheel near/far levels, and the overflow ladder.
+                0..=3 => {
+                    let delay = match a % 6 {
+                        0 => SimDuration::from_micros(0),
+                        1 => SimDuration::from_micros(b % 64),
+                        2 => SimDuration::from_micros(b % 1_000_000),
+                        3 => SimDuration::from_micros((1 << 41) + b % 1_000),
+                        4 => SimDuration::from_micros((1 << 43) + b % 1_000),
+                        _ => SimDuration::from_micros(u64::MAX),
+                    };
+                    let w = wheel.schedule_after(delay, payload);
+                    let r = spec.schedule_after(delay, payload);
+                    ids.push((w, r));
+                    payload += 1;
+                }
+                4 => {
+                    prop_assert_eq!(wheel.peek_time(), spec.peek_time(), "peek diverged");
+                }
+                5 | 6 => {
+                    let wp = wheel.pop();
+                    let rp = spec.pop();
+                    match (&wp, &rp) {
+                        (None, None) => {}
+                        (Some(w), Some(r)) => {
+                            prop_assert_eq!((w.at, w.event), (r.at, r.event), "pop diverged");
+                        }
+                        _ => prop_assert!(false, "pop presence diverged: {:?} vs {:?}", wp, rp),
+                    }
+                }
+                _ => {
+                    if !ids.is_empty() {
+                        let (w, r) = ids[(a % ids.len() as u64) as usize];
+                        prop_assert_eq!(wheel.cancel(w), spec.cancel(r), "cancel diverged");
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), spec.len(), "len diverged");
+            prop_assert_eq!(wheel.now(), spec.now(), "clock diverged");
+            prop_assert_eq!(wheel.processed(), spec.processed(), "processed diverged");
+        }
+        // Drain the tail completely.
+        loop {
+            let wp = wheel.pop();
+            let rp = spec.pop();
+            match (&wp, &rp) {
+                (None, None) => break,
+                (Some(w), Some(r)) => {
+                    prop_assert_eq!((w.at, w.event), (r.at, r.event), "tail pop diverged");
+                }
+                _ => prop_assert!(false, "tail presence diverged: {:?} vs {:?}", wp, rp),
+            }
+        }
+        prop_assert!(wheel.is_empty() && spec.is_empty());
     }
 
     /// Processor sharing conserves work: total service delivered over any
