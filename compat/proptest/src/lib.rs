@@ -3,7 +3,8 @@
 //! Supports the subset of the proptest API the workspace's property
 //! tests use: the `proptest!` macro over `arg in strategy` signatures,
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, range and tuple
-//! strategies, `any::<T>()`, and `prop::collection::{vec, btree_set}`.
+//! strategies, `any::<T>()`, `prop::collection::{vec, btree_set}`,
+//! [`Strategy::prop_map`], and the weighted [`prop_oneof!`] union.
 //!
 //! Differences from the real proptest, deliberately accepted:
 //! no shrinking (failures print the seed and case number instead), no
@@ -65,6 +66,74 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, as in the real proptest.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// One boxed, weighted [`prop_oneof!`] arm.
+pub type OneOfArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted union of strategies with a common value type; built by the
+/// [`prop_oneof!`] macro, not constructed directly.
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+    total: u32,
+}
+
+impl<V> OneOf<V> {
+    /// Assembles the union; weights must not all be zero.
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+/// Boxes one [`prop_oneof!`] arm; a generic fn (rather than an `as` cast
+/// to `dyn Fn`) so the arm value types unify through inference.
+pub fn one_of_arm<V, S: Strategy<Value = V> + 'static>(weight: u32, strategy: S) -> OneOfArm<V> {
+    (
+        weight,
+        Box::new(move |rng: &mut TestRng| strategy.generate(rng)),
+    )
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.random_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted draw exceeded total")
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -305,6 +374,21 @@ macro_rules! proptest {
     };
 }
 
+/// Weighted choice between strategies sharing a value type:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` draws from `strat_a` three
+/// times as often. Bare `prop_oneof![a, b]` weights every arm equally.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $($crate::one_of_arm(($weight) as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Fails the current property case if the condition is false.
 #[macro_export]
 macro_rules! prop_assert {
@@ -362,7 +446,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Strategy,
+        TestCaseError,
     };
 }
 
@@ -389,6 +474,29 @@ mod tests {
             prop_assert!(set.len() >= 2 && set.len() < 10);
             prop_assert!(pair.0 >= 1 && pair.0 < 5);
             prop_assert_ne!(pair.1, 100);
+        }
+    }
+
+    proptest! {
+        /// `prop_map` and `prop_oneof!` compose into enum-valued
+        /// strategies with the declared weights respected.
+        #[test]
+        fn map_and_oneof_generate_declared_variants(
+            ops in prop::collection::vec(
+                prop_oneof![
+                    3 => (0u32..10).prop_map(|n| (0u8, n)),
+                    1 => (10u32..20).prop_map(|n| (1u8, n)),
+                ],
+                50,
+            ),
+        ) {
+            for (tag, n) in &ops {
+                match tag {
+                    0 => prop_assert!(*n < 10),
+                    1 => prop_assert!((10..20).contains(n)),
+                    _ => prop_assert!(false, "unknown variant {}", tag),
+                }
+            }
         }
     }
 

@@ -10,12 +10,16 @@ use std::hint::black_box;
 use harvest_faas::hrv_lb::estimate::SampleHistogram;
 use harvest_faas::hrv_lb::hashring::HashRing;
 use harvest_faas::hrv_lb::hashring::WalkSeen;
-use harvest_faas::hrv_lb::view::InvokerId;
+use harvest_faas::hrv_lb::mws::Mws;
+use harvest_faas::hrv_lb::policy::LoadBalancer;
+use harvest_faas::hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
 use harvest_faas::hrv_sim::calendar::Calendar;
 use harvest_faas::hrv_sim::calendar_reference;
 use harvest_faas::hrv_sim::ps::{JobId, PsQueue};
 use harvest_faas::hrv_trace::faas::{AppId, FunctionId};
-use harvest_faas::hrv_trace::time::SimTime;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_calendar(c: &mut Criterion) {
     c.bench_function("calendar/schedule_pop_1k", |b| {
@@ -141,6 +145,62 @@ fn bench_hash_ring(c: &mut Criterion) {
     });
 }
 
+fn bench_mws(c: &mut Criterion) {
+    // A 64-invoker cluster and one function whose learned usage spans a
+    // few members — the perfsmoke placement shape, minus the load churn.
+    let setup = || {
+        let mut mws = Mws::new(LoadWeights::default(), 1);
+        let mut view = ClusterView::new();
+        for i in 0..64 {
+            mws.on_invoker_join(InvokerId(i));
+            view.add(InvokerView::register(
+                InvokerId(i),
+                8,
+                64 * 1024,
+                SimTime::ZERO,
+            ));
+        }
+        let f = FunctionId {
+            app: AppId(42),
+            func: 0,
+        };
+        for _ in 0..16 {
+            mws.on_completion(f, SimDuration::from_secs(2), 1.0);
+        }
+        for i in 0..64u64 {
+            mws.on_arrival(f, SimTime::from_micros(i * 100_000));
+        }
+        (mws, view, f)
+    };
+    // Setup stays outside the bench closures: the harness re-enters the
+    // closure per timed call, and ring construction would dwarf the
+    // placement being measured.
+    let now = SimTime::from_secs(7);
+    {
+        let (mut mws, view, f) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        // First placement fills the cache; epochs never move after.
+        mws.place(now, f, 256, &view, &mut rng);
+        c.bench_function("mws/place_cached_hit", |b| {
+            b.iter(|| black_box(mws.place(now, f, 256, &view, &mut rng)))
+        });
+    }
+    {
+        let (mut mws, mut view, f) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut flip = false;
+        c.bench_function("mws/place_cold_miss", |b| {
+            b.iter(|| {
+                // Toggling one invoker's placeability bumps the epoch, so
+                // every placement misses and refills via a full ring walk.
+                flip = !flip;
+                view.update(InvokerId(63), |v| v.eviction_pending = flip);
+                black_box(mws.place(now, f, 256, &view, &mut rng))
+            })
+        });
+    }
+}
+
 fn bench_histograms(c: &mut Criterion) {
     c.bench_function("histogram/record_and_percentile", |b| {
         b.iter(|| {
@@ -163,6 +223,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_ps_queue, bench_hash_ring, bench_histograms
+    targets = bench_calendar, bench_ps_queue, bench_hash_ring, bench_mws, bench_histograms
 }
 criterion_main!(benches);

@@ -36,7 +36,7 @@ use hrv_bench::scale::{
     run_platform_scale, run_stream_scale, PlatformScaleReport, StreamScaleConfig, StreamScaleReport,
 };
 use hrv_lb::jsq::{Jsq, JsqMetric};
-use hrv_lb::mws::Mws;
+use hrv_lb::mws::{Mws, MwsCacheStats};
 use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
 use hrv_sim::calendar::Calendar;
@@ -197,16 +197,17 @@ fn drive_placement(lb: &mut dyn LoadBalancer, placements: u64) -> f64 {
     placements as f64 / start.elapsed().as_secs_f64()
 }
 
-fn bench_placement(placements: u64) -> (f64, f64) {
-    let (_, mws_rate, ()) = best_of(3, || {
+fn bench_placement(placements: u64) -> (f64, f64, MwsCacheStats) {
+    let (_, mws_rate, mws_cache) = best_of(3, || {
         let mut mws = Mws::new(LoadWeights::default(), 1);
-        (0.0, drive_placement(&mut mws, placements), ())
+        let rate = drive_placement(&mut mws, placements);
+        (0.0, rate, mws.cache_stats())
     });
     let (_, jsq_rate, ()) = best_of(3, || {
         let mut jsq = Jsq::new(JsqMetric::WeightedUtilization, Some(2));
         (0.0, drive_placement(&mut jsq, placements), ())
     });
-    (mws_rate, jsq_rate)
+    (mws_rate, jsq_rate, mws_cache)
 }
 
 /// Drives a PS queue at steady `concurrency`: every completion is
@@ -377,7 +378,7 @@ fn main() {
 
     let placements = 200_000u64;
     eprintln!("perfsmoke: placement loop ({placements} placements per policy, best of 3)...");
-    let (mws_rate, jsq_rate) = bench_placement(placements);
+    let (mws_rate, jsq_rate, mws_cache) = bench_placement(placements);
 
     eprintln!("perfsmoke: 10-minute MWS replay...");
     let (replay_secs, replay_events, replay_completed) = bench_replay();
@@ -434,10 +435,16 @@ fn main() {
          \"max_tombstones\": {churn_max_tombstones} }},\n  \"ps\": [\n{ps_json}\n  ],\n  \
          \"placement\": {{ \"placements\": {placements}, \
          \"mws_placements_per_sec\": {mws_rate:.0}, \
+         \"mws_cache_hits\": {}, \
+         \"mws_cache_misses\": {}, \
+         \"mws_cache_hit_rate\": {:.4}, \
          \"jsq_sampled_placements_per_sec\": {jsq_rate:.0} }},\n  \
          \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
          \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
          \"completed_invocations\": {replay_completed} }},\n{scale_json}\n}}\n",
+        mws_cache.hits,
+        mws_cache.misses,
+        mws_cache.hit_rate(),
         replay_events as f64 / replay_secs
     );
 

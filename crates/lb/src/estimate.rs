@@ -292,9 +292,24 @@ impl StatsRegistry {
     }
 
     /// The MWS usage estimate `u_f = RPS · E[cpu] · E[duration]`, in cores
-    /// (Algorithm 1).
+    /// (Algorithm 1). Placement calls this once per arrival, and the
+    /// covering-set cache re-checks it against a capacity band on every
+    /// hit, so it resolves the function's stats with a *single* hash
+    /// lookup instead of chaining [`StatsRegistry::estimated_rps`] /
+    /// [`StatsRegistry::expected_cpu`] / [`StatsRegistry::expected_duration`]
+    /// (three lookups). Semantics are identical: priors apply until
+    /// samples exist, and an unknown function estimates 0 (its rate is 0).
     pub fn usage_estimate(&mut self, f: FunctionId, now: SimTime) -> f64 {
-        self.estimated_rps(f, now) * self.expected_cpu(f) * self.expected_duration(f)
+        let controllers = f64::from(self.controllers);
+        let priors = self.priors;
+        match self.stats.get_mut(&f) {
+            None => 0.0,
+            Some(s) => {
+                let rps = s.arrivals.rate(now) * controllers;
+                rps * s.cpu.mean().unwrap_or(priors.cpu_cores)
+                    * s.duration.mean().unwrap_or(priors.duration_secs)
+            }
+        }
     }
 
     /// Number of functions with any recorded state.
@@ -403,6 +418,28 @@ mod tests {
         }
         let u = reg.usage_estimate(f(1), SimTime::from_secs(60));
         assert!((u - 6.0).abs() < 1.5, "usage {u}");
+    }
+
+    #[test]
+    fn usage_estimate_matches_three_lookup_product() {
+        let mut reg = StatsRegistry::new(StatsPriors::default(), 3);
+        // Unknown function: zero, not priors-product.
+        assert_eq!(reg.usage_estimate(f(9), SimTime::ZERO), 0.0);
+        for i in 0..40u64 {
+            reg.record_arrival(f(2), SimTime::from_micros(i * 250_000));
+        }
+        reg.record_completion(f(2), SimDuration::from_secs(2), 1.5);
+        let now = SimTime::from_secs(10);
+        let product =
+            reg.estimated_rps(f(2), now) * reg.expected_cpu(f(2)) * reg.expected_duration(f(2));
+        assert!((reg.usage_estimate(f(2), now) - product).abs() < 1e-12);
+        // Arrivals-only function: completion means fall back to priors.
+        for i in 0..40u64 {
+            reg.record_arrival(f(3), SimTime::from_micros(i * 250_000));
+        }
+        let product =
+            reg.estimated_rps(f(3), now) * reg.expected_cpu(f(3)) * reg.expected_duration(f(3));
+        assert!((reg.usage_estimate(f(3), now) - product).abs() < 1e-12);
     }
 
     #[test]

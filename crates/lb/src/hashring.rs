@@ -68,6 +68,11 @@ pub struct HashRing {
     /// Slot → invoker table; slots are dense and renumbered on removal.
     members: Vec<InvokerId>,
     vnodes: u32,
+    /// Bumped on every membership change; walk order is a pure function
+    /// of the ring content, so two walks at the same epoch (and the same
+    /// start hash) yield the same invoker sequence. Lets callers cache
+    /// walk results and invalidate on churn without diffing membership.
+    epoch: u64,
 }
 
 impl HashRing {
@@ -77,6 +82,7 @@ impl HashRing {
             ring: Vec::new(),
             members: Vec::new(),
             vnodes: DEFAULT_VNODES,
+            epoch: 0,
         }
     }
 
@@ -91,7 +97,15 @@ impl HashRing {
             ring: Vec::new(),
             members: Vec::new(),
             vnodes,
+            epoch: 0,
         }
+    }
+
+    /// Monotone membership epoch: bumped by every [`HashRing::add`] and
+    /// successful [`HashRing::remove`]. Deterministic — it counts
+    /// membership events, so same-seeded runs see the same epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn vnode_hash(id: InvokerId, replica: u32) -> u64 {
@@ -111,6 +125,7 @@ impl HashRing {
     /// Panics if the invoker is already on the ring.
     pub fn add(&mut self, id: InvokerId) {
         assert!(!self.contains(id), "invoker {id:?} already on ring");
+        self.epoch += 1;
         let slot = self.members.len() as u32;
         self.members.push(id);
         for r in 0..self.vnodes {
@@ -125,6 +140,7 @@ impl HashRing {
         let Some(slot) = self.members.iter().position(|&m| m == id) else {
             return false;
         };
+        self.epoch += 1;
         let slot = slot as u32;
         let last = (self.members.len() - 1) as u32;
         self.ring.retain(|&(_, s)| s != slot);
@@ -410,6 +426,24 @@ mod tests {
         for app in 0..500u32 {
             assert_eq!(ring.home(f(app, 0)), fresh.home(f(app, 0)));
         }
+    }
+
+    #[test]
+    fn epoch_counts_membership_changes() {
+        let mut ring = HashRing::new();
+        assert_eq!(ring.epoch(), 0);
+        ring.add(InvokerId(0));
+        ring.add(InvokerId(1));
+        assert_eq!(ring.epoch(), 2);
+        // Removing an absent member is not a membership change.
+        assert!(!ring.remove(InvokerId(9)));
+        assert_eq!(ring.epoch(), 2);
+        assert!(ring.remove(InvokerId(0)));
+        assert_eq!(ring.epoch(), 3);
+        // Rejoin bumps again: walk order may differ from the original
+        // ring even though the member set matches.
+        ring.add(InvokerId(0));
+        assert_eq!(ring.epoch(), 4);
     }
 
     #[test]

@@ -11,6 +11,29 @@
 //! only the functions anchored to the affected VM (Section 5.2), and
 //! worker-set *reductions* are rate-limited to one per 30 seconds to
 //! smooth oscillating load (Section 6.2).
+//!
+//! # The covering-set cache
+//!
+//! Placement is the dispatch hot path, and the naive formulation re-walks
+//! the hash ring and rebuilds the covering set on every arrival. The walk
+//! order, however, is a pure function of `(ring membership, placeable
+//! set)`, both of which change orders of magnitude less often than
+//! arrivals occur. [`Mws`] therefore caches, per function, the *prefix of
+//! placeable invokers in ring-walk order*, keyed by the pair
+//! `(HashRing::epoch, ClusterView::placeability_epoch)`. A steady-state
+//! placement is then a cache hit: re-derive the covering-set size from
+//! *live* loads over the cached prefix (an O(k) capacity-band check,
+//! k = worker-set size), apply shrink damping, and pick the least-loaded
+//! member — no ring walk at all.
+//!
+//! Correctness is structural, not probabilistic: both the covering walk
+//! and the damped-set extension consume the same placeable-ring-order
+//! sequence, so the cached prefix is a memoization of that sequence, and
+//! every load-dependent quantity (covering size, least-loaded choice) is
+//! recomputed from the live [`ClusterView`] on each hit. Cached
+//! placements are **byte-identical** to the retained reference path
+//! ([`Mws::place_uncached`]); a differential proptest and a
+//! platform-level same-seed record-identity test enforce it.
 
 use std::collections::HashMap;
 
@@ -25,12 +48,92 @@ use crate::view::{ClusterView, InvokerId, LoadWeights};
 /// Minimum interval between worker-set reductions for one function.
 pub const SHRINK_DAMPING: SimDuration = SimDuration::from_secs(30);
 
-#[derive(Debug, Clone, Copy)]
+/// Extra placeable members kept in a cached walk prefix beyond what the
+/// filling placement needed, so moderate usage growth (a longer covering
+/// set) or damped-set growth stays a cache hit instead of forcing a
+/// refill walk.
+const CACHE_SLACK: usize = 2;
+
+/// A memoized prefix of the function's placeable ring walk.
+#[derive(Debug, Clone)]
+struct CachedWalk {
+    /// [`HashRing::epoch`] at fill time — invalidated by member churn.
+    ring_epoch: u64,
+    /// [`ClusterView::placeability_epoch`] at fill time — invalidated by
+    /// any placeability flip (and conservatively by raw `get_mut`).
+    place_epoch: u64,
+    /// The first `prefix.len()` placeable invokers in ring-walk order
+    /// from the function's home, each paired with its position in
+    /// [`ClusterView::all`] at fill time. While both epochs match, this
+    /// is exactly what a fresh walk would yield — and the positions are
+    /// still exact (only `add`/`remove`/`get_mut` reorder the view, and
+    /// all of them bump the placeability epoch), so hits index the view
+    /// directly instead of binary-searching per member.
+    prefix: Vec<(InvokerId, u32)>,
+    /// True when the fill walk ran dry: `prefix` holds *every* placeable
+    /// invoker, so a covering or damped set can never extend past it.
+    exhausted: bool,
+}
+
+/// Per-function worker-set state: damped size plus the cached walk.
+#[derive(Debug, Clone)]
 struct SetState {
     /// Current worker-set size.
     k: usize,
     /// Last time the set was allowed to shrink.
     last_shrink: SimTime,
+    /// Covering-set cache; `None` until the first cache-filling placement.
+    cache: Option<CachedWalk>,
+}
+
+impl SetState {
+    /// The size damping would yield for `target` at `now` *without*
+    /// committing the shrink step — the cache-hit path peeks first so a
+    /// fallback to the walk never double-applies a shrink.
+    fn damped_peek(&self, target: usize, now: SimTime) -> usize {
+        if target >= self.k {
+            target
+        } else if now.since(self.last_shrink) >= SHRINK_DAMPING {
+            self.k - 1
+        } else {
+            self.k
+        }
+    }
+
+    /// Applies the 30-second shrink damping: growth is immediate, shrink
+    /// is one step per damping interval. Returns the damped size (always
+    /// what [`SetState::damped_peek`] predicted).
+    fn damped_commit(&mut self, target: usize, now: SimTime) -> usize {
+        if target >= self.k {
+            self.k = target;
+        } else if now.since(self.last_shrink) >= SHRINK_DAMPING {
+            self.k -= 1;
+            self.last_shrink = now;
+        }
+        self.k
+    }
+}
+
+/// Hit/miss counters of the covering-set cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MwsCacheStats {
+    /// Placements served from the cached walk prefix (no ring walk).
+    pub hits: u64,
+    /// Placements that fell back to the full ring walk (and refilled the
+    /// cache when caching is enabled).
+    pub misses: u64,
+}
+
+impl MwsCacheStats {
+    /// Fraction of placements served from the cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// The MWS policy.
@@ -63,16 +166,21 @@ pub struct Mws {
     stats: StatsRegistry,
     weights: LoadWeights,
     sets: HashMap<FunctionId, SetState>,
-    /// Reused ring-walk dedup scratch (placement is the hot path: one or
-    /// two walks per arrival).
+    /// Reused ring-walk dedup scratch (only the miss path walks).
     walk_seen: WalkSeen,
     /// Reused worker-set member buffer, emptied between placements.
-    scratch: Vec<InvokerId>,
+    scratch: Vec<(InvokerId, u32)>,
+    /// When false, every placement takes the reference walk path —
+    /// retained for differential testing against the cache.
+    cache_enabled: bool,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Mws {
     /// Creates an MWS balancer for a deployment with `controllers`
-    /// controllers (used to scale locally observed arrival rates).
+    /// controllers (used to scale locally observed arrival rates). The
+    /// covering-set cache is on; see [`Mws::set_caching`].
     pub fn new(weights: LoadWeights, controllers: u32) -> Self {
         Mws {
             ring: HashRing::new(),
@@ -81,6 +189,24 @@ impl Mws {
             sets: HashMap::new(),
             walk_seen: WalkSeen::new(),
             scratch: Vec::new(),
+            cache_enabled: true,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Enables or disables the covering-set cache. Placement results are
+    /// identical either way (the differential tests depend on it); the
+    /// uncached mode exists for reference runs and A/B validation.
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Covering-set cache hit/miss counters since construction.
+    pub fn cache_stats(&self) -> MwsCacheStats {
+        MwsCacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
         }
     }
 
@@ -100,49 +226,214 @@ impl Mws {
         &mut self.stats
     }
 
-    /// Computes the minimal covering set per Algorithm 1 into `out`: walk
-    /// clockwise from the home VM accumulating `usable_resources` until
-    /// the function's estimated usage is covered. Only placeable invokers
-    /// count. Yields at least one member when any invoker is placeable.
-    /// Free function over the fields it needs so `place` can borrow the
-    /// ring, the walk scratch, and the member buffer disjointly.
-    fn covering_set_into(
-        ring: &HashRing,
-        seen: &mut WalkSeen,
-        usage: f64,
+    /// The reference placement path: one ring walk per placement, never
+    /// consulting or refilling the cache. [`Mws::place`] is held
+    /// byte-identical to this by a differential proptest
+    /// (`crates/lb/tests/props.rs`) and a platform-level same-seed
+    /// record-identity test (`tests/determinism.rs`).
+    pub fn place_uncached(
+        &mut self,
+        now: SimTime,
         function: FunctionId,
+        _memory_mb: u64,
         view: &ClusterView,
-        out: &mut Vec<InvokerId>,
-    ) {
-        out.clear();
+    ) -> Option<InvokerId> {
+        let usage = self.stats.usage_estimate(function, now);
+        self.place_walk(now, function, usage, view, false)
+    }
+
+    /// Cache-hit attempt: `Some(placement)` when the cached walk prefix
+    /// is valid for the current epochs, covers `usage` under *live*
+    /// loads, and is long enough for the damped set; `None` means fall
+    /// back to the walk. Never walks the ring and only mutates damping
+    /// state on a hit.
+    fn place_cached(
+        &mut self,
+        now: SimTime,
+        function: FunctionId,
+        usage: f64,
+        view: &ClusterView,
+    ) -> Option<Option<InvokerId>> {
+        let ring_epoch = self.ring.epoch();
+        let place_epoch = view.placeability_epoch();
+        let weights = self.weights;
+        let state = self.sets.get_mut(&function)?;
+        let cache = state.cache.as_ref()?;
+        if cache.ring_epoch != ring_epoch || cache.place_epoch != place_epoch {
+            return None;
+        }
+        // Capacity-band check fused with least-loaded selection, one
+        // pass over the prefix. Matching epochs guarantee a fresh walk
+        // would visit exactly these invokers in this order, so stopping
+        // at the same `covered >= usage` boundary reproduces the covering
+        // set exactly; the cached view positions are likewise still exact
+        // (any reordering bumps the placeability epoch), with the id
+        // equality guard demoting the impossible mismatch to a miss
+        // rather than a wrong answer.
+        let all = view.all();
         let mut covered = 0.0;
-        for id in ring.walk_with(function, seen) {
-            let Some(v) = view.get(id) else { continue };
+        let mut best: Option<(InvokerId, f64)> = None;
+        let mut m = cache.prefix.len();
+        for (i, &(id, idx)) in cache.prefix.iter().enumerate() {
+            let v = all.get(idx as usize)?;
+            if v.id != id {
+                return None;
+            }
+            best = fold_least_loaded(best, id, v.weighted_load(weights));
+            covered += v.usable_cpus();
+            if covered >= usage {
+                m = i + 1;
+                break;
+            }
+        }
+        if m == 0 {
+            return None;
+        }
+        if covered < usage && !cache.exhausted {
+            // Usage outgrew the cached prefix: the true covering set may
+            // extend past it.
+            return None;
+        }
+        // Damped size is always ≥ the covering size (growth is immediate,
+        // shrink stops at the target), so the selection window extends
+        // the scan above rather than restarting it.
+        let k = state.damped_peek(m, now).max(1);
+        if k > cache.prefix.len() && !cache.exhausted {
+            // The damped set extends beyond the cached walk.
+            return None;
+        }
+        let take = k.min(cache.prefix.len());
+        for &(id, idx) in &cache.prefix[m..take] {
+            let v = all.get(idx as usize)?;
+            if v.id != id {
+                return None;
+            }
+            best = fold_least_loaded(best, id, v.weighted_load(weights));
+        }
+        state.damped_commit(m, now);
+        Some(best.map(|(id, _)| id))
+    }
+
+    /// The walk path (Algorithm 1, single pass): accumulate placeable
+    /// capacity in ring order until `usage` is covered, apply damping,
+    /// then *continue the same walk* to the damped size — the
+    /// [`WalkSeen`] marks carry over, so extension needs no membership
+    /// probe. When `refill` is set, the member prefix (plus
+    /// [`CACHE_SLACK`] headroom) is stored in the cache.
+    fn place_walk(
+        &mut self,
+        now: SimTime,
+        function: FunctionId,
+        usage: f64,
+        view: &ClusterView,
+        refill: bool,
+    ) -> Option<InvokerId> {
+        let Mws {
+            ring,
+            weights,
+            sets,
+            walk_seen,
+            scratch,
+            ..
+        } = self;
+        let mut members = std::mem::take(scratch);
+        let mut walk = ring.walk_with(function, walk_seen);
+        let mut covered = 0.0;
+        for id in walk.by_ref() {
+            let Some((idx, v)) = view.get_indexed(id) else {
+                continue;
+            };
             if !v.placeable() {
                 continue;
             }
             covered += v.usable_cpus();
-            out.push(id);
-            if covered >= usage && !out.is_empty() {
+            members.push((id, idx as u32));
+            if covered >= usage {
                 break;
             }
         }
-    }
-
-    /// Applies the 30-second shrink damping: growth is immediate, shrink
-    /// is one step per damping interval.
-    fn damped_size(&mut self, function: FunctionId, target: usize, now: SimTime) -> usize {
-        let entry = self.sets.entry(function).or_insert(SetState {
-            k: target,
-            last_shrink: now,
-        });
-        if target >= entry.k {
-            entry.k = target;
-        } else if now.since(entry.last_shrink) >= SHRINK_DAMPING {
-            entry.k -= 1;
-            entry.last_shrink = now;
+        if members.is_empty() {
+            *scratch = members;
+            return None;
         }
-        entry.k
+        let m = members.len();
+        let entry = sets.entry(function).or_insert_with(|| SetState {
+            k: m,
+            last_shrink: now,
+            cache: None,
+        });
+        let k = entry.damped_commit(m, now).max(1);
+
+        // The damped set may be larger than the covering set; with a
+        // refill pending, also gather slack members for the cache.
+        let want = if refill {
+            m.max(k) + CACHE_SLACK
+        } else {
+            m.max(k)
+        };
+        let mut exhausted = false;
+        if members.len() < want {
+            for id in walk.by_ref() {
+                let Some((idx, v)) = view.get_indexed(id) else {
+                    continue;
+                };
+                if v.placeable() {
+                    members.push((id, idx as u32));
+                    if members.len() >= want {
+                        break;
+                    }
+                }
+            }
+            // Ran dry before `want`: every placeable invoker is listed.
+            exhausted = members.len() < want;
+        }
+
+        let take = k.min(members.len());
+        let all = view.all();
+        let mut best: Option<(InvokerId, f64)> = None;
+        for &(id, idx) in &members[..take] {
+            // Indices were taken from this same view moments ago.
+            let v = &all[idx as usize];
+            best = fold_least_loaded(best, id, v.weighted_load(*weights));
+        }
+        let choice = best.map(|(id, _)| id);
+        if refill {
+            // Reuse the previous prefix allocation when there is one.
+            let mut prefix = match entry.cache.take() {
+                Some(old) => {
+                    let mut p = old.prefix;
+                    p.clear();
+                    p
+                }
+                None => Vec::with_capacity(members.len()),
+            };
+            prefix.extend_from_slice(&members);
+            entry.cache = Some(CachedWalk {
+                ring_epoch: ring.epoch(),
+                place_epoch: view.placeability_epoch(),
+                prefix,
+                exhausted,
+            });
+        }
+        members.clear();
+        *scratch = members;
+        choice
+    }
+}
+
+/// One step of least-loaded selection: keep `best` unless `load` is
+/// strictly smaller under `total_cmp` — `Iterator::min_by` semantics,
+/// ties break toward the earliest ring position. Shared by the cached
+/// and reference paths so the selection semantics cannot drift apart.
+#[inline]
+fn fold_least_loaded(
+    best: Option<(InvokerId, f64)>,
+    id: InvokerId,
+    load: f64,
+) -> Option<(InvokerId, f64)> {
+    match best {
+        Some((_, incumbent)) if incumbent.total_cmp(&load) != std::cmp::Ordering::Greater => best,
+        _ => Some((id, load)),
     }
 }
 
@@ -160,53 +451,14 @@ impl LoadBalancer for Mws {
         _rng: &mut dyn rand::Rng,
     ) -> Option<InvokerId> {
         let usage = self.stats.usage_estimate(function, now);
-        let mut members = std::mem::take(&mut self.scratch);
-        Self::covering_set_into(
-            &self.ring,
-            &mut self.walk_seen,
-            usage,
-            function,
-            view,
-            &mut members,
-        );
-        if members.is_empty() {
-            self.scratch = members;
-            return None;
-        }
-        let k = self.damped_size(function, members.len(), now).max(1);
-
-        // The damped set may be larger than the covering set: extend the
-        // walk to `k` placeable members.
-        if members.len() < k {
-            for id in self.ring.walk_with(function, &mut self.walk_seen) {
-                if members.len() >= k {
-                    break;
-                }
-                if members.contains(&id) {
-                    continue;
-                }
-                let Some(v) = view.get(id) else { continue };
-                if v.placeable() {
-                    members.push(id);
-                }
+        if self.cache_enabled {
+            if let Some(choice) = self.place_cached(now, function, usage, view) {
+                self.cache_hits += 1;
+                return choice;
             }
-        } else {
-            members.truncate(k);
+            self.cache_misses += 1;
         }
-
-        // Least-loaded member by the weighted CPU+memory metric; ties break
-        // toward the earliest ring position (stable).
-        let choice = members
-            .iter()
-            .filter_map(|&id| view.get(id))
-            .min_by(|a, b| {
-                a.weighted_load(self.weights)
-                    .total_cmp(&b.weighted_load(self.weights))
-            })
-            .map(|v| v.id);
-        members.clear();
-        self.scratch = members;
-        choice
+        self.place_walk(now, function, usage, view, self.cache_enabled)
     }
 
     fn on_arrival(&mut self, function: FunctionId, now: SimTime) {
@@ -405,5 +657,169 @@ mod tests {
         view.get_mut(home).unwrap().cpu_in_use = 16.0;
         let placed = mws.place(now, f(5), 256, &view, &mut r).unwrap();
         assert_ne!(placed, home);
+    }
+
+    /// Two balancers fed the same observation stream: one places through
+    /// the cache, the twin through the reference walk.
+    fn twins(n: u32, cpus: u32) -> (Mws, Mws, ClusterView) {
+        let (cached, view) = cluster(n, cpus);
+        let (reference, _) = cluster(n, cpus);
+        (cached, reference, view)
+    }
+
+    #[test]
+    fn steady_state_placements_are_cache_hits() {
+        let (mut mws, mut view) = cluster(8, 8);
+        let mut r = rng();
+        for i in 0..500u64 {
+            let now = SimTime::from_micros(i * 50_000);
+            mws.on_arrival(f(4), now);
+            let id = mws.place(now, f(4), 256, &view, &mut r).unwrap();
+            // Controller-style load-only bookkeeping: epochs stay put.
+            view.update(id, |v| {
+                v.cpu_in_use = (v.cpu_in_use + 0.2).min(8.0);
+            });
+            if i % 3 == 2 {
+                view.update(id, |v| {
+                    v.cpu_in_use = (v.cpu_in_use - 0.5).max(0.0);
+                });
+            }
+        }
+        let stats = mws.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 500);
+        assert!(stats.hit_rate() > 0.9, "steady state should hit: {stats:?}");
+    }
+
+    #[test]
+    fn cached_matches_uncached_under_load_drift() {
+        let (mut cached, mut reference, mut view) = twins(8, 8);
+        // Teach both a usage large enough for multi-member sets.
+        for _ in 0..20 {
+            cached.on_completion(f(1), SimDuration::from_secs(4), 1.0);
+            reference.on_completion(f(1), SimDuration::from_secs(4), 1.0);
+        }
+        let mut r = rng();
+        for i in 0..800u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            cached.on_arrival(f(1), now);
+            reference.on_arrival(f(1), now);
+            let a = cached.place(now, f(1), 256, &view, &mut r);
+            let b = reference.place_uncached(now, f(1), 256, &view);
+            assert_eq!(a, b, "diverged at step {i}");
+            assert_eq!(
+                cached.worker_set_size(f(1)),
+                reference.worker_set_size(f(1))
+            );
+            if let Some(id) = a {
+                // Load-only drift through `update`: the cache must follow
+                // the moving covering boundary via its live band check.
+                view.update(id, |v| {
+                    v.cpu_in_use = (v.cpu_in_use + 0.7).min(8.0);
+                });
+                view.update(InvokerId((i % 8) as u32), |v| {
+                    v.cpu_in_use = (v.cpu_in_use - 0.9).max(0.0);
+                });
+            }
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "cache never engaged: {stats:?}");
+    }
+
+    #[test]
+    fn churn_invalidates_and_placements_stay_identical() {
+        let (mut cached, mut reference, mut view) = twins(6, 8);
+        for _ in 0..10 {
+            cached.on_completion(f(2), SimDuration::from_secs(5), 1.0);
+            reference.on_completion(f(2), SimDuration::from_secs(5), 1.0);
+        }
+        let mut r = rng();
+        for i in 0..400u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            cached.on_arrival(f(2), now);
+            reference.on_arrival(f(2), now);
+            match i {
+                100 => {
+                    // An invoker leaves mid-stream (ring epoch bump).
+                    cached.on_invoker_leave(InvokerId(3));
+                    reference.on_invoker_leave(InvokerId(3));
+                    view.remove(InvokerId(3)).unwrap();
+                }
+                200 => {
+                    // ... and rejoins.
+                    cached.on_invoker_join(InvokerId(3));
+                    reference.on_invoker_join(InvokerId(3));
+                    view.add(InvokerView::register(InvokerId(3), 8, 64 * 1024, now));
+                }
+                300 => {
+                    // Placeability flip without membership churn.
+                    view.update(InvokerId(1), |v| v.eviction_pending = true);
+                }
+                350 => {
+                    view.update(InvokerId(1), |v| v.eviction_pending = false);
+                }
+                _ => {}
+            }
+            let a = cached.place(now, f(2), 256, &view, &mut r);
+            let b = reference.place_uncached(now, f(2), 256, &view);
+            assert_eq!(a, b, "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn home_leave_and_rejoin_preserves_shrink_damping() {
+        let (mut mws, mut view) = cluster(10, 8);
+        let mut r = rng();
+        for _ in 0..20 {
+            mws.on_completion(f(1), SimDuration::from_secs(8), 1.0);
+        }
+        for i in 0..600u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            mws.on_arrival(f(1), now);
+            mws.place(now, f(1), 256, &view, &mut r);
+        }
+        let big = mws.worker_set_size(f(1));
+        assert!(big >= 5);
+        let home = mws.home(f(1)).unwrap();
+        // Home leaves and rejoins: ring epoch bumps twice, the function's
+        // walk prefix changes, but the per-function damping state must
+        // survive — no panic, no damping reset.
+        mws.on_invoker_leave(home);
+        view.remove(home).unwrap();
+        let t1 = SimTime::from_secs(120);
+        mws.place(t1, f(1), 256, &view, &mut r);
+        assert!(
+            mws.worker_set_size(f(1)) >= big - 1,
+            "shrink skipped damping after home leave"
+        );
+        mws.on_invoker_join(home);
+        view.add(InvokerView::register(home, 8, 64 * 1024, t1));
+        // Rate has decayed to zero; the set may shrink only one step per
+        // 30 s interval despite the churn.
+        let t2 = SimTime::from_secs(125);
+        mws.place(t2, f(1), 256, &view, &mut r);
+        let after_rejoin = mws.worker_set_size(f(1));
+        assert!(
+            after_rejoin >= big - 1,
+            "rejoin skipped damping: {after_rejoin} from {big}"
+        );
+        let t3 = SimTime::from_secs(126);
+        mws.place(t3, f(1), 256, &view, &mut r);
+        assert!(
+            mws.worker_set_size(f(1)) >= after_rejoin.saturating_sub(0),
+            "second shrink inside the damping window"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_never_counts() {
+        let (mut mws, view) = cluster(4, 8);
+        mws.set_caching(false);
+        let mut r = rng();
+        for i in 0..50u64 {
+            let now = SimTime::from_micros(i * 100_000);
+            mws.on_arrival(f(7), now);
+            mws.place(now, f(7), 256, &view, &mut r).unwrap();
+        }
+        assert_eq!(mws.cache_stats(), MwsCacheStats::default());
     }
 }

@@ -150,6 +150,13 @@ pub struct ClusterView {
     /// Set when a `get_mut` may have flipped placeability behind the
     /// index's back.
     dirty: bool,
+    /// Bumped whenever the *set* of placeable invokers may have changed:
+    /// add/remove, an `update` that flips `placeable()`, and (conservatively)
+    /// every `get_mut`. Load-only `update`s never bump it, so the epoch is
+    /// stable across steady-state bookkeeping — callers cache
+    /// placeability-dependent results keyed on it (the MWS covering-set
+    /// cache). Deterministic: it counts mutation events, not wall time.
+    placeability_epoch: u64,
 }
 
 impl ClusterView {
@@ -171,6 +178,7 @@ impl ClusterView {
             view.id
         );
         let placeable = view.placeable();
+        self.placeability_epoch += 1;
         self.invokers.insert(pos, view);
         if !self.dirty {
             let p = self.placeable_pos.partition_point(|&x| (x as usize) < pos);
@@ -186,6 +194,7 @@ impl ClusterView {
     /// Removes an invoker (VM evicted/crashed). Returns its last view.
     pub fn remove(&mut self, id: InvokerId) -> Option<InvokerView> {
         let pos = self.invokers.iter().position(|v| v.id == id)?;
+        self.placeability_epoch += 1;
         let removed = self.invokers.remove(pos);
         if !self.dirty {
             let p = self.placeable_pos.partition_point(|&x| (x as usize) < pos);
@@ -207,15 +216,29 @@ impl ClusterView {
             .map(|i| &self.invokers[i])
     }
 
-    /// Mutable lookup. Marks the placeable index dirty (the caller may
-    /// flip placeability); hot paths should use [`ClusterView::update`],
-    /// which keeps the index intact.
+    /// Like [`ClusterView::get`], but also returns the invoker's position
+    /// in [`ClusterView::all`]. Positions are stable across any span with
+    /// no placeability-epoch bump: only `add`/`remove` reorder the slice,
+    /// and both bump the epoch (as does the conservative `get_mut`), so
+    /// epoch-validated caches may index directly instead of re-searching.
+    pub fn get_indexed(&self, id: InvokerId) -> Option<(usize, &InvokerView)> {
+        self.invokers
+            .binary_search_by_key(&id, |v| v.id)
+            .ok()
+            .map(|i| (i, &self.invokers[i]))
+    }
+
+    /// Mutable lookup. Marks the placeable index dirty and conservatively
+    /// bumps the placeability epoch (the caller may flip placeability);
+    /// hot paths should use [`ClusterView::update`], which keeps the
+    /// index intact and only bumps the epoch on an actual flip.
     pub fn get_mut(&mut self, id: InvokerId) -> Option<&mut InvokerView> {
         self.invokers
             .binary_search_by_key(&id, |v| v.id)
             .ok()
             .map(move |i| {
                 self.dirty = true;
+                self.placeability_epoch += 1;
                 &mut self.invokers[i]
             })
     }
@@ -235,6 +258,7 @@ impl ClusterView {
         f(&mut self.invokers[i]);
         let now = self.invokers[i].placeable();
         if was != now {
+            self.placeability_epoch += 1;
             let p = self.placeable_pos.partition_point(|&x| (x as usize) < i);
             if now {
                 self.placeable_pos.insert(p, i as u32);
@@ -256,6 +280,13 @@ impl ClusterView {
                 .map(|(i, _)| i as u32),
         );
         self.dirty = false;
+    }
+
+    /// Monotone counter over mutations that may have changed which
+    /// invokers are placeable. Two calls returning the same value bracket
+    /// a window in which the placeable *set* (not its load) was stable.
+    pub fn placeability_epoch(&self) -> u64 {
+        self.placeability_epoch
     }
 
     /// All invokers, ordered by id.
@@ -453,6 +484,36 @@ mod tests {
         assert_eq!(cv.placeable_positions(), Some(&[0u32][..]));
         let ids: Vec<u32> = cv.placeable().map(|x| x.id.0).collect();
         assert_eq!(ids, vec![5]);
+    }
+
+    #[test]
+    fn placeability_epoch_tracks_set_changes_only() {
+        let mut cv = ClusterView::new();
+        cv.add(v(0, 4, 0.0));
+        cv.add(v(1, 4, 0.0));
+        let e0 = cv.placeability_epoch();
+        // Load-only updates leave the epoch alone.
+        assert!(cv.update(InvokerId(0), |x| x.cpu_in_use = 3.0));
+        assert!(cv.update(InvokerId(1), |x| x.inflight = 7));
+        assert_eq!(cv.placeability_epoch(), e0);
+        // A placeability flip bumps it.
+        assert!(cv.update(InvokerId(1), |x| x.eviction_pending = true));
+        assert!(cv.placeability_epoch() > e0);
+        let e1 = cv.placeability_epoch();
+        // get_mut bumps conservatively even without a flip.
+        cv.get_mut(InvokerId(0)).unwrap().cpu_in_use = 1.0;
+        assert!(cv.placeability_epoch() > e1);
+        let e2 = cv.placeability_epoch();
+        // Membership changes bump.
+        cv.add(v(2, 4, 0.0));
+        assert!(cv.placeability_epoch() > e2);
+        let e3 = cv.placeability_epoch();
+        cv.remove(InvokerId(2)).unwrap();
+        assert!(cv.placeability_epoch() > e3);
+        // Removing an unknown id is not a change.
+        let e4 = cv.placeability_epoch();
+        assert!(cv.remove(InvokerId(9)).is_none());
+        assert_eq!(cv.placeability_epoch(), e4);
     }
 
     #[test]

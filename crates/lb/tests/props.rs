@@ -4,9 +4,13 @@ use proptest::prelude::*;
 
 use hrv_lb::estimate::SampleHistogram;
 use hrv_lb::hashring::HashRing;
+use hrv_lb::mws::Mws;
+use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::{ClusterView, InvokerId, InvokerView, LoadWeights};
 use hrv_trace::faas::{AppId, FunctionId};
-use hrv_trace::time::SimTime;
+use hrv_trace::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn f(app: u32) -> FunctionId {
     FunctionId {
@@ -125,5 +129,123 @@ proptest! {
             let expect: Vec<u32> = model.iter().copied().collect();
             prop_assert_eq!(ids, expect);
         }
+    }
+}
+
+/// One step of the MWS differential-cache model.
+#[derive(Debug, Clone)]
+enum MwsOp {
+    /// Advance simulated time by the given number of milliseconds (large
+    /// values cross the 30 s shrink-damping window).
+    Advance(u64),
+    /// Record an arrival + completion observation for an app, feeding the
+    /// usage estimator of both balancers identically.
+    Observe { app: u32, dur_ms: u64, cpu: u8 },
+    /// An invoker joins the cluster (ring + view).
+    Join(u32),
+    /// An invoker leaves the cluster.
+    Leave(u32),
+    /// Toggle `eviction_pending` — a placeability flip without churn.
+    Flip(u32),
+    /// Load-only drift through `ClusterView::update`: epochs stay put, so
+    /// the cached prefix stays valid and the live capacity-band check has
+    /// to track the moving covering boundary.
+    LoadDelta { id: u32, tenths: i8 },
+    /// Place an invocation of the app through both paths and compare.
+    Place(u32),
+}
+
+fn mws_op_strategy() -> impl Strategy<Value = MwsOp> {
+    prop_oneof![
+        1 => (1u64..40_000).prop_map(MwsOp::Advance),
+        2 => (0u32..6, 100u64..8_000, 1u8..4)
+            .prop_map(|(app, dur_ms, cpu)| MwsOp::Observe { app, dur_ms, cpu }),
+        1 => (0u32..12).prop_map(MwsOp::Join),
+        1 => (0u32..12).prop_map(MwsOp::Leave),
+        1 => (0u32..12).prop_map(MwsOp::Flip),
+        3 => (0u32..12, -30i8..30).prop_map(|(id, tenths)| MwsOp::LoadDelta { id, tenths }),
+        8 => (0u32..6).prop_map(MwsOp::Place),
+    ]
+}
+
+proptest! {
+    /// Differential test of the covering-set cache: a cached balancer and
+    /// an uncached reference consume one interleaved stream of joins,
+    /// leaves, placeability flips, load drift, and placements. Every
+    /// placement must agree exactly — choice and worker-set size — and
+    /// the cache counters must account for every cached placement.
+    #[test]
+    fn mws_cached_placements_match_uncached_reference(
+        ops in prop::collection::vec(mws_op_strategy(), 1..250),
+    ) {
+        let mut cached = Mws::new(LoadWeights::default(), 1);
+        let mut reference = Mws::new(LoadWeights::default(), 1);
+        let mut view = ClusterView::new();
+        let mut present: std::collections::BTreeSet<u32> = Default::default();
+        let mut now = SimTime::ZERO;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut places = 0u64;
+        // Seed a small cluster so early placements have somewhere to go.
+        for id in 0..4u32 {
+            present.insert(id);
+            cached.on_invoker_join(InvokerId(id));
+            reference.on_invoker_join(InvokerId(id));
+            view.add(InvokerView::register(InvokerId(id), 8, 16 * 1024, now));
+        }
+        for op in ops {
+            match op {
+                MwsOp::Advance(ms) => now += SimDuration::from_millis(ms),
+                MwsOp::Observe { app, dur_ms, cpu } => {
+                    let d = SimDuration::from_millis(dur_ms);
+                    cached.on_arrival(f(app), now);
+                    reference.on_arrival(f(app), now);
+                    cached.on_completion(f(app), d, f64::from(cpu));
+                    reference.on_completion(f(app), d, f64::from(cpu));
+                }
+                MwsOp::Join(id) => {
+                    if present.insert(id) {
+                        cached.on_invoker_join(InvokerId(id));
+                        reference.on_invoker_join(InvokerId(id));
+                        view.add(InvokerView::register(InvokerId(id), 8, 16 * 1024, now));
+                    }
+                }
+                MwsOp::Leave(id) => {
+                    if present.remove(&id) {
+                        cached.on_invoker_leave(InvokerId(id));
+                        reference.on_invoker_leave(InvokerId(id));
+                        prop_assert!(view.remove(InvokerId(id)).is_some());
+                    }
+                }
+                MwsOp::Flip(id) => {
+                    if present.contains(&id) {
+                        view.update(InvokerId(id), |v| {
+                            v.eviction_pending = !v.eviction_pending;
+                        });
+                    }
+                }
+                MwsOp::LoadDelta { id, tenths } => {
+                    if present.contains(&id) {
+                        view.update(InvokerId(id), |v| {
+                            let cap = f64::from(v.total_cpus);
+                            v.cpu_in_use =
+                                (v.cpu_in_use + f64::from(tenths) / 10.0).clamp(0.0, cap);
+                        });
+                    }
+                }
+                MwsOp::Place(app) => {
+                    places += 1;
+                    let a = cached.place(now, f(app), 256, &view, &mut rng);
+                    let b = reference.place_uncached(now, f(app), 256, &view);
+                    prop_assert_eq!(a, b, "placement diverged for app {}", app);
+                    prop_assert_eq!(
+                        cached.worker_set_size(f(app)),
+                        reference.worker_set_size(f(app)),
+                        "worker-set size diverged for app {}", app
+                    );
+                }
+            }
+        }
+        let stats = cached.cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, places);
     }
 }

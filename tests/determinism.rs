@@ -2,7 +2,9 @@
 //! traces, placements, and metrics; different seeds do not.
 
 use harvest_faas::experiment::{run_point, SweepConfig};
-use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_lb::mws::Mws;
+use harvest_faas::hrv_lb::policy::{LoadBalancer, PolicyKind};
+use harvest_faas::hrv_lb::view::LoadWeights;
 use harvest_faas::hrv_platform::config::PlatformConfig;
 use harvest_faas::hrv_platform::world::{ClusterSpec, SimOutput, Simulation};
 use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
@@ -10,7 +12,7 @@ use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace};
 use harvest_faas::hrv_trace::rng::SeedFactory;
 use harvest_faas::hrv_trace::time::SimDuration;
 
-fn full_run(seed: u64) -> SimOutput {
+fn full_run_with(seed: u64, policy: Box<dyn LoadBalancer>) -> SimOutput {
     let horizon = SimDuration::from_mins(20);
     let config = FleetConfig {
         horizon,
@@ -27,11 +29,15 @@ fn full_run(seed: u64) -> SimOutput {
     Simulation::new(
         ClusterSpec::from_traces(fleet.vms),
         trace,
-        PolicyKind::Mws.build(),
+        policy,
         PlatformConfig::default(),
         seed,
     )
     .run(horizon)
+}
+
+fn full_run(seed: u64) -> SimOutput {
+    full_run_with(seed, PolicyKind::Mws.build())
 }
 
 #[test]
@@ -43,6 +49,26 @@ fn same_seed_identical_everything() {
     assert_eq!(a.cold_starts, b.cold_starts);
     assert_eq!(a.warm_starts, b.warm_starts);
     assert_eq!(a.run.events, b.run.events);
+}
+
+#[test]
+fn mws_covering_cache_keeps_records_byte_identical() {
+    // A full simulated run — VM churn, eviction warnings, cold starts —
+    // once with the covering-set cache (the default) and once through
+    // the uncached reference walk. Same seed, so the record streams must
+    // be byte-identical: the cache may only change placement *cost*,
+    // never placement *choice*.
+    let cached = full_run_with(42, Box::new(Mws::new(LoadWeights::default(), 1)));
+    let reference = {
+        let mut mws = Mws::new(LoadWeights::default(), 1);
+        mws.set_caching(false);
+        full_run_with(42, Box::new(mws))
+    };
+    assert_eq!(cached.collector.records, reference.collector.records);
+    assert_eq!(cached.collector.arrivals, reference.collector.arrivals);
+    assert_eq!(cached.cold_starts, reference.cold_starts);
+    assert_eq!(cached.warm_starts, reference.warm_starts);
+    assert_eq!(cached.run.events, reference.run.events);
 }
 
 #[test]
