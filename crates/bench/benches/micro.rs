@@ -1,6 +1,7 @@
 //! Microbenchmarks of the core data structures: event calendar,
-//! processor-sharing queue, consistent-hash ring, and the statistics
-//! histograms. These are the hot paths of every simulation.
+//! processor-sharing queue, consistent-hash ring, the statistics
+//! histograms, and the sharded driver's cross-shard mailbox and barrier
+//! round-trip. These are the hot paths of every simulation.
 
 use std::time::Duration;
 
@@ -213,6 +214,88 @@ fn bench_histograms(c: &mut Criterion) {
     });
 }
 
+fn bench_mailbox(c: &mut Criterion) {
+    use harvest_faas::hrv_platform::event::Event;
+    use harvest_faas::hrv_platform::mailbox::{Envelope, ShardPlan, CONTROLLER};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::sync::Mutex;
+
+    // One barrier round's worth of traffic: route envelopes to per-shard
+    // inboxes, then drain each inbox through the canonical-order heap —
+    // the exact hot path between two sharded rounds.
+    c.bench_function("mailbox/route_and_drain_1k", |b| {
+        let envs: Vec<Envelope> = (0..1_000u64)
+            .map(|i| Envelope {
+                deliver_at: SimTime::from_micros(1_000 + i % 97),
+                sender: (i % 64) as u32 + 1,
+                seq: i,
+                target: if i % 3 == 0 {
+                    CONTROLLER
+                } else {
+                    (i % 256) as u32 + 1
+                },
+                event: Event::MonitorTick,
+            })
+            .collect();
+        let inboxes: Vec<Mutex<Vec<Envelope>>> = (0..4).map(|_| Mutex::new(Vec::new())).collect();
+        b.iter(|| {
+            for env in envs.iter().cloned() {
+                let target = ShardPlan::shard_of(4, env.target) as usize;
+                inboxes[target].lock().unwrap().push(env);
+            }
+            let mut delivered = 0u64;
+            for inbox in &inboxes {
+                let mut heap: BinaryHeap<Reverse<Envelope>> =
+                    std::mem::take(&mut *inbox.lock().unwrap())
+                        .into_iter()
+                        .map(Reverse)
+                        .collect();
+                let mut last = None;
+                while let Some(Reverse(env)) = heap.pop() {
+                    assert!(last.map(|k| k <= env.key()).unwrap_or(true));
+                    last = Some(env.key());
+                    delivered += 1;
+                }
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Barrier;
+
+    // The sharded driver's round cost floor: three barrier waits per
+    // round across the worker set, nothing else.
+    for workers in [2usize, 4] {
+        c.bench_function(&format!("barrier/round_trip_x3_{workers}threads"), |b| {
+            let barrier = Barrier::new(workers);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for _ in 1..workers {
+                    scope.spawn(|| loop {
+                        barrier.wait();
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        barrier.wait();
+                        barrier.wait();
+                    });
+                }
+                b.iter(|| {
+                    barrier.wait();
+                    barrier.wait();
+                    barrier.wait();
+                });
+                stop.store(true, Ordering::SeqCst);
+                barrier.wait();
+            });
+        });
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -223,6 +306,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_ps_queue, bench_hash_ring, bench_mws, bench_histograms
+    targets = bench_calendar, bench_ps_queue, bench_hash_ring, bench_mws, bench_histograms,
+        bench_mailbox, bench_barrier
 }
 criterion_main!(benches);

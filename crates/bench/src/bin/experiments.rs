@@ -1,8 +1,13 @@
 //! Regenerates the paper's tables and figures as text reports.
 //!
 //! ```text
-//! experiments [--scale quick|full] [all | <name>...]
+//! experiments [--scale quick|full] [--shards N] [all | <name>...]
 //! ```
+//!
+//! `--shards N` runs each simulation point on the deterministic
+//! multi-core sharded driver; results are byte-identical for any value
+//! (points that need live migration or utilization sampling fall back
+//! to one shard).
 //!
 //! Names: fig1..fig10, table1, strategy1, strategy3, fig12 (also renders
 //! figs 13–14), fig15 (fig 16 left), fig17 (table 3, fig 16 right),
@@ -28,8 +33,16 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--shards" => {
+                let shards = it.next().and_then(|v| v.parse::<u32>().ok());
+                let Some(shards) = shards.filter(|&s| s >= 1) else {
+                    eprintln!("--shards requires a positive integer");
+                    std::process::exit(2);
+                };
+                harvest_faas::experiment::set_default_shards(shards);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--scale quick|full] [all | <name>...]");
+                eprintln!("usage: experiments [--scale quick|full] [--shards N] [all | <name>...]");
                 eprintln!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
             }

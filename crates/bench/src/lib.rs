@@ -15,6 +15,7 @@ pub mod migration;
 pub mod replay;
 pub mod scale;
 pub mod spot;
+pub mod timing;
 pub mod variability;
 
 use scale::Scale;

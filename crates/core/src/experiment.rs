@@ -8,6 +8,7 @@ use hrv_fault::FaultSpec;
 use hrv_lb::policy::PolicyKind;
 use hrv_platform::config::PlatformConfig;
 use hrv_platform::world::{ClusterSpec, Simulation};
+use hrv_platform::ShardedSimulation;
 use hrv_trace::faas::Invocation;
 use hrv_trace::harvest::VmTrace;
 use hrv_trace::rng::SeedFactory;
@@ -18,6 +19,27 @@ use crate::funcbench;
 
 /// The paper's SLO: P99 end-to-end latency of 50 seconds (Section 7.1).
 pub const P99_SLO_SECS: f64 = 50.0;
+
+/// Process-wide default shard count picked up by [`SweepConfig`]
+/// construction (the `experiments --shards N` wiring). Results are
+/// byte-identical for any value — this only changes how many cores one
+/// simulation point uses.
+static DEFAULT_SHARDS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(1);
+
+/// Sets the default shard count for subsequently built [`SweepConfig`]s.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn set_default_shards(shards: u32) {
+    assert!(shards >= 1, "need at least one shard");
+    DEFAULT_SHARDS.store(shards, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current default shard count.
+pub fn default_shards() -> u32 {
+    DEFAULT_SHARDS.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Runs independent jobs on a bounded worker pool and collects results
 /// in input order.
@@ -160,6 +182,11 @@ pub struct SweepConfig {
     pub platform: PlatformConfig,
     /// Root seed.
     pub seed: u64,
+    /// Shards (worker cores) per simulation point; results are
+    /// byte-identical for any value. Configurations that need
+    /// cross-shard-synchronous features (live migration, utilization
+    /// sampling) silently fall back to one shard.
+    pub shards: u32,
 }
 
 impl Default for SweepConfig {
@@ -171,6 +198,7 @@ impl Default for SweepConfig {
             warmup: SimDuration::from_mins(3),
             platform: PlatformConfig::default(),
             seed: 2021,
+            shards: default_shards(),
         }
     }
 }
@@ -188,7 +216,23 @@ impl SweepConfig {
     }
 }
 
+/// Shards actually usable for a platform configuration: features that
+/// read or move state across the whole fleet at one instant (live
+/// migration, utilization sampling) pin the run to one shard. Results
+/// are byte-identical either way — only the core count changes.
+fn effective_shards(platform: &PlatformConfig, shards: u32) -> u32 {
+    if platform.migration.enabled || !platform.sample_interval.is_zero() {
+        1
+    } else {
+        shards.max(1)
+    }
+}
+
 /// Runs one simulation point and reduces it to a [`SweepPoint`].
+///
+/// With `cfg.shards > 1` the point runs on the sharded multi-core driver;
+/// the byte-identity contract makes the result independent of the shard
+/// count.
 pub fn run_point(
     cluster: &ClusterSpec,
     policy: PolicyKind,
@@ -198,15 +242,29 @@ pub fn run_point(
     let seeds = SeedFactory::new(cfg.seed).child("sweep");
     let workload = funcbench::workload(cfg.n_functions, rps, &seeds);
     let trace = workload.invocations(cfg.duration, &seeds.child("arrivals"));
-    let sim = Simulation::new(
-        cluster.clone(),
-        trace,
-        policy.build(),
-        cfg.platform.clone(),
-        seeds.seed_for("platform"),
-    );
     // Allow a drain tail after the offered-load window.
-    let out = sim.run(cfg.duration + SimDuration::from_mins(3));
+    let horizon = cfg.duration + SimDuration::from_mins(3);
+    let shards = effective_shards(&cfg.platform, cfg.shards);
+    let out = if shards > 1 {
+        ShardedSimulation::new(
+            cluster.clone(),
+            trace,
+            policy,
+            cfg.platform.clone(),
+            seeds.seed_for("platform"),
+            shards,
+        )
+        .run(horizon)
+    } else {
+        Simulation::new(
+            cluster.clone(),
+            trace,
+            policy.build(),
+            cfg.platform.clone(),
+            seeds.seed_for("platform"),
+        )
+        .run(horizon)
+    };
     let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
     SweepPoint {
         rps,
@@ -428,15 +486,29 @@ pub fn chaos_point(
     let plan = fault.compile(cluster.vms.len() as u32, horizon, &seeds.child("faults"));
     let mut platform = cfg.platform.clone();
     platform.recovery.enabled = recovery;
-    let sim = Simulation::with_faults(
-        cluster.clone(),
-        trace,
-        policy.build(),
-        platform,
-        seeds.seed_for("platform"),
-        plan,
-    );
-    let out = sim.run(horizon);
+    let shards = effective_shards(&platform, cfg.shards);
+    let out = if shards > 1 {
+        ShardedSimulation::with_faults(
+            cluster.clone(),
+            trace,
+            policy,
+            platform,
+            seeds.seed_for("platform"),
+            plan,
+            shards,
+        )
+        .run(horizon)
+    } else {
+        Simulation::with_faults(
+            cluster.clone(),
+            trace,
+            policy.build(),
+            platform,
+            seeds.seed_for("platform"),
+            plan,
+        )
+        .run(horizon)
+    };
     out.collector.assert_conservation();
     let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
     ChaosPoint {
@@ -609,6 +681,42 @@ mod tests {
         // Histogram percentile within ~1.5 bin widths of the exact one.
         let (a, b) = (streamed.p50.unwrap(), exact.p50.unwrap());
         assert!((a / b).ln().abs() < 0.2, "{a} vs {b}");
+    }
+
+    #[test]
+    fn sharded_sweep_point_matches_single_shard() {
+        let base = SweepConfig {
+            n_functions: 20,
+            duration: SimDuration::from_mins(2),
+            warmup: SimDuration::from_secs(30),
+            ..SweepConfig::quick()
+        };
+        let cluster = ClusterSpec::regular(4, 8, 32 * 1024, SimDuration::from_mins(10));
+        let solo = run_point(&cluster, PolicyKind::Mws, 3.0, &base);
+        let sharded = run_point(
+            &cluster,
+            PolicyKind::Mws,
+            3.0,
+            &SweepConfig { shards: 4, ..base },
+        );
+        assert_eq!(solo.arrivals, sharded.arrivals);
+        assert_eq!(solo.completed, sharded.completed);
+        assert_eq!(solo.p99, sharded.p99);
+        assert_eq!(solo.cold_rate, sharded.cold_rate);
+    }
+
+    #[test]
+    fn incompatible_features_fall_back_to_one_shard() {
+        let mut migrating = PlatformConfig::default();
+        migrating.migration.enabled = true;
+        assert_eq!(effective_shards(&migrating, 8), 1);
+        let sampling = PlatformConfig {
+            sample_interval: SimDuration::from_secs(1),
+            ..PlatformConfig::default()
+        };
+        assert_eq!(effective_shards(&sampling, 8), 1);
+        assert_eq!(effective_shards(&PlatformConfig::default(), 8), 8);
+        assert_eq!(effective_shards(&PlatformConfig::default(), 0), 1);
     }
 
     #[test]

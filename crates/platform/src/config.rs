@@ -206,8 +206,20 @@ impl PlatformConfig {
             "admission threshold must be positive"
         );
         assert!(
+            !self.bus_latency.is_zero(),
+            "bus latency must be positive: it is the minimum cross-entity \
+             message delay, and therefore the sharded driver's conservative \
+             lookahead — zero would collapse every round window to nothing"
+        );
+        assert!(
             !self.ping_interval.is_zero(),
             "ping interval must be positive"
+        );
+        assert!(
+            self.ping_interval >= self.bus_latency,
+            "ping interval must be at least one bus hop: eviction \
+             notifications travel with ping-interval delay and must respect \
+             the bus-latency lookahead"
         );
         assert!(
             !self.placement_retry.is_zero(),
@@ -218,6 +230,13 @@ impl PlatformConfig {
             self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),
             "bad cold-start tax"
         );
+        if self.monitor.enabled {
+            assert!(
+                self.monitor.template.deploy_delay >= self.bus_latency,
+                "monitor deploy delay must be at least one bus hop: spawn \
+                 orders are cross-entity messages bound by the lookahead"
+            );
+        }
         if self.recovery.enabled {
             let r = &self.recovery;
             assert!(
@@ -270,6 +289,26 @@ mod tests {
     fn zero_admission_is_rejected() {
         let config = PlatformConfig {
             admission_pressure: 0.0,
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bus latency")]
+    fn zero_bus_latency_is_rejected() {
+        let config = PlatformConfig {
+            bus_latency: SimDuration::ZERO,
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bus hop")]
+    fn sub_bus_ping_interval_is_rejected() {
+        let config = PlatformConfig {
+            ping_interval: SimDuration::from_micros(1),
             ..PlatformConfig::default()
         };
         config.validate();

@@ -7,9 +7,32 @@
 use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::time::{SimDuration, SimTime};
 
+use crate::config::VmTemplate;
+use crate::invoker::HealthSnapshot;
+
 /// Index of an invoker in the platform's invoker table (stable for the
 /// whole run; dead invokers keep their slot).
 pub type InvokerIndex = u32;
+
+/// Why an invocation's current placement was destroyed — determines the
+/// detection delay before recovery can re-dispatch it. Travels inside
+/// [`Event::WorkLost`] messages from invoker shards to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// The hosting VM was evicted (warned or not); the controller learns
+    /// of the death from ping loss after one ping interval.
+    Eviction,
+    /// Crash-stop kill: nothing announces the death, so detection waits
+    /// for the health-probe timeout.
+    Crash,
+    /// The dispatch message landed on an already-dead invoker; silence
+    /// until the probe timeout.
+    DeadDelivery,
+    /// The dispatch message itself was lost. The controller's send is
+    /// fire-and-forget, so recovery re-rolls immediately (modeling an
+    /// at-least-once bus retry) with only the backoff delay.
+    DispatchDrop,
+}
 
 /// What an invoker tells the controller when an invocation finishes
 /// (Section 6.2: the response carries measured duration and CPU usage).
@@ -62,10 +85,19 @@ pub enum Event {
         /// The idle container to reap.
         container: u64,
     },
-    /// An invoker's periodic health ping reaches the controller.
+    /// An invoker's periodic health-ping timer fires (invoker-local; the
+    /// snapshot travels to the controller as [`Event::PingReport`]).
     Ping {
         /// The pinging invoker.
         invoker: InvokerIndex,
+    },
+    /// A health-ping snapshot reaches the controller, one bus hop after
+    /// the invoker's [`Event::Ping`] timer fired.
+    PingReport {
+        /// The pinging invoker.
+        invoker: InvokerIndex,
+        /// Health reading taken at ping time.
+        snap: HealthSnapshot,
     },
     /// An invoker's completion report reaches the controller.
     Report {
@@ -84,6 +116,42 @@ pub enum Event {
     VmDeploy {
         /// The invoker slot coming online.
         invoker: InvokerIndex,
+    },
+    /// The controller learns a freshly deployed invoker is up, one bus
+    /// hop after [`Event::VmDeploy`] ran on the invoker's shard.
+    DeployNotice {
+        /// The invoker that came online.
+        invoker: InvokerIndex,
+        /// CPUs it deployed with.
+        cpus: u32,
+        /// Memory it deployed with, MiB.
+        memory_mb: u64,
+        /// Whether the resource monitor requested this VM (releases the
+        /// monitor's pending-CPU reservation).
+        from_monitor: bool,
+    },
+    /// The resource monitor's deploy order reaches the shard owning the
+    /// new invoker slot after the template's deploy delay; the receiving
+    /// shard materializes the slot and brings it up.
+    SpawnVm {
+        /// The invoker slot to create (controller-assigned, globally
+        /// unique).
+        invoker: InvokerIndex,
+        /// What to deploy.
+        template: VmTemplate,
+    },
+    /// An invoker shard tells the controller that in-flight work was
+    /// destroyed (eviction, crash, or a delivery that found a corpse);
+    /// the controller decides between re-dispatch and a loss record.
+    WorkLost {
+        /// The destroyed invocation.
+        invocation: Invocation,
+        /// Whether execution had begun.
+        exec_started: bool,
+        /// Whether it had cold-started.
+        cold: bool,
+        /// How the placement was destroyed.
+        cause: LossCause,
     },
     /// The hosting VM's CPU allocation changed.
     VmCpu {

@@ -12,9 +12,12 @@ pub mod config;
 pub mod controller;
 pub mod event;
 pub mod invoker;
+pub mod mailbox;
 pub mod metrics;
+pub mod shard;
 pub mod world;
 
 pub use config::{PlatformConfig, ResourceMonitorConfig, VmTemplate};
 pub use metrics::{MetricsCollector, Outcome, RunMetrics};
+pub use shard::ShardedSimulation;
 pub use world::{ClusterSpec, PlatformWorld, SimOutput, Simulation};

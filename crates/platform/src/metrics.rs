@@ -279,6 +279,43 @@ impl StreamingMetrics {
         }
     }
 
+    /// Merges another shard's aggregates into this one. Counters add,
+    /// extrema combine, and the histograms merge bin-wise; the Welford
+    /// moments use the parallel-merge formula, so the exact float bits of
+    /// `latency_stats` may differ from a sequential fold (they are
+    /// outside the sharded driver's byte-identity contract). The bounded
+    /// utilization series cannot be re-interleaved after decimation, so
+    /// it keeps whichever side has points (sampling is restricted to
+    /// single-shard runs anyway).
+    pub fn merge(&mut self, other: &StreamingMetrics) {
+        self.latency_hist.merge(&other.latency_hist);
+        self.exec_hist.merge(&other.exec_hist);
+        self.latency_stats.merge(&other.latency_stats);
+        self.finished += other.finished;
+        self.completed += other.completed;
+        self.eviction_failures += other.eviction_failures;
+        self.rejections += other.rejections;
+        self.censored += other.censored;
+        self.lost += other.lost;
+        self.retries += other.retries;
+        self.redispatches += other.redispatches;
+        self.quarantine_secs += other.quarantine_secs;
+        self.started += other.started;
+        self.cold_started += other.cold_started;
+        self.first_arrival = match (self.first_arrival, other.first_arrival) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_finished = match (self.last_finished, other.last_finished) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.utilization.merge(&other.utilization);
+        if self.util_series.points().is_empty() && !other.util_series.points().is_empty() {
+            self.util_series = other.util_series.clone();
+        }
+    }
+
     /// Completions per second over the observed span.
     pub fn throughput_rps(&self) -> f64 {
         let span = match (self.first_arrival, self.last_finished) {
@@ -433,6 +470,50 @@ impl MetricsCollector {
             self.streaming.censored,
             self.streaming.lost,
         );
+    }
+
+    /// Absorbs another shard's collector into this one: rows append,
+    /// counters add, streaming aggregates merge. Call
+    /// [`MetricsCollector::canonicalize_records`] afterwards to restore
+    /// the shard-count-invariant record order.
+    pub fn merge(&mut self, other: MetricsCollector) {
+        self.records.extend(other.records);
+        self.samples.extend(other.samples);
+        self.streaming.merge(&other.streaming);
+        self.arrivals += other.arrivals;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+        self.vm_evictions += other.vm_evictions;
+        self.vm_crashes += other.vm_crashes;
+        self.eviction_failures += other.eviction_failures;
+        self.rejections += other.rejections;
+        self.lost += other.lost;
+        self.migrations += other.migrations;
+        self.quarantines += other.quarantines;
+        self.dropped_completions += other.dropped_completions;
+    }
+
+    /// Sorts the record sink into its canonical order: finish time, then
+    /// invocation id, then outcome. Records for different invocations can
+    /// share a finish instant (and one invocation can even finalize twice
+    /// at the same instant — a completion whose report is still in flight
+    /// when the horizon censors it), and their push order depends on
+    /// which shard emitted them; this sort is what makes the final
+    /// sequence byte-identical for every shard count. Sample rows sort by
+    /// time for the same reason.
+    pub fn canonicalize_records(&mut self) {
+        fn outcome_rank(o: Outcome) -> u8 {
+            match o {
+                Outcome::Completed => 0,
+                Outcome::FailedEviction => 1,
+                Outcome::Rejected => 2,
+                Outcome::Censored => 3,
+                Outcome::Lost => 4,
+            }
+        }
+        self.records
+            .sort_by_key(|r| (r.finished, r.id, outcome_rank(r.outcome)));
+        self.samples.sort_by_key(|s| s.at);
     }
 
     /// Records a utilization sample.

@@ -7,7 +7,7 @@ use hrv_fault::{DispatchOutcome, DispatchSampler, FaultKind, FaultPlan, WarningF
 use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::InvokerId;
 use hrv_sim::calendar::{Calendar, EventCalendar, Scheduled};
-use hrv_sim::engine::{run_until, RunStats, World};
+use hrv_sim::engine::{RunStats, World};
 use hrv_trace::faas::Invocation;
 use hrv_trace::harvest::{VmEnd, VmTrace};
 use hrv_trace::stream::{ArrivalStream, SortedTraceStream};
@@ -15,8 +15,9 @@ use hrv_trace::time::{SimDuration, SimTime};
 
 use crate::config::{PlatformConfig, VmTemplate};
 use crate::controller::{Controller, RouteOutcome};
-use crate::event::{CompletionReport, Event, InvokerIndex};
+use crate::event::{CompletionReport, Event, InvokerIndex, LossCause};
 use crate::invoker::{InvokerState, RunningInvocation};
+use crate::mailbox::{invoker_entity, EntityId, Envelope, ShardPlan, CONTROLLER};
 use crate::metrics::{InvocationRecord, MetricsCollector, Outcome, UtilizationSample};
 
 /// The VMs a simulation starts from.
@@ -81,26 +82,8 @@ enum SlotSource {
     Monitor(VmTemplate),
 }
 
-/// Why an invocation's current placement was destroyed — determines the
-/// detection delay before recovery can re-dispatch it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum LossCause {
-    /// The hosting VM was evicted (warned or not); the controller learns
-    /// of the death from ping loss after one ping interval.
-    Eviction,
-    /// Crash-stop kill: nothing announces the death, so detection waits
-    /// for the health-probe timeout.
-    Crash,
-    /// The dispatch message landed on an already-dead invoker; silence
-    /// until the probe timeout.
-    DeadDelivery,
-    /// The dispatch message itself was lost. The controller's send is
-    /// fire-and-forget, so recovery re-rolls immediately (modeling an
-    /// at-least-once bus retry) with only the backoff delay.
-    DispatchDrop,
-}
-
-/// The complete simulated platform.
+/// The complete simulated platform — or, under the sharded driver, the
+/// slice of it one shard owns (see [`ShardPlan`]).
 pub struct PlatformWorld {
     cfg: PlatformConfig,
     controller: Controller,
@@ -109,6 +92,16 @@ pub struct PlatformWorld {
     arrivals: Box<dyn ArrivalStream>,
     /// Metrics sink.
     pub metrics: MetricsCollector,
+    /// Which entities (controller, invokers) this world instance owns.
+    plan: ShardPlan,
+    /// Cross-entity messages produced during the current round; the
+    /// round driver drains and re-injects them (see [`crate::shard`]).
+    outbox: Vec<Envelope>,
+    /// Per-sender message counters backing the canonical envelope order.
+    msg_seq: Vec<u64>,
+    /// Next invoker slot index the resource monitor may assign
+    /// (controller-side; slot indices are globally unique).
+    next_slot_index: u32,
     retry_armed: bool,
     monitor_pending_cpus: u32,
     /// Dispatch-message fault process, if the fault plan carries one.
@@ -203,11 +196,38 @@ impl PlatformWorld {
     /// reference spec ([`hrv_sim::calendar_reference`]).
     pub fn from_stream_with_faults_in(
         spec: ClusterSpec,
+        arrivals: Box<dyn ArrivalStream>,
+        policy: Box<dyn LoadBalancer>,
+        cfg: PlatformConfig,
+        seed: u64,
+        faults: FaultPlan,
+        cal: &mut impl EventCalendar<Event>,
+    ) -> Self {
+        PlatformWorld::from_stream_sharded_in(
+            spec,
+            arrivals,
+            policy,
+            cfg,
+            seed,
+            faults,
+            ShardPlan::solo(),
+            cal,
+        )
+    }
+
+    /// Builds one shard's slice of the platform: the full invoker/slot
+    /// table (for stable global indexing) but with calendar seeds only
+    /// for the entities `plan` owns. The `1/1` plan reproduces the
+    /// unsharded construction exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_stream_sharded_in(
+        spec: ClusterSpec,
         mut arrivals: Box<dyn ArrivalStream>,
         policy: Box<dyn LoadBalancer>,
         cfg: PlatformConfig,
         seed: u64,
         faults: FaultPlan,
+        plan: ShardPlan,
         cal: &mut impl EventCalendar<Event>,
     ) -> Self {
         cfg.validate();
@@ -217,6 +237,9 @@ impl PlatformWorld {
             let index = i as InvokerIndex;
             invokers.push(InvokerState::new(index, vm.memory_mb));
             slots.push(SlotSource::Trace(vm.clone()));
+            if !plan.owns_invoker(index) {
+                continue;
+            }
             cal.schedule(vm.deploy, Event::VmDeploy { invoker: index });
             for ch in &vm.cpu_changes {
                 cal.schedule(
@@ -254,31 +277,47 @@ impl PlatformWorld {
             }
         }
         for fe in &faults.events {
-            let event = match fe.kind {
-                FaultKind::Crash { invoker } => Event::FaultCrash { invoker },
-                FaultKind::StragglerStart { invoker, factor } => {
-                    Event::FaultStraggler { invoker, factor }
+            let (owned, event) = match fe.kind {
+                FaultKind::Crash { invoker } => {
+                    (plan.owns_invoker(invoker), Event::FaultCrash { invoker })
                 }
-                FaultKind::StragglerEnd { invoker } => Event::FaultStraggler {
-                    invoker,
-                    factor: 1.0,
-                },
-                FaultKind::ViewFreeze => Event::FaultViewFreeze { frozen: true },
-                FaultKind::ViewThaw => Event::FaultViewFreeze { frozen: false },
+                FaultKind::StragglerStart { invoker, factor } => (
+                    plan.owns_invoker(invoker),
+                    Event::FaultStraggler { invoker, factor },
+                ),
+                FaultKind::StragglerEnd { invoker } => (
+                    plan.owns_invoker(invoker),
+                    Event::FaultStraggler {
+                        invoker,
+                        factor: 1.0,
+                    },
+                ),
+                FaultKind::ViewFreeze => (
+                    plan.owns_controller(),
+                    Event::FaultViewFreeze { frozen: true },
+                ),
+                FaultKind::ViewThaw => (
+                    plan.owns_controller(),
+                    Event::FaultViewFreeze { frozen: false },
+                ),
             };
-            cal.schedule(fe.at, event);
+            if owned {
+                cal.schedule(fe.at, event);
+            }
         }
-        if let Some(first) = arrivals.next_invocation() {
-            cal.schedule(first.arrival, Event::Arrival(first));
-        }
-        if cfg.monitor.enabled {
-            cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
-        }
-        if cfg.recovery.enabled {
-            cal.schedule_after(cfg.recovery.probe_interval, Event::HealthSweep);
-        }
-        if !cfg.sample_interval.is_zero() {
-            cal.schedule(SimTime::ZERO, Event::Sample);
+        if plan.owns_controller() {
+            if let Some(first) = arrivals.next_invocation() {
+                cal.schedule(first.arrival, Event::Arrival(first));
+            }
+            if cfg.monitor.enabled {
+                cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
+            }
+            if cfg.recovery.enabled {
+                cal.schedule_after(cfg.recovery.probe_interval, Event::HealthSweep);
+            }
+            if !cfg.sample_interval.is_zero() {
+                cal.schedule(SimTime::ZERO, Event::Sample);
+            }
         }
         let metrics = if cfg.record_invocations {
             MetricsCollector::new()
@@ -288,11 +327,15 @@ impl PlatformWorld {
         PlatformWorld {
             controller: Controller::new(policy, seed),
             retry_budget: cfg.recovery.retry_budget,
+            next_slot_index: spec.vms.len() as u32,
             cfg,
             invokers,
             slots,
             arrivals,
             metrics,
+            plan,
+            outbox: Vec::new(),
+            msg_seq: Vec::new(),
             retry_armed: false,
             monitor_pending_cpus: 0,
             dispatch_faults: faults.dispatch.map(|d| d.sampler()),
@@ -324,6 +367,61 @@ impl PlatformWorld {
         self.invokers.iter().map(|i| i.warm_starts).sum()
     }
 
+    /// Completion reports the invokers dropped because their container
+    /// died mid-report (summed for [`MetricsCollector`]).
+    pub fn total_dropped_completions(&self) -> u64 {
+        self.invokers.iter().map(|i| i.dropped_completions).sum()
+    }
+
+    /// The platform configuration.
+    pub fn cfg(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// This world's shard plan.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Drains the cross-entity messages produced since the last call.
+    /// The round driver routes them to their target shards and injects
+    /// them at the start of the round they become due in.
+    pub fn take_outbox(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Emits a cross-entity message. Every cross-entity interaction —
+    /// even under the solo plan — goes through here so the canonical
+    /// `(deliver_at, sender, seq)` delivery order is identical for every
+    /// shard count. The delay must be at least one bus hop: that minimum
+    /// is the conservative lookahead the round driver's windows rest on.
+    fn send(
+        &mut self,
+        now: SimTime,
+        sender: EntityId,
+        target: EntityId,
+        delay: SimDuration,
+        event: Event,
+    ) {
+        debug_assert!(
+            delay >= self.cfg.bus_latency,
+            "cross-entity delay {delay:?} below the bus-latency lookahead"
+        );
+        let idx = sender as usize;
+        if self.msg_seq.len() <= idx {
+            self.msg_seq.resize(idx + 1, 0);
+        }
+        let seq = self.msg_seq[idx];
+        self.msg_seq[idx] += 1;
+        self.outbox.push(Envelope {
+            deliver_at: now.saturating_add(delay),
+            sender,
+            seq,
+            target,
+            event,
+        });
+    }
+
     fn schedule_delivery(
         &mut self,
         now: SimTime,
@@ -341,8 +439,11 @@ impl PlatformWorld {
                 return;
             }
         };
-        cal.schedule(
-            now + delay,
+        self.send(
+            now,
+            CONTROLLER,
+            invoker_entity(invoker.0),
+            delay,
             Event::Deliver {
                 invoker: invoker.0,
                 invocation,
@@ -445,13 +546,25 @@ impl PlatformWorld {
         inv: Invocation,
         cal: &mut impl EventCalendar<Event>,
     ) {
-        let invoker = &mut self.invokers[idx as usize];
-        if !invoker.alive {
-            // The VM died while the message was in flight.
-            self.fail_or_recover(now, inv, false, false, LossCause::DeadDelivery, cal);
+        if !self.invokers[idx as usize].alive {
+            // The VM died while the message was in flight; the invoker's
+            // shard reports the corpse back to the controller, which
+            // decides between re-dispatch and a loss record.
+            self.send(
+                now,
+                invoker_entity(idx),
+                CONTROLLER,
+                self.cfg.bus_latency,
+                Event::WorkLost {
+                    invocation: inv,
+                    exec_started: false,
+                    cold: false,
+                    cause: LossCause::DeadDelivery,
+                },
+            );
             return;
         }
-        invoker.deliver(now, inv, cal, &self.cfg);
+        self.invokers[idx as usize].deliver(now, inv, cal, &self.cfg);
     }
 
     fn finish_records(
@@ -459,14 +572,9 @@ impl PlatformWorld {
         now: SimTime,
         idx: InvokerIndex,
         finished: Vec<RunningInvocation>,
-        cal: &mut impl EventCalendar<Event>,
     ) {
         for run in finished {
             let inv = run.invocation;
-            if !self.attempts.is_empty() {
-                // A retried invocation finally finished; stop tracking it.
-                self.attempts.remove(&inv.id);
-            }
             let latency = now.since(inv.arrival).as_secs_f64();
             let exec = now.since(run.exec_start).as_secs_f64();
             if run.cold {
@@ -494,7 +602,10 @@ impl PlatformWorld {
                 cold: run.cold,
                 arrival: inv.arrival,
             };
-            cal.schedule_after(
+            self.send(
+                now,
+                invoker_entity(idx),
+                CONTROLLER,
                 self.cfg.bus_latency,
                 Event::Report {
                     invoker: idx,
@@ -511,21 +622,54 @@ impl PlatformWorld {
         }
         self.metrics.vm_evictions += 1;
         let work = invoker.evict(now, cal);
+        self.report_destroyed_work(now, idx, work, LossCause::Eviction);
+        // The controller notices the dead invoker after a ping interval.
+        self.send(
+            now,
+            invoker_entity(idx),
+            CONTROLLER,
+            self.cfg.ping_interval,
+            Event::InvokerDown { invoker: idx },
+        );
+    }
+
+    /// Tells the controller about every invocation a dying invoker took
+    /// down with it, one [`Event::WorkLost`] message per victim.
+    fn report_destroyed_work(
+        &mut self,
+        now: SimTime,
+        idx: InvokerIndex,
+        work: crate::invoker::EvictedWork,
+        cause: LossCause,
+    ) {
         for run in work.started {
-            self.fail_or_recover(
+            self.send(
                 now,
-                run.invocation,
-                true,
-                run.cold,
-                LossCause::Eviction,
-                cal,
+                invoker_entity(idx),
+                CONTROLLER,
+                self.cfg.bus_latency,
+                Event::WorkLost {
+                    invocation: run.invocation,
+                    exec_started: true,
+                    cold: run.cold,
+                    cause,
+                },
             );
         }
         for inv in work.queued {
-            self.fail_or_recover(now, inv, false, false, LossCause::Eviction, cal);
+            self.send(
+                now,
+                invoker_entity(idx),
+                CONTROLLER,
+                self.cfg.bus_latency,
+                Event::WorkLost {
+                    invocation: inv,
+                    exec_started: false,
+                    cold: false,
+                    cause,
+                },
+            );
         }
-        // The controller notices the dead invoker after a ping interval.
-        cal.schedule_after(self.cfg.ping_interval, Event::InvokerDown { invoker: idx });
     }
 
     /// Fault injection: crash-stop kill. The VM vanishes mid-flight with
@@ -540,12 +684,7 @@ impl PlatformWorld {
         }
         self.metrics.vm_crashes += 1;
         let work = invoker.evict(now, cal);
-        for run in work.started {
-            self.fail_or_recover(now, run.invocation, true, run.cold, LossCause::Crash, cal);
-        }
-        for inv in work.queued {
-            self.fail_or_recover(now, inv, false, false, LossCause::Crash, cal);
-        }
+        self.report_destroyed_work(now, idx, work, LossCause::Crash);
     }
 
     /// Quarantines an invoker out of placement (no-op if already there).
@@ -630,32 +769,86 @@ impl PlatformWorld {
             let shortfall = m.min_cpus - available;
             let count = shortfall.div_ceil(m.template.cpus);
             for _ in 0..count {
-                let index = self.invokers.len() as InvokerIndex;
-                self.invokers
-                    .push(InvokerState::new(index, m.template.memory_mb));
-                self.slots.push(SlotSource::Monitor(m.template));
+                // Slot indices are assigned centrally so they are
+                // globally unique; the owning shard materializes the
+                // slot when the SpawnVm order lands after the deploy
+                // delay.
+                let index = self.next_slot_index;
+                self.next_slot_index += 1;
                 self.monitor_pending_cpus += m.template.cpus;
-                cal.schedule(
-                    now.saturating_add(m.template.deploy_delay),
-                    Event::VmDeploy { invoker: index },
+                self.send(
+                    now,
+                    CONTROLLER,
+                    invoker_entity(index),
+                    m.template.deploy_delay,
+                    Event::SpawnVm {
+                        invoker: index,
+                        template: m.template,
+                    },
                 );
             }
         }
         cal.schedule_after(m.interval, Event::MonitorTick);
     }
 
+    /// A monitor-ordered VM lands on the shard owning its slot index:
+    /// grow the local tables up to the index (the gap entries belong to
+    /// other shards and stay dormant placeholders here) and bring it up.
+    fn on_spawn_vm(
+        &mut self,
+        now: SimTime,
+        idx: InvokerIndex,
+        template: VmTemplate,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
+        while self.invokers.len() <= idx as usize {
+            let i = self.invokers.len() as InvokerIndex;
+            self.invokers.push(InvokerState::new(i, template.memory_mb));
+            self.slots.push(SlotSource::Monitor(template));
+        }
+        self.invokers[idx as usize] = InvokerState::new(idx, template.memory_mb);
+        self.slots[idx as usize] = SlotSource::Monitor(template);
+        self.on_deploy(now, idx, cal);
+    }
+
     fn on_deploy(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut impl EventCalendar<Event>) {
-        let (cpus, memory_mb) = match &self.slots[idx as usize] {
-            SlotSource::Trace(vm) => (vm.cpus_at(now).max(vm.base_cpus), vm.memory_mb),
-            SlotSource::Monitor(t) => {
-                self.monitor_pending_cpus = self.monitor_pending_cpus.saturating_sub(t.cpus);
-                (t.cpus, t.memory_mb)
-            }
+        let (cpus, memory_mb, from_monitor) = match &self.slots[idx as usize] {
+            SlotSource::Trace(vm) => (vm.cpus_at(now).max(vm.base_cpus), vm.memory_mb, false),
+            SlotSource::Monitor(t) => (t.cpus, t.memory_mb, true),
         };
         self.invokers[idx as usize].deploy(now, cpus);
+        cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker: idx });
+        // The controller hears about the new capacity one bus hop later.
+        self.send(
+            now,
+            invoker_entity(idx),
+            CONTROLLER,
+            self.cfg.bus_latency,
+            Event::DeployNotice {
+                invoker: idx,
+                cpus,
+                memory_mb,
+                from_monitor,
+            },
+        );
+    }
+
+    /// Controller side of a VM coming up: admit it to the view, release
+    /// the monitor's pending-CPU reservation, and retry the queue.
+    fn on_deploy_notice(
+        &mut self,
+        now: SimTime,
+        idx: InvokerIndex,
+        cpus: u32,
+        memory_mb: u64,
+        from_monitor: bool,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
+        if from_monitor {
+            self.monitor_pending_cpus = self.monitor_pending_cpus.saturating_sub(cpus);
+        }
         self.controller
             .on_invoker_up(now, InvokerId(idx), cpus, memory_mb);
-        cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker: idx });
         // New capacity may unblock queued placements.
         self.arm_retry(cal);
     }
@@ -820,31 +1013,59 @@ impl World for PlatformWorld {
             }
             Event::Completion { invoker } => {
                 let finished = self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
-                self.finish_records(now, invoker, finished, cal);
+                self.finish_records(now, invoker, finished);
             }
             Event::KeepAliveExpired { invoker, container } => {
                 self.invokers[invoker as usize].keepalive_expired(container, cal);
             }
             Event::Ping { invoker } => {
-                let inv = &self.invokers[invoker as usize];
-                if inv.alive {
-                    let snap = inv.snapshot();
-                    // Inside a staleness window the ping is dropped on the
-                    // floor; the invoker keeps pinging regardless.
-                    if !self.view_frozen {
-                        self.controller.on_ping(now, InvokerId(invoker), snap);
-                        if self.cfg.recovery.enabled {
-                            self.track_straggler(now, invoker, snap.pressure);
-                        }
-                    }
+                if self.invokers[invoker as usize].alive {
+                    let snap = self.invokers[invoker as usize].snapshot();
+                    self.send(
+                        now,
+                        invoker_entity(invoker),
+                        CONTROLLER,
+                        self.cfg.bus_latency,
+                        Event::PingReport { invoker, snap },
+                    );
                     cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker });
                 }
             }
-            Event::Report { report, .. } => self.controller.on_report(&report),
+            Event::PingReport { invoker, snap } => {
+                // Inside a staleness window the ping is dropped on the
+                // floor; the invoker keeps pinging regardless.
+                if !self.view_frozen {
+                    self.controller.on_ping(now, InvokerId(invoker), snap);
+                    if self.cfg.recovery.enabled {
+                        self.track_straggler(now, invoker, snap.pressure);
+                    }
+                }
+            }
+            Event::Report { report, .. } => {
+                if !self.attempts.is_empty() {
+                    // A retried invocation finally finished; stop
+                    // tracking it.
+                    self.attempts.remove(&report.invocation);
+                }
+                self.controller.on_report(&report);
+            }
             Event::InvokerDown { invoker } => {
                 self.controller.on_invoker_down(InvokerId(invoker));
             }
+            Event::WorkLost {
+                invocation,
+                exec_started,
+                cold,
+                cause,
+            } => self.fail_or_recover(now, invocation, exec_started, cold, cause, cal),
             Event::VmDeploy { invoker } => self.on_deploy(now, invoker, cal),
+            Event::DeployNotice {
+                invoker,
+                cpus,
+                memory_mb,
+                from_monitor,
+            } => self.on_deploy_notice(now, invoker, cpus, memory_mb, from_monitor, cal),
+            Event::SpawnVm { invoker, template } => self.on_spawn_vm(now, invoker, template, cal),
             Event::VmCpu { invoker, cpus } => {
                 self.invokers[invoker as usize].resize(now, cpus, cal, &self.cfg);
             }
@@ -978,14 +1199,10 @@ impl Simulation {
     /// Runs with an explicit event budget (for tests of runaway configs).
     pub fn run_with_budget(mut self, horizon: SimDuration, max_events: u64) -> SimOutput {
         let end = SimTime::ZERO + horizon;
-        let run = run_until(&mut self.world, &mut self.calendar, end, max_events);
+        let run = crate::shard::run_rounds(&mut self.world, &mut self.calendar, end, max_events);
         self.world.censor_remaining(self.calendar.now());
-        self.world.metrics.dropped_completions = self
-            .world
-            .invokers
-            .iter()
-            .map(|i| i.dropped_completions)
-            .sum();
+        self.world.metrics.dropped_completions = self.world.total_dropped_completions();
+        self.world.metrics.canonicalize_records();
         SimOutput {
             cold_starts: self.world.total_cold_starts(),
             warm_starts: self.world.total_warm_starts(),
@@ -1174,7 +1391,7 @@ mod tests {
             FaultPlan::none(),
             &mut wheel_cal,
         );
-        let wheel_run = run_until(&mut wheel_world, &mut wheel_cal, end, u64::MAX);
+        let wheel_run = crate::shard::run_rounds(&mut wheel_world, &mut wheel_cal, end, u64::MAX);
         wheel_world.censor_remaining(wheel_cal.now());
 
         let (spec, wl) = build();
@@ -1188,7 +1405,7 @@ mod tests {
             FaultPlan::none(),
             &mut ref_cal,
         );
-        let ref_run = run_until(&mut ref_world, &mut ref_cal, end, u64::MAX);
+        let ref_run = crate::shard::run_rounds(&mut ref_world, &mut ref_cal, end, u64::MAX);
         ref_world.censor_remaining(ref_cal.now());
 
         assert_eq!(wheel_run.events, ref_run.events, "event counts diverged");

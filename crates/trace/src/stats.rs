@@ -270,6 +270,27 @@ impl LogHistogram {
         self.ratio
     }
 
+    /// Merges another histogram into this one bin-wise. Both must have
+    /// been built with the same `(lo, hi, bins)` layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.lo == other.lo
+                && self.ratio == other.ratio
+                && self.counts.len() == other.counts.len(),
+            "merging histograms with different layouts"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Nearest-rank percentile estimate (`p` in `[0, 100]`), or `None` when
     /// the histogram is empty.
     ///
@@ -469,6 +490,31 @@ mod tests {
         assert!((bounds[0] - 1.0).abs() < 1e-9);
         assert!((bounds[1] - 10.0).abs() < 1e-9);
         assert!((bounds[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| 0.01 * 1.02f64.powi(i % 300)).collect();
+        let mut whole = LogHistogram::new(0.001, 1_000.0, 120);
+        let mut a = LogHistogram::new(0.001, 1_000.0, 120);
+        let mut b = LogHistogram::new(0.001, 1_000.0, 120);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn log_histogram_merge_rejects_layout_mismatch() {
+        let mut a = LogHistogram::new(1.0, 100.0, 4);
+        a.merge(&LogHistogram::new(1.0, 100.0, 8));
     }
 
     #[test]

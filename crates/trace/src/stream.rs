@@ -50,8 +50,9 @@ use crate::time::{SimDuration, SimTime};
 ///
 /// The platform pulls one invocation at a time; implementations may
 /// generate lazily ([`WorkloadStream`]) or adapt a materialized trace
-/// ([`SortedTraceStream`]).
-pub trait ArrivalStream {
+/// ([`SortedTraceStream`]). `Send` is a supertrait so worlds holding a
+/// stream can move onto the sharded simulation's worker threads.
+pub trait ArrivalStream: Send {
     /// The next invocation, or `None` when the stream is exhausted.
     ///
     /// Successive invocations must have nondecreasing `arrival` times.

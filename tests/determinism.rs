@@ -2,15 +2,18 @@
 //! traces, placements, and metrics; different seeds do not.
 
 use harvest_faas::experiment::{run_point, SweepConfig};
+use harvest_faas::hrv_fault::FaultSpec;
 use harvest_faas::hrv_lb::mws::Mws;
 use harvest_faas::hrv_lb::policy::{LoadBalancer, PolicyKind};
 use harvest_faas::hrv_lb::view::LoadWeights;
 use harvest_faas::hrv_platform::config::PlatformConfig;
 use harvest_faas::hrv_platform::world::{ClusterSpec, SimOutput, Simulation};
-use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
+use harvest_faas::hrv_platform::ShardedSimulation;
+use harvest_faas::hrv_trace::faas::{Invocation, Workload, WorkloadSpec};
 use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace};
 use harvest_faas::hrv_trace::rng::SeedFactory;
 use harvest_faas::hrv_trace::time::SimDuration;
+use proptest::prelude::*;
 
 fn full_run_with(seed: u64, policy: Box<dyn LoadBalancer>) -> SimOutput {
     let horizon = SimDuration::from_mins(20);
@@ -106,6 +109,156 @@ fn sweep_points_are_reproducible() {
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.p99, b.p99);
     assert_eq!(a.cold_rate, b.cold_rate);
+}
+
+/// A churning fleet (VM joins, CPU wobble, evictions) plus an F_small
+/// workload, deterministically derived from `seed` — the input to every
+/// sharded-invariance check below.
+fn sharded_inputs(seed: u64) -> (ClusterSpec, Vec<Invocation>, SimDuration) {
+    let horizon = SimDuration::from_mins(8);
+    let config = FleetConfig {
+        horizon,
+        initial_population: 8,
+        final_population: 10,
+        forced_storms: vec![],
+        ..FleetConfig::default()
+    };
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(seed));
+    let seeds = SeedFactory::new(seed).child("wl");
+    let spec = WorkloadSpec::paper_fsmall().scaled(40, 5.0);
+    let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds);
+    (ClusterSpec::from_traces(fleet.vms), trace, horizon)
+}
+
+fn sharded_run(seed: u64, shards: u32) -> SimOutput {
+    let (spec, trace, horizon) = sharded_inputs(seed);
+    ShardedSimulation::new(
+        spec,
+        trace,
+        PolicyKind::Mws,
+        PlatformConfig::default(),
+        seed,
+        shards,
+    )
+    .run(horizon)
+}
+
+/// The byte-identity contract: records, event counts, and start counters
+/// must not depend on how the cluster is partitioned.
+fn assert_shard_invariant(a: &SimOutput, b: &SimOutput, label: &str) {
+    assert_eq!(a.run.events, b.run.events, "event counts diverged: {label}");
+    assert_eq!(
+        a.collector.records, b.collector.records,
+        "records diverged: {label}"
+    );
+    assert_eq!(a.collector.arrivals, b.collector.arrivals, "{label}");
+    assert_eq!(a.cold_starts, b.cold_starts, "cold starts: {label}");
+    assert_eq!(a.warm_starts, b.warm_starts, "warm starts: {label}");
+    assert_eq!(
+        a.collector.dropped_completions, b.collector.dropped_completions,
+        "{label}"
+    );
+}
+
+#[test]
+fn shard_count_never_changes_results() {
+    let baseline = sharded_run(17, 1);
+    assert!(
+        baseline.collector.records.len() > 500,
+        "only {} records — the invariance check degenerated",
+        baseline.collector.records.len()
+    );
+    for shards in [2u32, 4, 8] {
+        let sharded = sharded_run(17, shards);
+        assert_shard_invariant(&baseline, &sharded, &format!("S=1 vs S={shards}"));
+    }
+}
+
+#[test]
+fn one_shard_matches_plain_simulation() {
+    // S = 1 runs the identical round schedule the serial driver uses, so
+    // ShardedSimulation must reproduce Simulation byte for byte.
+    let (spec, trace, horizon) = sharded_inputs(23);
+    let plain = Simulation::new(
+        spec,
+        trace,
+        PolicyKind::Mws.build(),
+        PlatformConfig::default(),
+        23,
+    )
+    .run(horizon);
+    let sharded = sharded_run(23, 1);
+    assert_shard_invariant(&plain, &sharded, "Simulation vs S=1");
+}
+
+/// A small, fast run for property sweeps: static 5-VM cluster, 2-minute
+/// horizon — cheap enough to sample many (seed, shards) points.
+fn quick_sharded_run(seed: u64, shards: u32) -> SimOutput {
+    let horizon = SimDuration::from_mins(2);
+    let seeds = SeedFactory::new(seed);
+    let spec = WorkloadSpec::paper_fsmall().scaled(20, 3.0);
+    let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds.child("arr"));
+    ShardedSimulation::new(
+        ClusterSpec::regular(5, 8, 16 * 1024, horizon),
+        trace,
+        PolicyKind::Mws,
+        PlatformConfig::default(),
+        seed,
+        shards,
+    )
+    .run(horizon)
+}
+
+proptest! {
+    /// Any seed, any shard split: same records, same event counts.
+    #[test]
+    fn prop_shard_split_is_invisible(seed in 0u64..1_000, shards in 2u32..=8) {
+        let baseline = quick_sharded_run(seed, 1);
+        let sharded = quick_sharded_run(seed, shards);
+        assert_shard_invariant(&baseline, &sharded, &format!("seed={seed} S={shards}"));
+    }
+}
+
+#[test]
+fn sharded_chaos_replay_is_identical() {
+    // A compiled fault plan (crashes, stragglers, drops, eviction-warning
+    // rewrites) replays identically under sharding: faults are seeded to
+    // the shard that owns the target entity, so the plan's effect cannot
+    // depend on the partition.
+    let seed = 31;
+    let horizon = SimDuration::from_secs(240);
+    let seeds = SeedFactory::new(seed).child("faults");
+    let wl_seeds = SeedFactory::new(seed);
+    let spec = WorkloadSpec::paper_fsmall().scaled(15, 2.0);
+    let trace = Workload::generate(&spec, &wl_seeds)
+        .invocations(SimDuration::from_secs(200), &wl_seeds.child("arr"));
+    let mut cfg = PlatformConfig::default();
+    cfg.recovery.enabled = true;
+    let plan = FaultSpec::chaos(1.5).compile(6, horizon, &seeds);
+    let run = |shards: u32| {
+        ShardedSimulation::with_faults(
+            ClusterSpec::regular(6, 4, 16 * 1024, horizon),
+            trace.clone(),
+            PolicyKind::Mws,
+            cfg.clone(),
+            seed,
+            plan.clone(),
+            shards,
+        )
+        .run(horizon)
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.collector.lost
+            + baseline.collector.eviction_failures
+            + baseline.collector.vm_crashes
+            > 0,
+        "chaos plan produced no faults — smoke degenerated"
+    );
+    for shards in [2u32, 4] {
+        let sharded = run(shards);
+        assert_shard_invariant(&baseline, &sharded, &format!("chaos S={shards}"));
+    }
 }
 
 #[test]
