@@ -212,6 +212,29 @@ fn bench_histograms(c: &mut Criterion) {
             black_box(h.percentile(99.0))
         })
     });
+    // The hybrid cold-start policy's hot path: one IAT record per
+    // arrival, two percentile walks per idle decision.
+    c.bench_function("histogram/hybrid_idle_decision", |b| {
+        use harvest_faas::hrv_policy::{
+            ColdStartPolicy, HybridHistogram, HybridHistogramConfig, IdleCtx,
+        };
+        let mut policy = HybridHistogram::new(HybridHistogramConfig::default());
+        let f = FunctionId {
+            app: AppId(1),
+            func: 0,
+        };
+        for i in 0..=256u64 {
+            policy.observe_arrival(f, SimTime::from_secs(i * 900));
+        }
+        let ctx = IdleCtx {
+            now: SimTime::from_secs(256 * 900),
+            fixed_keep_alive: SimDuration::from_mins(10),
+            cold_start_delay: SimDuration::from_millis(2_500),
+            bus_latency: SimDuration::from_millis(2),
+            idle_peers: 0,
+        };
+        b.iter(|| black_box(policy.on_idle(f, &ctx)))
+    });
 }
 
 fn bench_mailbox(c: &mut Criterion) {

@@ -1,13 +1,17 @@
 //! Regenerates the paper's tables and figures as text reports.
 //!
 //! ```text
-//! experiments [--scale quick|full] [--shards N] [all | <name>...]
+//! experiments [--scale quick|full] [--shards N] [--coldstart POLICY] [all | <name>...]
 //! ```
 //!
 //! `--shards N` runs each simulation point on the deterministic
 //! multi-core sharded driver; results are byte-identical for any value
 //! (points that need live migration or utilization sampling fall back
 //! to one shard).
+//!
+//! `--coldstart fixed|hybrid|null|warmpool` runs the policy-grid rows for
+//! that one cold-start policy (across all load balancers and VM types)
+//! and exits — the fast path into the `coldstart` experiment.
 //!
 //! Names: fig1..fig10, table1, strategy1, strategy3, fig12 (also renders
 //! figs 13–14), fig15 (fig 16 left), fig17 (table 3, fig 16 right),
@@ -20,9 +24,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
+    let mut coldstart: Option<harvest_faas::hrv_policy::ColdStartConfig> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--coldstart" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--coldstart requires a policy: fixed|hybrid|null|warmpool");
+                    std::process::exit(2);
+                };
+                let Some(cfg) = harvest_faas::hrv_policy::ColdStartConfig::parse(&v) else {
+                    eprintln!("unknown cold-start policy {v:?}; use fixed|hybrid|null|warmpool");
+                    std::process::exit(2);
+                };
+                coldstart = Some(cfg);
+            }
             "--scale" => {
                 let Some(v) = it.next() else {
                     eprintln!("--scale requires a value: quick|full");
@@ -42,12 +58,26 @@ fn main() {
                 harvest_faas::experiment::set_default_shards(shards);
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--scale quick|full] [--shards N] [all | <name>...]");
+                eprintln!(
+                    "usage: experiments [--scale quick|full] [--shards N] \
+                     [--coldstart fixed|hybrid|null|warmpool] [all | <name>...]"
+                );
                 eprintln!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
             }
             other => names.push(other.to_string()),
         }
+    }
+    if let Some(cfg) = coldstart {
+        let started = std::time::Instant::now();
+        let points = hrv_bench::coldstart::run_policy(cfg, scale);
+        println!("{}", hrv_bench::coldstart::render(&points));
+        eprintln!(
+            "[coldstart:{}] done in {:.1}s",
+            cfg.label(),
+            started.elapsed().as_secs_f64()
+        );
+        return;
     }
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();

@@ -1,7 +1,7 @@
 //! Perf-smoke harness: quick wall-clock numbers for the simulator's hot
 //! paths, written to `BENCH_perfsmoke.json` at the repo root.
 //!
-//! Seven probes:
+//! Eight probes:
 //!
 //! 1. **calendar** — schedule/cancel/pop churn through the event
 //!    calendar, the data structure every simulated event crosses;
@@ -15,15 +15,19 @@
 //! 4. **placement** — MWS and sampled-JSQ placement decisions per second
 //!    against a 64-invoker view with live load bookkeeping (the
 //!    dispatch hot path the scratch-buffer work de-allocates);
-//! 5. **replay** — a short end-to-end MWS replay on the Harvest cluster,
+//! 5. **coldstart_policy** — hybrid-histogram cold-start policy
+//!    decisions per second (histogram update per arrival plus two
+//!    percentile walks per idle decision) over a mixed 512-function
+//!    population;
+//! 6. **replay** — a short end-to-end MWS replay on the Harvest cluster,
 //!    the closest thing to "how fast do real experiments run";
-//! 6. **sharded_replay** — the same platform model driven by the
+//! 7. **sharded_replay** — the same platform model driven by the
 //!    deterministic multi-core `ShardedSimulation` at 1, 2 and 4 shards
 //!    on a wide fleet with relaxed messaging latencies (50 ms bus, 5 s
 //!    pings), reporting per-shard-count event rates and the multi-core
 //!    speedup (only meaningful on a multi-core machine; the JSON records
 //!    the core count so gates can condition on it);
-//! 7. **scale** — the full-volume `F_large` streaming drain (default
+//! 8. **scale** — the full-volume `F_large` streaming drain (default
 //!    10⁸ invocations; override with `PERFSMOKE_SCALE_INVOCATIONS` for
 //!    CI-sized runs) plus a constant-memory full-platform replay, both
 //!    under an RSS-growth assertion.
@@ -146,6 +150,43 @@ fn bench_calendar_churn(total_ops: usize) -> (f64, f64, usize) {
     }
     let secs = start.elapsed().as_secs_f64();
     (secs, ops as f64 / secs, max_tombstones)
+}
+
+/// Cold-start policy decisions per second: drives the hybrid-histogram
+/// policy — the most expensive of the cold-start policies (histogram
+/// update per arrival, two percentile walks per idle decision) — over a
+/// 512-function population with mixed hot/periodic/rare periods. Every
+/// arrival is followed by an idle decision, the worst-case ratio the
+/// invoker can produce.
+fn bench_coldstart_policy(decisions: u64) -> f64 {
+    use harvest_faas::hrv_policy::{
+        ColdStartPolicy, HybridHistogram, HybridHistogramConfig, IdleCtx,
+    };
+    let mut policy = HybridHistogram::new(HybridHistogramConfig::default());
+    let functions: Vec<FunctionId> = (0..512)
+        .map(|i| FunctionId {
+            app: AppId(i),
+            func: 0,
+        })
+        .collect();
+    let start = Instant::now();
+    for i in 0..decisions {
+        let f = functions[(i % 512) as usize];
+        // Periods from 2 s (hot) to ~17 min (periodic): exercises both
+        // the keep path and the unload/prewarm path.
+        let period = 2 + (f.app.0 as u64 % 7) * 170;
+        let now = SimTime::from_secs((i / 512) * period);
+        policy.observe_arrival(f, now);
+        let ctx = IdleCtx {
+            now,
+            fixed_keep_alive: SimDuration::from_mins(10),
+            cold_start_delay: SimDuration::from_millis(2_500),
+            bus_latency: SimDuration::from_millis(2),
+            idle_peers: 0,
+        };
+        std::hint::black_box(policy.on_idle(f, &ctx));
+    }
+    decisions as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Placement decisions per second: drives one load balancer against a
@@ -451,6 +492,12 @@ fn main() {
     eprintln!("perfsmoke: placement loop ({placements} placements per policy, best of 3)...");
     let (mws_rate, jsq_rate, mws_cache) = bench_placement(placements);
 
+    let policy_decisions = 1_000_000u64;
+    eprintln!(
+        "perfsmoke: hybrid cold-start policy loop ({policy_decisions} decisions, best of 3)..."
+    );
+    let (_, policy_rate, ()) = best_of(3, || (0.0, bench_coldstart_policy(policy_decisions), ()));
+
     eprintln!("perfsmoke: 10-minute MWS replay...");
     let (replay_secs, replay_events, replay_completed) = bench_replay();
 
@@ -541,6 +588,8 @@ fn main() {
          \"mws_cache_misses\": {}, \
          \"mws_cache_hit_rate\": {:.4}, \
          \"jsq_sampled_placements_per_sec\": {jsq_rate:.0} }},\n  \
+         \"coldstart_policy\": {{ \"decisions\": {policy_decisions}, \
+         \"decisions_per_sec\": {policy_rate:.0} }},\n  \
          \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
          \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
          \"completed_invocations\": {replay_completed} }},\n{sharded_json},\n{scale_json}\n}}\n",

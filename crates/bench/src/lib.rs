@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod budget;
 pub mod chaos;
 pub mod characterization;
+pub mod coldstart;
 pub mod evictions;
 pub mod loadbalancing;
 pub mod migration;
@@ -43,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "migration",
     "ablation",
     "chaos",
+    "coldstart",
 ];
 
 /// Runs one experiment by name, returning its report.
@@ -74,6 +76,7 @@ pub fn run(name: &str, scale: Scale) -> Option<String> {
         "migration" => migration::migration(scale),
         "ablation" => ablation::all(scale),
         "chaos" => chaos::chaos(scale),
+        "coldstart" => coldstart::all(scale),
         _ => return None,
     };
     Some(report)

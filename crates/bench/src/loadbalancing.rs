@@ -181,6 +181,10 @@ mod tests {
                     failure_rate: 0.0,
                     completed: 1_000,
                     arrivals: 1_000,
+                    prewarm_spawns: 0,
+                    prewarm_hits: 0,
+                    wasted_prewarms: 0,
+                    idle_mib_secs: 0.0,
                 })
                 .collect(),
         }

@@ -139,6 +139,15 @@ pub struct SweepPoint {
     pub completed: u64,
     /// Arrivals in the measurement window.
     pub arrivals: u64,
+    /// Containers the cold-start policy prewarmed (whole run — policy
+    /// totals are not warmup-cut).
+    pub prewarm_spawns: u64,
+    /// Warm starts served by a prewarmed container's first use.
+    pub prewarm_hits: u64,
+    /// Prewarmed containers reaped without ever serving.
+    pub wasted_prewarms: u64,
+    /// Warm memory-time containers spent idle, MiB·s (whole run).
+    pub idle_mib_secs: f64,
 }
 
 /// A policy's full latency-vs-load curve.
@@ -266,6 +275,7 @@ pub fn run_point(
         .run(horizon)
     };
     let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
+    let s = &out.collector.streaming;
     SweepPoint {
         rps,
         p99: m.latency_percentile(99.0),
@@ -276,6 +286,10 @@ pub fn run_point(
         failure_rate: m.failure_rate,
         completed: m.completed,
         arrivals: m.arrivals,
+        prewarm_spawns: s.prewarm_spawns,
+        prewarm_hits: s.prewarm_hits,
+        wasted_prewarms: s.wasted_prewarms,
+        idle_mib_secs: s.idle_mib_secs,
     }
 }
 
@@ -322,6 +336,10 @@ pub fn run_point_streaming(
         failure_rate: s.failure_rate(),
         completed: s.completed,
         arrivals: out.collector.arrivals,
+        prewarm_spawns: s.prewarm_spawns,
+        prewarm_hits: s.prewarm_hits,
+        wasted_prewarms: s.wasted_prewarms,
+        idle_mib_secs: s.idle_mib_secs,
     }
 }
 

@@ -21,7 +21,8 @@
 //!
 //! Re-exported substrates: [`hrv_trace`] (traces and workload models),
 //! [`hrv_sim`] (discrete-event engine), [`hrv_lb`] (MWS/JSQ/vanilla load
-//! balancers), [`hrv_platform`] (the OpenWhisk-like platform), and
+//! balancers), [`hrv_platform`] (the OpenWhisk-like platform),
+//! [`hrv_policy`] (pluggable cold-start lifecycle policies), and
 //! [`hrv_fault`] (deterministic fault-injection plans).
 //!
 //! # Examples
@@ -51,5 +52,6 @@ pub mod report;
 pub use hrv_fault;
 pub use hrv_lb;
 pub use hrv_platform;
+pub use hrv_policy;
 pub use hrv_sim;
 pub use hrv_trace;

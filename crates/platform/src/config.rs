@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use hrv_trace::time::SimDuration;
 
+pub use hrv_policy::{ColdStartConfig, HybridHistogramConfig, WarmPoolConfig};
+
 /// Template for VMs the resource monitor spins up to backfill capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VmTemplate {
@@ -133,8 +135,14 @@ impl Default for RecoveryConfig {
 /// and the paper's setup where stated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformConfig {
-    /// Idle container keep-alive (OpenWhisk default: 10 minutes).
+    /// Idle container keep-alive (OpenWhisk default: 10 minutes). The
+    /// TTL the default [`ColdStartConfig::Fixed`] policy arms, and the
+    /// fallback for policies whose model is not yet trustworthy.
     pub keep_alive: SimDuration,
+    /// Container lifecycle policy: keep-alive TTLs and prewarming. The
+    /// default (`Fixed`) reproduces the pre-policy platform byte for
+    /// byte.
+    pub coldstart: ColdStartConfig,
     /// Wall-clock delay of a cold container start (image pull cached;
     /// docker create + runtime init).
     pub cold_start_delay: SimDuration,
@@ -176,6 +184,7 @@ impl Default for PlatformConfig {
     fn default() -> Self {
         PlatformConfig {
             keep_alive: SimDuration::from_mins(10),
+            coldstart: ColdStartConfig::Fixed,
             cold_start_delay: SimDuration::from_millis(2_500),
             cold_start_cpu_secs: 6.0,
             bus_latency: SimDuration::from_millis(2),
@@ -230,6 +239,7 @@ impl PlatformConfig {
             self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),
             "bad cold-start tax"
         );
+        self.coldstart.validate(self.bus_latency);
         if self.monitor.enabled {
             assert!(
                 self.monitor.template.deploy_delay >= self.bus_latency,
@@ -309,6 +319,43 @@ mod tests {
     fn sub_bus_ping_interval_is_rejected() {
         let config = PlatformConfig {
             ping_interval: SimDuration::from_micros(1),
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn all_coldstart_policy_defaults_are_valid() {
+        for coldstart in ColdStartConfig::all() {
+            let config = PlatformConfig {
+                coldstart,
+                ..PlatformConfig::default()
+            };
+            config.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prewarm window")]
+    fn sub_bus_prewarm_window_is_rejected() {
+        let config = PlatformConfig {
+            coldstart: ColdStartConfig::Hybrid(HybridHistogramConfig {
+                prewarm_window: SimDuration::from_micros(1),
+                ..HybridHistogramConfig::default()
+            }),
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_histogram_bin_width_is_rejected() {
+        let config = PlatformConfig {
+            coldstart: ColdStartConfig::Hybrid(HybridHistogramConfig {
+                bin_width: SimDuration::ZERO,
+                ..HybridHistogramConfig::default()
+            }),
             ..PlatformConfig::default()
         };
         config.validate();

@@ -85,6 +85,28 @@ pub enum Event {
         /// The idle container to reap.
         container: u64,
     },
+    /// A cold-start policy's prewarm order arrives at the invoker:
+    /// spawn a container for `function` ahead of its predicted next
+    /// arrival. Travels as a cross-entity envelope (delay at least one
+    /// bus hop) so sharded runs deliver it in canonical order.
+    Prewarm {
+        /// Target invoker.
+        invoker: InvokerIndex,
+        /// The function to pre-spawn a container for.
+        function: FunctionId,
+        /// Memory footprint of the container, MiB.
+        memory_mb: u64,
+        /// Keep-alive TTL to arm once the container is warm.
+        ttl: SimDuration,
+    },
+    /// A prewarmed container finished its cold start and parks as idle
+    /// (invoker-local timer, like [`Event::StartupDone`]).
+    PrewarmReady {
+        /// Owning invoker.
+        invoker: InvokerIndex,
+        /// The container that finished warming.
+        container: u64,
+    },
     /// An invoker's periodic health-ping timer fires (invoker-local; the
     /// snapshot travels to the controller as [`Event::PingReport`]).
     Ping {

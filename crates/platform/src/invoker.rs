@@ -13,10 +13,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use hrv_policy::{ColdStartPolicy, FixedKeepAlive, IdleCtx};
 use hrv_sim::calendar::{EventCalendar, EventId};
 use hrv_sim::ps::{JobId, PsQueue};
 use hrv_trace::faas::{FunctionId, Invocation};
-use hrv_trace::time::SimTime;
+use hrv_trace::time::{SimDuration, SimTime};
 
 use crate::config::PlatformConfig;
 use crate::event::{Event, InvokerIndex};
@@ -47,10 +48,32 @@ pub struct Container {
     pub memory_mb: u64,
     /// Current state.
     pub state: ContainerState,
-    /// Last time it finished serving (for LRU eviction).
+    /// Last time it finished serving (for LRU eviction; doubles as the
+    /// idle-span start for warm memory-time accounting).
     pub last_used: SimTime,
     /// Pending keep-alive timer when idle.
     pub keepalive: Option<EventId>,
+    /// Born from a cold-start policy's prewarm order (for hit/waste
+    /// accounting).
+    pub prewarmed: bool,
+    /// Invocations this container has finished serving.
+    pub served: u64,
+}
+
+/// A prewarm order decided at an idle transition, drained by the world
+/// into a cross-entity [`Event::Prewarm`] envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmRequest {
+    /// The function to pre-spawn for.
+    pub function: FunctionId,
+    /// Container memory footprint, MiB.
+    pub memory_mb: u64,
+    /// Envelope delay until the spawn must begin (already floored at one
+    /// bus hop and offset by the cold-start delay, so the container is
+    /// warm when the policy asked for it).
+    pub spawn_delay: SimDuration,
+    /// Keep-alive TTL to arm once warm.
+    pub ttl: SimDuration,
 }
 
 /// An invocation currently executing (or cold-starting).
@@ -131,6 +154,24 @@ pub struct InvokerState {
     pub cold_starts: u64,
     /// Total warm starts this invoker performed.
     pub warm_starts: u64,
+    /// Container lifecycle policy (one instance per invoker; see
+    /// `hrv_policy` for the determinism contract).
+    policy: Box<dyn ColdStartPolicy>,
+    /// Prewarm orders decided this completion tick, drained by the world
+    /// into cross-entity envelopes.
+    prewarm_requests: Vec<PrewarmRequest>,
+    /// TTL to arm when each in-flight prewarmed container becomes warm.
+    prewarming: BTreeMap<u64, SimDuration>,
+    /// Prewarm containers this invoker spawned.
+    pub prewarm_spawns: u64,
+    /// Warm starts served by a prewarmed container's first use.
+    pub prewarm_hits: u64,
+    /// Prewarmed containers destroyed without ever serving.
+    pub wasted_prewarms: u64,
+    /// Warm memory-time containers spent idle, MiB·s — the "wasted warm
+    /// memory" axis of the policy grid. Idle spans still open at run end
+    /// are censored.
+    pub idle_mib_secs: f64,
 }
 
 impl InvokerState {
@@ -157,7 +198,21 @@ impl InvokerState {
             starting_cap: 0.0,
             cold_starts: 0,
             warm_starts: 0,
+            policy: Box::new(FixedKeepAlive),
+            prewarm_requests: Vec::new(),
+            prewarming: BTreeMap::new(),
+            prewarm_spawns: 0,
+            prewarm_hits: 0,
+            wasted_prewarms: 0,
+            idle_mib_secs: 0.0,
         }
+    }
+
+    /// Installs the container lifecycle policy (default:
+    /// [`FixedKeepAlive`]). Call before the first delivery — swapping
+    /// policies mid-run would mix decision models.
+    pub fn set_policy(&mut self, policy: Box<dyn ColdStartPolicy>) {
+        self.policy = policy;
     }
 
     /// Brings the invoker online with `cpus` CPUs.
@@ -229,6 +284,7 @@ impl InvokerState {
         cfg: &PlatformConfig,
     ) {
         debug_assert!(self.alive, "delivery to dead invoker");
+        self.policy.observe_arrival(invocation.function, now);
         self.queue.push_back(invocation);
         self.drain(now, cal, cfg);
     }
@@ -246,7 +302,7 @@ impl InvokerState {
             if let Some(cid) = self.find_idle_container(front.function) {
                 self.queue.pop_front();
                 self.start_warm(now, cid, front, cal);
-            } else if self.make_room(front.memory_mb, cal) {
+            } else if self.make_room(now, front.memory_mb, cal) {
                 self.queue.pop_front();
                 self.start_cold(now, front, cal, cfg);
             } else {
@@ -267,7 +323,14 @@ impl InvokerState {
 
     /// Frees memory for a new container by reaping idle (LRU-first)
     /// containers. Returns false if even that cannot make room.
-    fn make_room(&mut self, needed_mb: u64, cal: &mut impl EventCalendar<Event>) -> bool {
+    /// Prewarmed idle containers are ordinary LRU victims — memory
+    /// pressure from real work outranks a speculative spawn.
+    fn make_room(
+        &mut self,
+        now: SimTime,
+        needed_mb: u64,
+        cal: &mut impl EventCalendar<Event>,
+    ) -> bool {
         if needed_mb > self.memory_mb {
             return false;
         }
@@ -279,14 +342,14 @@ impl InvokerState {
                 .min_by_key(|c| (c.last_used, c.id))
                 .map(|c| c.id);
             match victim {
-                Some(cid) => self.destroy_container(cid, cal),
+                Some(cid) => self.destroy_container(now, cid, cal),
                 None => return false,
             }
         }
         true
     }
 
-    fn destroy_container(&mut self, cid: u64, cal: &mut impl EventCalendar<Event>) {
+    fn destroy_container(&mut self, now: SimTime, cid: u64, cal: &mut impl EventCalendar<Event>) {
         let c = self
             .containers
             .remove(&cid)
@@ -298,6 +361,10 @@ impl InvokerState {
         );
         if let Some(ev) = c.keepalive {
             cal.cancel(ev);
+        }
+        self.idle_mib_secs += now.saturating_since(c.last_used).as_secs_f64() * c.memory_mb as f64;
+        if c.prewarmed && c.served == 0 {
+            self.wasted_prewarms += 1;
         }
         self.memory_used -= c.memory_mb;
     }
@@ -317,6 +384,10 @@ impl InvokerState {
             cal.cancel(ev);
         }
         c.state = ContainerState::Busy;
+        if c.prewarmed && c.served == 0 {
+            self.prewarm_hits += 1;
+        }
+        self.idle_mib_secs += now.saturating_since(c.last_used).as_secs_f64() * c.memory_mb as f64;
         self.warm_starts += 1;
         self.ps.add(
             JobId(cid),
@@ -350,6 +421,8 @@ impl InvokerState {
                 state: ContainerState::Starting,
                 last_used: now,
                 keepalive: None,
+                prewarmed: false,
+                served: 0,
             },
         );
         self.memory_used += invocation.memory_mb;
@@ -428,32 +501,181 @@ impl InvokerState {
         self.ps.advance(now);
         let done = self.ps.take_completed(COMPLETION_SLACK);
         let mut finished = Vec::with_capacity(done.len());
+        let mut reap_now: Vec<u64> = Vec::new();
         for JobId(cid) in done {
             let run = self
                 .running
                 .remove(&cid)
                 .expect("completed job has a running record");
+            let function = run.invocation.function;
+            // Ask the lifecycle policy what to do with the idle
+            // container. The peer count excludes this one (still Busy).
+            let ctx = IdleCtx {
+                now,
+                fixed_keep_alive: cfg.keep_alive,
+                cold_start_delay: cfg.cold_start_delay,
+                bus_latency: cfg.bus_latency,
+                idle_peers: self
+                    .containers
+                    .values()
+                    .filter(|c| c.state == ContainerState::Idle && c.function == function)
+                    .count(),
+            };
+            let decision = self.policy.on_idle(function, &ctx);
             let c = self
                 .containers
                 .get_mut(&cid)
                 .expect("completed job has a container");
             c.state = ContainerState::Idle;
             c.last_used = now;
-            c.keepalive = Some(cal.schedule(
-                now.saturating_add(cfg.keep_alive),
-                Event::KeepAliveExpired {
-                    invoker: self.index,
-                    container: cid,
-                },
-            ));
+            c.served += 1;
+            match decision.keep_alive {
+                Some(ttl) => {
+                    c.keepalive = Some(cal.schedule(
+                        now.saturating_add(ttl),
+                        Event::KeepAliveExpired {
+                            invoker: self.index,
+                            container: cid,
+                        },
+                    ));
+                }
+                // Zero keep-alive: reap after the drain pass below, so
+                // same-tick queued work may still reuse the container.
+                None => reap_now.push(cid),
+            }
+            if let Some(pw) = decision.prewarm {
+                // The spawn must begin a cold start ahead of the warm
+                // deadline; the envelope floor is one bus hop.
+                let spawn_delay = pw
+                    .warm_at
+                    .saturating_sub(cfg.cold_start_delay)
+                    .max(cfg.bus_latency);
+                self.prewarm_requests.push(PrewarmRequest {
+                    function,
+                    memory_mb: run.invocation.memory_mb,
+                    spawn_delay,
+                    ttl: pw.ttl,
+                });
+            }
             finished.push(run);
         }
         self.drain(now, cal, cfg);
+        for cid in reap_now {
+            if self
+                .containers
+                .get(&cid)
+                .is_some_and(|c| c.state == ContainerState::Idle)
+            {
+                self.destroy_container(now, cid, cal);
+            }
+        }
         finished
     }
 
+    /// Drains the prewarm orders decided since the last call; the world
+    /// turns each into a cross-entity [`Event::Prewarm`] envelope.
+    pub fn take_prewarm_requests(&mut self) -> Vec<PrewarmRequest> {
+        std::mem::take(&mut self.prewarm_requests)
+    }
+
+    /// Handles a policy's prewarm order: spawn an idle-bound container
+    /// for `function` unless one is already warm(ing), the VM is doomed,
+    /// or memory cannot be freed. Returns whether a spawn began.
+    pub fn start_prewarm(
+        &mut self,
+        now: SimTime,
+        function: FunctionId,
+        memory_mb: u64,
+        ttl: SimDuration,
+        cal: &mut impl EventCalendar<Event>,
+        cfg: &PlatformConfig,
+    ) -> bool {
+        if !self.alive || self.warned {
+            return false;
+        }
+        // An idle or starting container for the function makes the
+        // order moot (the keep-alive outlived the prediction, or an
+        // invocation already cold-started one).
+        if self
+            .containers
+            .values()
+            .any(|c| c.function == function && c.state != ContainerState::Busy)
+        {
+            return false;
+        }
+        if !self.make_room(now, memory_mb, cal) {
+            return false;
+        }
+        let cid = self.container_id();
+        self.containers.insert(
+            cid,
+            Container {
+                id: cid,
+                function,
+                memory_mb,
+                state: ContainerState::Starting,
+                last_used: now,
+                keepalive: None,
+                prewarmed: true,
+                served: 0,
+            },
+        );
+        self.memory_used += memory_mb;
+        self.prewarm_spawns += 1;
+        self.prewarming.insert(cid, ttl);
+        cal.schedule(
+            now.saturating_add(cfg.cold_start_delay),
+            Event::PrewarmReady {
+                invoker: self.index,
+                container: cid,
+            },
+        );
+        true
+    }
+
+    /// A prewarmed container finished warming: park it idle with its TTL
+    /// armed, and let queued work of its function start on it.
+    pub fn prewarm_ready(
+        &mut self,
+        now: SimTime,
+        cid: u64,
+        cal: &mut impl EventCalendar<Event>,
+        cfg: &PlatformConfig,
+    ) {
+        if !self.alive {
+            // Raced with an eviction teardown; same accounting as a
+            // stale StartupDone.
+            self.dropped_completions += 1;
+            return;
+        }
+        let Some(ttl) = self.prewarming.remove(&cid) else {
+            self.dropped_completions += 1;
+            return;
+        };
+        let c = self
+            .containers
+            .get_mut(&cid)
+            .expect("prewarming container exists");
+        debug_assert_eq!(c.state, ContainerState::Starting);
+        c.state = ContainerState::Idle;
+        c.last_used = now;
+        c.keepalive = Some(cal.schedule(
+            now.saturating_add(ttl),
+            Event::KeepAliveExpired {
+                invoker: self.index,
+                container: cid,
+            },
+        ));
+        self.drain(now, cal, cfg);
+    }
+
     /// Reaps an idle container whose keep-alive expired.
-    pub fn keepalive_expired(&mut self, cid: u64, cal: &mut impl EventCalendar<Event>) {
+    pub fn keepalive_expired(
+        &mut self,
+        now: SimTime,
+        cid: u64,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         if !self.alive {
             return;
         }
@@ -462,7 +684,7 @@ impl InvokerState {
         if let Some(c) = self.containers.get_mut(&cid) {
             if c.state == ContainerState::Idle {
                 c.keepalive = None;
-                self.destroy_container(cid, cal);
+                self.destroy_container(now, cid, cal);
             }
         }
     }
@@ -532,7 +754,18 @@ impl InvokerState {
             if let Some(ev) = c.keepalive {
                 cal.cancel(ev);
             }
+            // Close the idle spans and charge speculative spawns that the
+            // eviction kills before they ever served.
+            if c.state == ContainerState::Idle {
+                self.idle_mib_secs +=
+                    now.saturating_since(c.last_used).as_secs_f64() * c.memory_mb as f64;
+            }
+            if c.prewarmed && c.served == 0 {
+                self.wasted_prewarms += 1;
+            }
         }
+        self.prewarming.clear();
+        self.prewarm_requests.clear();
         let mut started: Vec<RunningInvocation> =
             std::mem::take(&mut self.running).into_values().collect();
         for (_, invocation) in std::mem::take(&mut self.starting) {
@@ -629,7 +862,7 @@ impl InvokerState {
             return false;
         }
         self.ps.advance(now);
-        if !self.make_room(run.invocation.memory_mb, cal) {
+        if !self.make_room(now, run.invocation.memory_mb, cal) {
             return false;
         }
         let cid = self.container_id();
@@ -642,6 +875,8 @@ impl InvokerState {
                 state: ContainerState::Busy,
                 last_used: now,
                 keepalive: None,
+                prewarmed: false,
+                served: 1,
             },
         );
         self.memory_used += run.invocation.memory_mb;
@@ -739,7 +974,12 @@ mod tests {
             match ev.event {
                 Event::StartupDone { container, .. } => iv.startup_done(ev.at, container, cal, cfg),
                 Event::Completion { .. } => finished.extend(iv.completion_tick(ev.at, cal, cfg)),
-                Event::KeepAliveExpired { container, .. } => iv.keepalive_expired(container, cal),
+                Event::KeepAliveExpired { container, .. } => {
+                    iv.keepalive_expired(ev.at, container, cal);
+                }
+                Event::PrewarmReady { container, .. } => {
+                    iv.prewarm_ready(ev.at, container, cal, cfg);
+                }
                 _ => {}
             }
         }
@@ -927,5 +1167,165 @@ mod tests {
         iv.deliver(SimTime::ZERO, inv(0, 1, 1.0, 512), &mut cal, &c);
         assert_eq!(iv.cold_starts, 0);
         assert_eq!(iv.queue_len(), 1);
+    }
+
+    fn fid(app: u32) -> FunctionId {
+        FunctionId {
+            app: AppId(app),
+            func: 0,
+        }
+    }
+
+    #[test]
+    fn prewarm_spawns_parks_idle_and_serves_warm() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        assert!(iv.start_prewarm(
+            SimTime::ZERO,
+            fid(7),
+            256,
+            SimDuration::from_secs(120),
+            &mut cal,
+            &c
+        ));
+        assert_eq!(iv.prewarm_spawns, 1);
+        assert_eq!(iv.snapshot().memory_used_mb, 256);
+        // After the cold-start delay the container parks idle.
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(1));
+        assert_eq!(iv.container_count(), 1);
+        // The next invocation of that function warm-starts on it.
+        iv.deliver(SimTime::from_secs(1), inv(0, 7, 1.0, 256), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 0);
+        assert_eq!(iv.warm_starts, 1);
+        assert_eq!(iv.prewarm_hits, 1);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(10));
+        assert_eq!(finished.len(), 1);
+        assert!(!finished[0].cold);
+    }
+
+    #[test]
+    fn prewarm_skipped_when_function_already_warm() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        iv.deliver(SimTime::ZERO, inv(0, 7, 1.0, 256), &mut cal, &c);
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(10));
+        assert_eq!(iv.container_count(), 1);
+        // The idle container makes the order moot.
+        assert!(!iv.start_prewarm(
+            SimTime::from_secs(10),
+            fid(7),
+            256,
+            SimDuration::from_secs(120),
+            &mut cal,
+            &c
+        ));
+        assert_eq!(iv.prewarm_spawns, 0);
+    }
+
+    #[test]
+    fn prewarmed_idle_container_is_an_lru_victim() {
+        // Memory for exactly two 256 MiB containers.
+        let (mut iv, mut cal) = fresh(8, 512);
+        let c = cfg();
+        assert!(iv.start_prewarm(
+            SimTime::ZERO,
+            fid(9),
+            256,
+            SimDuration::from_secs(600),
+            &mut cal,
+            &c
+        ));
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(1));
+        // Two real invocations need both slots: the never-used prewarm
+        // is reaped first and counted wasted; memory accounting stays
+        // conserved.
+        iv.deliver(SimTime::from_secs(1), inv(0, 1, 5.0, 256), &mut cal, &c);
+        iv.deliver(SimTime::from_secs(1), inv(1, 2, 5.0, 256), &mut cal, &c);
+        assert_eq!(iv.container_count(), 2);
+        assert_eq!(iv.snapshot().memory_used_mb, 512);
+        assert_eq!(iv.wasted_prewarms, 1);
+        assert_eq!(iv.prewarm_hits, 0);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(30));
+        assert_eq!(finished.len(), 2);
+    }
+
+    #[test]
+    fn prewarm_ttl_expiry_reaps_and_counts_waste() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        assert!(iv.start_prewarm(
+            SimTime::ZERO,
+            fid(3),
+            256,
+            SimDuration::from_secs(30),
+            &mut cal,
+            &c
+        ));
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(300));
+        assert_eq!(iv.container_count(), 0);
+        assert_eq!(iv.snapshot().memory_used_mb, 0);
+        assert_eq!(iv.wasted_prewarms, 1);
+        // ~30 s idle at 256 MiB (cold start ate the first 500 ms).
+        assert!(iv.idle_mib_secs > 0.0);
+    }
+
+    #[test]
+    fn eviction_with_inflight_prewarm_strands_nothing() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        assert!(iv.start_prewarm(
+            SimTime::ZERO,
+            fid(3),
+            256,
+            SimDuration::from_secs(120),
+            &mut cal,
+            &c
+        ));
+        // Evict before PrewarmReady fires.
+        let work = iv.evict(SimTime::from_micros(100_000), &mut cal);
+        assert!(work.started.is_empty() && work.queued.is_empty());
+        assert_eq!(iv.snapshot().memory_used_mb, 0);
+        assert_eq!(iv.wasted_prewarms, 1);
+        // The stale PrewarmReady is dropped and accounted, not processed.
+        let _ = drive(&mut iv, &mut cal, &c, SimTime::from_secs(100));
+        assert_eq!(iv.dropped_completions, 1);
+        assert_eq!(iv.container_count(), 0);
+    }
+
+    #[test]
+    fn null_policy_reaps_on_idle_but_reuses_same_tick() {
+        let (mut iv, mut cal) = fresh(4, 4_096);
+        let c = cfg();
+        iv.set_policy(hrv_policy::ColdStartConfig::Null.build());
+        iv.deliver(SimTime::ZERO, inv(0, 1, 1.0, 256), &mut cal, &c);
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(10));
+        assert_eq!(finished.len(), 1);
+        // No keep-alive: the container is gone the moment it idles.
+        assert_eq!(iv.container_count(), 0);
+        assert_eq!(iv.snapshot().memory_used_mb, 0);
+        // And the next call cold-starts again.
+        iv.deliver(SimTime::from_secs(10), inv(1, 1, 1.0, 256), &mut cal, &c);
+        assert_eq!(iv.cold_starts, 2);
+    }
+
+    #[test]
+    fn warm_pool_bounds_idle_containers_per_function() {
+        let (mut iv, mut cal) = fresh(8, 64 * 1024);
+        let c = PlatformConfig {
+            admission_pressure: 10.0,
+            ..cfg()
+        };
+        iv.set_policy(
+            hrv_policy::ColdStartConfig::WarmPool(hrv_policy::WarmPoolConfig::default()).build(),
+        );
+        // Three concurrent calls of one function: three containers, but
+        // only one may stay pooled once they all finish.
+        for i in 0..3 {
+            iv.deliver(SimTime::ZERO, inv(i, 5, 1.0, 256), &mut cal, &c);
+        }
+        let finished = drive(&mut iv, &mut cal, &c, SimTime::from_secs(30));
+        assert_eq!(finished.len(), 3);
+        assert_eq!(iv.container_count(), 1);
+        assert_eq!(iv.snapshot().memory_used_mb, 256);
     }
 }

@@ -182,6 +182,15 @@ pub struct StreamingMetrics {
     pub utilization: OnlineStats,
     /// Bounded utilization time series (Figure 20 shape at any scale).
     pub util_series: DecimatedSeries,
+    /// Containers spawned by a cold-start policy's prewarm orders.
+    pub prewarm_spawns: u64,
+    /// Warm starts served by a prewarmed container's first use.
+    pub prewarm_hits: u64,
+    /// Prewarmed containers destroyed without ever serving.
+    pub wasted_prewarms: u64,
+    /// Warm memory-time containers spent idle, MiB·s — the "wasted warm
+    /// memory" axis of the cold-start policy grid.
+    pub idle_mib_secs: f64,
 }
 
 /// Default latency/exec histogram span: 100 µs to 10⁴ s in 160 log bins
@@ -213,6 +222,10 @@ impl Default for StreamingMetrics {
             last_finished: None,
             utilization: OnlineStats::new(),
             util_series: DecimatedSeries::new(UTIL_SERIES_CAP),
+            prewarm_spawns: 0,
+            prewarm_hits: 0,
+            wasted_prewarms: 0,
+            idle_mib_secs: 0.0,
         }
     }
 }
@@ -314,6 +327,10 @@ impl StreamingMetrics {
         if self.util_series.points().is_empty() && !other.util_series.points().is_empty() {
             self.util_series = other.util_series.clone();
         }
+        self.prewarm_spawns += other.prewarm_spawns;
+        self.prewarm_hits += other.prewarm_hits;
+        self.wasted_prewarms += other.wasted_prewarms;
+        self.idle_mib_secs += other.idle_mib_secs;
     }
 
     /// Completions per second over the observed span.
@@ -441,6 +458,22 @@ impl MetricsCollector {
     /// Accumulates time an invoker spent quarantined.
     pub fn note_quarantine_span(&mut self, span: SimDuration) {
         self.streaming.quarantine_secs += span.as_secs_f64();
+    }
+
+    /// Installs the fleet-wide cold-start policy totals (summed at the
+    /// invokers, like `dropped_completions`) — assignment, not addition,
+    /// so per-shard merges cannot double-count.
+    pub fn set_coldstart_totals(
+        &mut self,
+        prewarm_spawns: u64,
+        prewarm_hits: u64,
+        wasted_prewarms: u64,
+        idle_mib_secs: f64,
+    ) {
+        self.streaming.prewarm_spawns = prewarm_spawns;
+        self.streaming.prewarm_hits = prewarm_hits;
+        self.streaming.wasted_prewarms = wasted_prewarms;
+        self.streaming.idle_mib_secs = idle_mib_secs;
     }
 
     /// Invocation conservation: every arrival the controller accepted must

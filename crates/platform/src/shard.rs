@@ -351,15 +351,25 @@ fn merge_outputs(results: Vec<(PlatformWorld, RunStats)>) -> SimOutput {
     let mut cold_starts = w0.total_cold_starts();
     let mut warm_starts = w0.total_warm_starts();
     let mut dropped = w0.total_dropped_completions();
+    let mut prewarm_spawns = w0.total_prewarm_spawns();
+    let mut prewarm_hits = w0.total_prewarm_hits();
+    let mut wasted_prewarms = w0.total_wasted_prewarms();
+    let mut idle_mib_secs = w0.total_idle_mib_secs();
     for w in worlds {
         cold_starts += w.total_cold_starts();
         warm_starts += w.total_warm_starts();
         dropped += w.total_dropped_completions();
+        prewarm_spawns += w.total_prewarm_spawns();
+        prewarm_hits += w.total_prewarm_hits();
+        wasted_prewarms += w.total_wasted_prewarms();
+        idle_mib_secs += w.total_idle_mib_secs();
         let mut peer = w;
         let peer_metrics = std::mem::take(&mut peer.metrics);
         w0.metrics.merge(peer_metrics);
     }
     w0.metrics.dropped_completions = dropped;
+    w0.metrics
+        .set_coldstart_totals(prewarm_spawns, prewarm_hits, wasted_prewarms, idle_mib_secs);
     w0.metrics.canonicalize_records();
     SimOutput {
         cold_starts,

@@ -235,7 +235,9 @@ impl PlatformWorld {
         let mut slots = Vec::with_capacity(spec.vms.len());
         for (i, vm) in spec.vms.iter().enumerate() {
             let index = i as InvokerIndex;
-            invokers.push(InvokerState::new(index, vm.memory_mb));
+            let mut invoker = InvokerState::new(index, vm.memory_mb);
+            invoker.set_policy(cfg.coldstart.build());
+            invokers.push(invoker);
             slots.push(SlotSource::Trace(vm.clone()));
             if !plan.owns_invoker(index) {
                 continue;
@@ -371,6 +373,26 @@ impl PlatformWorld {
     /// died mid-report (summed for [`MetricsCollector`]).
     pub fn total_dropped_completions(&self) -> u64 {
         self.invokers.iter().map(|i| i.dropped_completions).sum()
+    }
+
+    /// Fleet-wide prewarm containers spawned by the cold-start policy.
+    pub fn total_prewarm_spawns(&self) -> u64 {
+        self.invokers.iter().map(|i| i.prewarm_spawns).sum()
+    }
+
+    /// Fleet-wide warm starts served by a prewarmed container's first use.
+    pub fn total_prewarm_hits(&self) -> u64 {
+        self.invokers.iter().map(|i| i.prewarm_hits).sum()
+    }
+
+    /// Fleet-wide prewarmed containers reaped without ever serving.
+    pub fn total_wasted_prewarms(&self) -> u64 {
+        self.invokers.iter().map(|i| i.wasted_prewarms).sum()
+    }
+
+    /// Fleet-wide warm memory-time spent idle, MiB·s.
+    pub fn total_idle_mib_secs(&self) -> f64 {
+        self.invokers.iter().map(|i| i.idle_mib_secs).sum()
     }
 
     /// The platform configuration.
@@ -803,10 +825,14 @@ impl PlatformWorld {
     ) {
         while self.invokers.len() <= idx as usize {
             let i = self.invokers.len() as InvokerIndex;
-            self.invokers.push(InvokerState::new(i, template.memory_mb));
+            let mut filler = InvokerState::new(i, template.memory_mb);
+            filler.set_policy(self.cfg.coldstart.build());
+            self.invokers.push(filler);
             self.slots.push(SlotSource::Monitor(template));
         }
-        self.invokers[idx as usize] = InvokerState::new(idx, template.memory_mb);
+        let mut invoker = InvokerState::new(idx, template.memory_mb);
+        invoker.set_policy(self.cfg.coldstart.build());
+        self.invokers[idx as usize] = invoker;
         self.slots[idx as usize] = SlotSource::Monitor(template);
         self.on_deploy(now, idx, cal);
     }
@@ -1013,10 +1039,39 @@ impl World for PlatformWorld {
             }
             Event::Completion { invoker } => {
                 let finished = self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
+                // Prewarm orders travel as self-addressed envelopes so
+                // sharded runs deliver them in canonical order at the
+                // exact delay the policy asked for.
+                for pw in self.invokers[invoker as usize].take_prewarm_requests() {
+                    self.send(
+                        now,
+                        invoker_entity(invoker),
+                        invoker_entity(invoker),
+                        pw.spawn_delay,
+                        Event::Prewarm {
+                            invoker,
+                            function: pw.function,
+                            memory_mb: pw.memory_mb,
+                            ttl: pw.ttl,
+                        },
+                    );
+                }
                 self.finish_records(now, invoker, finished);
             }
             Event::KeepAliveExpired { invoker, container } => {
-                self.invokers[invoker as usize].keepalive_expired(container, cal);
+                self.invokers[invoker as usize].keepalive_expired(now, container, cal);
+            }
+            Event::Prewarm {
+                invoker,
+                function,
+                memory_mb,
+                ttl,
+            } => {
+                self.invokers[invoker as usize]
+                    .start_prewarm(now, function, memory_mb, ttl, cal, &self.cfg);
+            }
+            Event::PrewarmReady { invoker, container } => {
+                self.invokers[invoker as usize].prewarm_ready(now, container, cal, &self.cfg);
             }
             Event::Ping { invoker } => {
                 if self.invokers[invoker as usize].alive {
@@ -1202,6 +1257,15 @@ impl Simulation {
         let run = crate::shard::run_rounds(&mut self.world, &mut self.calendar, end, max_events);
         self.world.censor_remaining(self.calendar.now());
         self.world.metrics.dropped_completions = self.world.total_dropped_completions();
+        let (spawns, hits, wasted, idle) = (
+            self.world.total_prewarm_spawns(),
+            self.world.total_prewarm_hits(),
+            self.world.total_wasted_prewarms(),
+            self.world.total_idle_mib_secs(),
+        );
+        self.world
+            .metrics
+            .set_coldstart_totals(spawns, hits, wasted, idle);
         self.world.metrics.canonicalize_records();
         SimOutput {
             cold_starts: self.world.total_cold_starts(),

@@ -1,0 +1,134 @@
+//! A bounded warm-container pool, in the spirit of pull-based
+//! warm-container schedulers (Hiku): instead of predicting arrivals,
+//! keep a small pool of warm containers per function parked on the
+//! invoker, and let arriving work pull from it. The pool bound — not a
+//! TTL — is the primary control: surplus idle containers are reaped
+//! immediately, pooled ones linger on a long leash.
+
+use serde::{Deserialize, Serialize};
+
+use hrv_trace::faas::FunctionId;
+use hrv_trace::time::{SimDuration, SimTime};
+
+use crate::{ColdStartPolicy, IdleCtx, IdleDecision};
+
+/// Tuning of [`WarmPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmPoolConfig {
+    /// Warm containers kept per function per invoker; idle transitions
+    /// beyond this bound reap immediately.
+    pub per_function: u32,
+    /// Leash on pooled containers — a long stop-loss TTL (an order of
+    /// magnitude above typical keep-alives), not a tuning knob: the pool
+    /// bound is what controls memory.
+    pub ttl: SimDuration,
+}
+
+impl Default for WarmPoolConfig {
+    fn default() -> Self {
+        WarmPoolConfig {
+            per_function: 1,
+            ttl: SimDuration::from_hours(2),
+        }
+    }
+}
+
+impl WarmPoolConfig {
+    /// Validates the tuning; see [`crate::ColdStartConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(
+            self.per_function >= 1,
+            "warm pool needs at least one container per function"
+        );
+        assert!(!self.ttl.is_zero(), "warm pool leash must be positive");
+    }
+}
+
+/// The pool policy: keep up to `per_function` idle containers per
+/// function on this invoker, reap the rest on sight. Stateless beyond
+/// its config — the pool occupancy is read from the invoker via
+/// [`IdleCtx::idle_peers`], so the decision always reflects the true
+/// container table (LRU reaping included).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmPool {
+    cfg: WarmPoolConfig,
+}
+
+impl WarmPool {
+    /// Creates the policy with the given tuning.
+    pub fn new(cfg: WarmPoolConfig) -> Self {
+        WarmPool { cfg }
+    }
+}
+
+impl ColdStartPolicy for WarmPool {
+    fn observe_arrival(&mut self, _function: FunctionId, _now: SimTime) {}
+
+    fn on_idle(&mut self, _function: FunctionId, ctx: &IdleCtx) -> IdleDecision {
+        if ctx.idle_peers < self.cfg.per_function as usize {
+            IdleDecision::keep(self.cfg.ttl)
+        } else {
+            IdleDecision::reap()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "warmpool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+
+    fn f(app: u32) -> FunctionId {
+        FunctionId {
+            app: AppId(app),
+            func: 0,
+        }
+    }
+
+    fn ctx(idle_peers: usize) -> IdleCtx {
+        IdleCtx {
+            now: SimTime::from_secs(100),
+            fixed_keep_alive: SimDuration::from_mins(10),
+            cold_start_delay: SimDuration::from_millis(2_500),
+            bus_latency: SimDuration::from_millis(2),
+            idle_peers,
+        }
+    }
+
+    #[test]
+    fn pools_up_to_the_bound_then_reaps() {
+        let mut p = WarmPool::new(WarmPoolConfig::default());
+        let kept = p.on_idle(f(1), &ctx(0));
+        assert_eq!(kept.keep_alive, Some(SimDuration::from_hours(2)));
+        let surplus = p.on_idle(f(1), &ctx(1));
+        assert_eq!(surplus, IdleDecision::reap());
+    }
+
+    #[test]
+    fn wider_pool_keeps_more() {
+        let mut p = WarmPool::new(WarmPoolConfig {
+            per_function: 3,
+            ..WarmPoolConfig::default()
+        });
+        assert!(p.on_idle(f(1), &ctx(2)).keep_alive.is_some());
+        assert_eq!(p.on_idle(f(1), &ctx(3)), IdleDecision::reap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one container")]
+    fn empty_pool_is_rejected() {
+        WarmPoolConfig {
+            per_function: 0,
+            ..WarmPoolConfig::default()
+        }
+        .validate();
+    }
+}

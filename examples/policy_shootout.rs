@@ -1,0 +1,46 @@
+//! Cold-start policy shootout: fixed keep-alive vs hybrid histogram vs
+//! null vs warm pool on the replay workload (Poisson traffic plus
+//! cron-like timer functions), Harvest cluster under MWS.
+//!
+//! ```sh
+//! cargo run --release -p hrv-bench --example policy_shootout
+//! ```
+
+use harvest_faas::hrv_lb::policy::PolicyKind;
+use harvest_faas::hrv_policy::ColdStartConfig;
+use harvest_faas::report::Table;
+use hrv_bench::coldstart::run_cell;
+use hrv_bench::scale::Scale;
+
+fn main() {
+    let mut t = Table::new(
+        "cold-start policies on the Harvest cluster under MWS",
+        &[
+            "policy",
+            "cold_rate",
+            "p99_s",
+            "prewarms",
+            "hits",
+            "wasted",
+            "idle_GiB_h",
+        ],
+    );
+    for coldstart in ColdStartConfig::all() {
+        let p = run_cell(coldstart, PolicyKind::Mws, "Harvest", "MWS", Scale::Quick);
+        t.row(vec![
+            p.policy.to_string(),
+            format!("{:.2}%", p.cold_rate * 100.0),
+            p.p99.map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            p.prewarm_spawns.to_string(),
+            p.prewarm_hits.to_string(),
+            p.wasted_prewarms.to_string(),
+            format!("{:.1}", p.idle_mib_secs / 1024.0 / 3600.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "fixed = 10-minute TTL baseline; hybrid = per-function IAT histogram \
+         (unload + prewarm for predictable functions); null = reap on idle; \
+         warmpool = one idle container per function."
+    );
+}

@@ -9,6 +9,7 @@ use harvest_faas::hrv_lb::view::LoadWeights;
 use harvest_faas::hrv_platform::config::PlatformConfig;
 use harvest_faas::hrv_platform::world::{ClusterSpec, SimOutput, Simulation};
 use harvest_faas::hrv_platform::ShardedSimulation;
+use harvest_faas::hrv_policy::ColdStartConfig;
 use harvest_faas::hrv_trace::faas::{Invocation, Workload, WorkloadSpec};
 use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace};
 use harvest_faas::hrv_trace::rng::SeedFactory;
@@ -258,6 +259,82 @@ fn sharded_chaos_replay_is_identical() {
     for shards in [2u32, 4] {
         let sharded = run(shards);
         assert_shard_invariant(&baseline, &sharded, &format!("chaos S={shards}"));
+    }
+}
+
+/// FNV-1a over the observable output of a run — the compact form of the
+/// byte-identity contract.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint(o: &SimOutput) -> u64 {
+    fnv(&format!(
+        "{:?}|{}|{}|{}|{}",
+        o.collector.records, o.collector.arrivals, o.cold_starts, o.warm_starts, o.run.events
+    ))
+}
+
+/// Golden fingerprints computed on pre-policy main (commit 6622395,
+/// before the cold-start policy subsystem existed). The default
+/// `FixedKeepAlive` policy must reproduce them bit for bit: adding the
+/// policy layer may not move a single record or event for the default
+/// configuration.
+const PREPOLICY_FULL_RUN_99: u64 = 0x874159fedfa35290;
+const PREPOLICY_SHARDED_17: u64 = 0x03b7fc36c5ece8f4;
+
+#[test]
+fn default_policy_is_byte_identical_to_prepolicy_main() {
+    assert_eq!(
+        fingerprint(&full_run(99)),
+        PREPOLICY_FULL_RUN_99,
+        "default FixedKeepAlive diverged from the pre-policy baseline"
+    );
+    for shards in [1u32, 2, 4, 8] {
+        assert_eq!(
+            fingerprint(&sharded_run(17, shards)),
+            PREPOLICY_SHARDED_17,
+            "default FixedKeepAlive diverged from pre-policy baseline at S={shards}"
+        );
+    }
+}
+
+fn sharded_run_with_policy(seed: u64, shards: u32, coldstart: ColdStartConfig) -> SimOutput {
+    let (spec, trace, horizon) = sharded_inputs(seed);
+    let platform = PlatformConfig {
+        coldstart,
+        ..PlatformConfig::default()
+    };
+    ShardedSimulation::new(spec, trace, PolicyKind::Mws, platform, seed, shards).run(horizon)
+}
+
+#[test]
+fn every_coldstart_policy_is_shard_invariant() {
+    // The determinism contract holds for every policy, not just the
+    // default: prewarm orders travel as self-addressed envelopes bound
+    // by the bus-latency lookahead, so the partition cannot reorder
+    // them.
+    for coldstart in ColdStartConfig::all() {
+        let baseline = sharded_run_with_policy(17, 1, coldstart);
+        assert!(
+            baseline.collector.records.len() > 500,
+            "only {} records under {:?} — the check degenerated",
+            baseline.collector.records.len(),
+            coldstart
+        );
+        for shards in [2u32, 4, 8] {
+            let sharded = sharded_run_with_policy(17, shards, coldstart);
+            assert_shard_invariant(
+                &baseline,
+                &sharded,
+                &format!("{coldstart:?} S=1 vs S={shards}"),
+            );
+        }
     }
 }
 
