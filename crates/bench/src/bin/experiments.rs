@@ -13,6 +13,11 @@
 //! that one cold-start policy (across all load balancers and VM types)
 //! and exits — the fast path into the `coldstart` experiment.
 //!
+//! `experiments trace --out run.json` runs one telemetry-enabled
+//! simulation and writes its flight recorder plus per-invocation phase
+//! slices as Chrome/Perfetto trace-event JSON (open in `chrome://tracing`
+//! or ui.perfetto.dev). The JSON is byte-identical for any `--shards`.
+//!
 //! Names: fig1..fig10, table1, strategy1, strategy3, fig12 (also renders
 //! figs 13–14), fig15 (fig 16 left), fig17 (table 3, fig 16 right),
 //! fig18, fig19 (figs 20–21, table 5).
@@ -25,9 +30,18 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
     let mut coldstart: Option<harvest_faas::hrv_policy::ColdStartConfig> = None;
+    let mut shards = 1u32;
+    let mut out_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--out" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--out requires a file path");
+                    std::process::exit(2);
+                };
+                out_path = Some(v);
+            }
             "--coldstart" => {
                 let Some(v) = it.next() else {
                     eprintln!("--coldstart requires a policy: fixed|hybrid|null|warmpool");
@@ -50,23 +64,44 @@ fn main() {
                 });
             }
             "--shards" => {
-                let shards = it.next().and_then(|v| v.parse::<u32>().ok());
-                let Some(shards) = shards.filter(|&s| s >= 1) else {
+                let shards_arg = it.next().and_then(|v| v.parse::<u32>().ok());
+                let Some(n) = shards_arg.filter(|&s| s >= 1) else {
                     eprintln!("--shards requires a positive integer");
                     std::process::exit(2);
                 };
-                harvest_faas::experiment::set_default_shards(shards);
+                shards = n;
+                harvest_faas::experiment::set_default_shards(n);
             }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale quick|full] [--shards N] \
-                     [--coldstart fixed|hybrid|null|warmpool] [all | <name>...]"
+                     [--coldstart fixed|hybrid|null|warmpool] \
+                     [trace --out FILE] [all | <name>...]"
                 );
                 eprintln!("experiments: {}", EXPERIMENTS.join(" "));
                 return;
             }
             other => names.push(other.to_string()),
         }
+    }
+    if names.iter().any(|n| n == "trace") {
+        let started = std::time::Instant::now();
+        let json = hrv_bench::trace::trace_json(scale, shards);
+        match &out_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[trace] {} bytes -> {path} in {:.1}s (open in ui.perfetto.dev)",
+                    json.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            None => println!("{json}"),
+        }
+        return;
     }
     if let Some(cfg) = coldstart {
         let started = std::time::Instant::now();

@@ -1,7 +1,7 @@
 //! Perf-smoke harness: quick wall-clock numbers for the simulator's hot
 //! paths, written to `BENCH_perfsmoke.json` at the repo root.
 //!
-//! Eight probes:
+//! Nine probes:
 //!
 //! 1. **calendar** — schedule/cancel/pop churn through the event
 //!    calendar, the data structure every simulated event crosses;
@@ -21,13 +21,16 @@
 //!    population;
 //! 6. **replay** — a short end-to-end MWS replay on the Harvest cluster,
 //!    the closest thing to "how fast do real experiments run";
-//! 7. **sharded_replay** — the same platform model driven by the
+//! 7. **telemetry_overhead** — the same replay with the flight recorder
+//!    and latency attribution enabled, reported as the on/off event-rate
+//!    ratio (CI gates the enabled run at ≥ 0.7× the disabled rate);
+//! 8. **sharded_replay** — the same platform model driven by the
 //!    deterministic multi-core `ShardedSimulation` at 1, 2 and 4 shards
 //!    on a wide fleet with relaxed messaging latencies (50 ms bus, 5 s
 //!    pings), reporting per-shard-count event rates and the multi-core
 //!    speedup (only meaningful on a multi-core machine; the JSON records
 //!    the core count so gates can condition on it);
-//! 8. **scale** — the full-volume `F_large` streaming drain (default
+//! 9. **scale** — the full-volume `F_large` streaming drain (default
 //!    10⁸ invocations; override with `PERFSMOKE_SCALE_INVOCATIONS` for
 //!    CI-sized runs) plus a constant-memory full-platform replay, both
 //!    under an RSS-growth assertion.
@@ -39,7 +42,7 @@ use std::time::Instant;
 use harvest_faas::hrv_lb::policy::PolicyKind;
 use harvest_faas::hrv_platform::config::PlatformConfig;
 use harvest_faas::hrv_platform::world::{ClusterSpec, Simulation};
-use harvest_faas::hrv_platform::ShardedSimulation;
+use harvest_faas::hrv_platform::{ShardedSimulation, TelemetryConfig};
 use harvest_faas::hrv_trace::faas::{Workload, WorkloadSpec};
 use harvest_faas::hrv_trace::rng::SeedFactory;
 use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
@@ -311,8 +314,10 @@ fn bench_ps() -> Vec<PsRow> {
 }
 
 /// Short end-to-end replay: 10 minutes of the Section 7.6 Harvest
-/// cluster under MWS.
-fn bench_replay() -> (f64, u64, u64) {
+/// cluster under MWS, with lifecycle telemetry off or on (the same
+/// simulation either way — `Off` is the byte-identity contract, so only
+/// wall time may differ).
+fn bench_replay(telemetry: TelemetryConfig) -> (f64, u64, u64) {
     let h = SimDuration::from_mins(10);
     let seeds = SeedFactory::new(76);
     let trace = replay::replay_trace(h, &seeds);
@@ -320,7 +325,10 @@ fn bench_replay() -> (f64, u64, u64) {
         replay::cluster("Harvest", h, &seeds),
         trace,
         PolicyKind::Mws.build(),
-        PlatformConfig::default(),
+        PlatformConfig {
+            telemetry,
+            ..PlatformConfig::default()
+        },
         seeds.seed_for("perfsmoke"),
     );
     let start = Instant::now();
@@ -499,7 +507,18 @@ fn main() {
     let (_, policy_rate, ()) = best_of(3, || (0.0, bench_coldstart_policy(policy_decisions), ()));
 
     eprintln!("perfsmoke: 10-minute MWS replay...");
-    let (replay_secs, replay_events, replay_completed) = bench_replay();
+    let (replay_secs, replay_events, replay_completed) = bench_replay(TelemetryConfig::Off);
+
+    eprintln!("perfsmoke: telemetry overhead (replay off vs on, best of 3)...");
+    let (_, tel_off_rate, ()) = best_of(3, || {
+        let (s, ev, _) = bench_replay(TelemetryConfig::Off);
+        (s, ev as f64 / s, ())
+    });
+    let (_, tel_on_rate, ()) = best_of(3, || {
+        let (s, ev, _) = bench_replay(TelemetryConfig::on());
+        (s, ev as f64 / s, ())
+    });
+    let telemetry_ratio = tel_on_rate / tel_off_rate;
 
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -592,7 +611,10 @@ fn main() {
          \"decisions_per_sec\": {policy_rate:.0} }},\n  \
          \"replay\": {{ \"horizon_secs\": 600, \"wall_secs\": {replay_secs:.3}, \
          \"sim_events\": {replay_events}, \"events_per_sec\": {:.0}, \
-         \"completed_invocations\": {replay_completed} }},\n{sharded_json},\n{scale_json}\n}}\n",
+         \"completed_invocations\": {replay_completed} }},\n  \
+         \"telemetry_overhead\": {{ \"off_events_per_sec\": {tel_off_rate:.0}, \
+         \"on_events_per_sec\": {tel_on_rate:.0}, \
+         \"on_over_off\": {telemetry_ratio:.3} }},\n{sharded_json},\n{scale_json}\n}}\n",
         mws_cache.hits,
         mws_cache.misses,
         mws_cache.hit_rate(),
@@ -623,6 +645,10 @@ fn main() {
         );
     }
     eprintln!("sharded replay speedup on {cores} cores: {sharded_speedup:.2}x");
+    eprintln!(
+        "telemetry overhead: off {tel_off_rate:.0} ev/s, on {tel_on_rate:.0} ev/s \
+         (on/off = {telemetry_ratio:.3})"
+    );
     eprintln!(
         "scale: {} invocations in {:.1}s ({:.1}M/s), RSS growth {} MiB",
         scale_gen.invocations,

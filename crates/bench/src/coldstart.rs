@@ -8,7 +8,9 @@
 use harvest_faas::experiment::run_parallel;
 use harvest_faas::hrv_lb::policy::PolicyKind;
 use harvest_faas::hrv_platform::config::PlatformConfig;
+use harvest_faas::hrv_platform::tel::{LatencyAttribution, PhaseComponents};
 use harvest_faas::hrv_platform::world::Simulation;
+use harvest_faas::hrv_platform::TelemetryConfig;
 use harvest_faas::hrv_policy::ColdStartConfig;
 use harvest_faas::hrv_trace::faas::{AppId, FunctionId, Invocation};
 use harvest_faas::hrv_trace::rng::SeedFactory;
@@ -131,7 +133,7 @@ pub fn run_cell(
         seeds.seed_for(cluster_kind),
     );
     let out = sim.run(h + SimDuration::from_mins(5));
-    out.collector.assert_conservation();
+    out.assert_conservation();
     let s = &out.collector.streaming;
     let starts = out.cold_starts + out.warm_starts;
     GridPoint {
@@ -222,6 +224,85 @@ pub fn all(scale: Scale) -> String {
     render(&run_grid(scale))
 }
 
+/// Latency attribution for the grid's MWS × Harvest cell: the same
+/// simulation as [`run_cell`] under the fixed keep-alive, rerun with
+/// lifecycle telemetry enabled and reduced to the additive phase
+/// decomposition of mean and tail latency (registered as the
+/// `attribution` experiment).
+pub fn attribution(scale: Scale) -> String {
+    let h = horizon(scale);
+    let seeds = SeedFactory::new(76);
+    let trace = grid_trace(h, &seeds);
+    let platform = PlatformConfig {
+        coldstart: ColdStartConfig::Fixed,
+        telemetry: TelemetryConfig::on(),
+        ..PlatformConfig::default()
+    };
+    let sim = Simulation::new(
+        replay::cluster("Harvest", h, &seeds),
+        trace,
+        PolicyKind::Mws.build(),
+        platform,
+        seeds.seed_for("Harvest"),
+    );
+    let out = sim.run(h + SimDuration::from_mins(5));
+    out.assert_conservation();
+    let m = out.collector.aggregate(SimTime::ZERO);
+    match m.phases {
+        Some(a) => render_attribution(&a),
+        None => "latency attribution: no completed invocations\n".into(),
+    }
+}
+
+/// Renders one cell's latency attribution: the mean phase vector plus
+/// the representative invocation at each tail percentile. Every row's
+/// phases sum exactly to its total (the tentpole invariant), so a fat
+/// tail reads as *which phase* made it fat.
+pub fn render_attribution(a: &LatencyAttribution) -> String {
+    let mut t = Table::new(
+        "Latency attribution — MWS × Harvest, fixed keep-alive (seconds)",
+        &[
+            "stat",
+            "sched",
+            "bus",
+            "queue",
+            "coldstart",
+            "exec",
+            "total",
+            "cold",
+        ],
+    );
+    let row = |t: &mut Table, stat: &str, c: PhaseComponents, cold: &str| {
+        t.row(vec![
+            stat.to_string(),
+            format!("{:.3}", c.sched_secs),
+            format!("{:.3}", c.bus_secs),
+            format!("{:.3}", c.queue_secs),
+            format!("{:.3}", c.coldstart_secs),
+            format!("{:.3}", c.exec_secs),
+            format!("{:.3}", c.total_secs()),
+            cold.to_string(),
+        ]);
+    };
+    row(&mut t, "mean", a.mean(), "-");
+    for p in [50.0, 90.0, 99.0] {
+        let r = a.percentile_row(p);
+        row(
+            &mut t,
+            &format!("P{p:.0}"),
+            r.components(),
+            if r.cold { "yes" } else { "no" },
+        );
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "{} invocations attributed; percentile rows are real invocations,\n\
+         so their phases tile their own end-to-end latency exactly.\n",
+        a.count(),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +319,33 @@ mod tests {
         assert!(p.arrivals > 1_000);
         assert!(p.completed > 0);
         assert_eq!(p.prewarm_spawns, 0, "fixed policy never prewarms");
+    }
+
+    #[test]
+    fn attribution_renders_exact_tilings() {
+        use harvest_faas::hrv_platform::tel::PhaseRecord;
+        use harvest_faas::hrv_trace::time::SimTime;
+        let rows: Vec<PhaseRecord> = (0..100)
+            .map(|i| {
+                let exec = 1_000_000 + i * 10_000;
+                PhaseRecord {
+                    id: i,
+                    arrival: SimTime::from_micros(i * 100),
+                    finished: SimTime::from_micros(i * 100 + 2_500 + exec),
+                    cold: i % 10 == 0,
+                    sched_us: 500,
+                    bus_us: 2_000,
+                    queue_us: 0,
+                    coldstart_us: 0,
+                    exec_us: exec,
+                }
+            })
+            .collect();
+        let a = LatencyAttribution::from_rows(rows).unwrap();
+        let report = render_attribution(&a);
+        assert!(report.contains("coldstart"));
+        assert!(report.contains("P99"));
+        assert!(report.contains("100 invocations attributed"));
     }
 
     #[test]

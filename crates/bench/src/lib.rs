@@ -17,6 +17,7 @@ pub mod replay;
 pub mod scale;
 pub mod spot;
 pub mod timing;
+pub mod trace;
 pub mod variability;
 
 use scale::Scale;
@@ -45,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "chaos",
     "coldstart",
+    "attribution",
 ];
 
 /// Runs one experiment by name, returning its report.
@@ -77,6 +79,7 @@ pub fn run(name: &str, scale: Scale) -> Option<String> {
         "ablation" => ablation::all(scale),
         "chaos" => chaos::chaos(scale),
         "coldstart" => coldstart::all(scale),
+        "attribution" => coldstart::attribution(scale),
         _ => return None,
     };
     Some(report)

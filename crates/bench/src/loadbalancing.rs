@@ -185,6 +185,7 @@ mod tests {
                     prewarm_hits: 0,
                     wasted_prewarms: 0,
                     idle_mib_secs: 0.0,
+                    p99_phases: None,
                 })
                 .collect(),
         }

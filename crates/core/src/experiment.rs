@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use hrv_fault::FaultSpec;
 use hrv_lb::policy::PolicyKind;
 use hrv_platform::config::PlatformConfig;
+use hrv_platform::tel::PhaseComponents;
 use hrv_platform::world::{ClusterSpec, Simulation};
 use hrv_platform::ShardedSimulation;
 use hrv_trace::faas::Invocation;
@@ -148,6 +149,9 @@ pub struct SweepPoint {
     pub wasted_prewarms: u64,
     /// Warm memory-time containers spent idle, MiB·s (whole run).
     pub idle_mib_secs: f64,
+    /// Additive phase split of the P99 representative invocation
+    /// (telemetry-enabled materialized runs; `None` otherwise).
+    pub p99_phases: Option<PhaseComponents>,
 }
 
 /// A policy's full latency-vs-load curve.
@@ -290,6 +294,7 @@ pub fn run_point(
         prewarm_hits: s.prewarm_hits,
         wasted_prewarms: s.wasted_prewarms,
         idle_mib_secs: s.idle_mib_secs,
+        p99_phases: m.phases.as_ref().map(|a| a.percentile(99.0)),
     }
 }
 
@@ -340,6 +345,8 @@ pub fn run_point_streaming(
         prewarm_hits: s.prewarm_hits,
         wasted_prewarms: s.wasted_prewarms,
         idle_mib_secs: s.idle_mib_secs,
+        // Streaming runs keep no per-invocation phase rows.
+        p99_phases: None,
     }
 }
 
@@ -527,7 +534,7 @@ pub fn chaos_point(
         )
         .run(horizon)
     };
-    out.collector.assert_conservation();
+    out.assert_conservation();
     let m = out.collector.aggregate(SimTime::ZERO + cfg.warmup);
     ChaosPoint {
         arrivals: m.arrivals,

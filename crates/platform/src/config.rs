@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use hrv_trace::time::SimDuration;
 
 pub use hrv_policy::{ColdStartConfig, HybridHistogramConfig, WarmPoolConfig};
+pub use hrv_telemetry::{FlightConfig, TelemetryConfig};
 
 /// Template for VMs the resource monitor spins up to backfill capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -178,6 +179,10 @@ pub struct PlatformConfig {
     /// memory) in addition to the always-on constant-memory aggregates.
     /// Turn off for full-scale streaming runs.
     pub record_invocations: bool,
+    /// Lifecycle-span telemetry (flight recorder + latency attribution).
+    /// `Off` (the default) is byte-identical to a build without the
+    /// telemetry subsystem — pinned by golden-fingerprint tests.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PlatformConfig {
@@ -198,6 +203,7 @@ impl Default for PlatformConfig {
             recovery: RecoveryConfig::default(),
             sample_interval: SimDuration::ZERO,
             record_invocations: true,
+            telemetry: TelemetryConfig::Off,
         }
     }
 }
@@ -240,6 +246,12 @@ impl PlatformConfig {
             "bad cold-start tax"
         );
         self.coldstart.validate(self.bus_latency);
+        if let TelemetryConfig::Flight(f) = &self.telemetry {
+            assert!(
+                f.ring_capacity >= 1,
+                "telemetry ring capacity must be at least 1 span per entity"
+            );
+        }
         if self.monitor.enabled {
             assert!(
                 self.monitor.template.deploy_delay >= self.bus_latency,
@@ -355,6 +367,28 @@ mod tests {
             coldstart: ColdStartConfig::Hybrid(HybridHistogramConfig {
                 bin_width: SimDuration::ZERO,
                 ..HybridHistogramConfig::default()
+            }),
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn enabled_telemetry_defaults_are_valid() {
+        let config = PlatformConfig {
+            telemetry: TelemetryConfig::on(),
+            ..PlatformConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity")]
+    fn zero_telemetry_ring_is_rejected() {
+        let config = PlatformConfig {
+            telemetry: TelemetryConfig::Flight(FlightConfig {
+                ring_capacity: 0,
+                ..FlightConfig::default()
             }),
             ..PlatformConfig::default()
         };

@@ -65,6 +65,11 @@ pub enum Event {
         invoker: InvokerIndex,
         /// The invocation being delivered.
         invocation: Invocation,
+        /// When the controller put this dispatch on the bus. Rides in the
+        /// event payload (payloads are not fingerprinted) so the
+        /// invoker-owning shard can attribute the bus hop without a
+        /// cross-shard lookup.
+        sent_at: SimTime,
     },
     /// A cold container finished starting and can begin execution.
     StartupDone {

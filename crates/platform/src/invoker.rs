@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, VecDeque};
 use hrv_policy::{ColdStartPolicy, FixedKeepAlive, IdleCtx};
 use hrv_sim::calendar::{EventCalendar, EventId};
 use hrv_sim::ps::{JobId, PsQueue};
+use hrv_telemetry::SpanKind;
 use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::time::{SimDuration, SimTime};
 
@@ -172,6 +173,13 @@ pub struct InvokerState {
     /// memory" axis of the policy grid. Idle spans still open at run end
     /// are censored.
     pub idle_mib_secs: f64,
+    /// Whether lifecycle spans are being collected.
+    tel_enabled: bool,
+    /// Buffered `(at, invocation, kind)` span events; the world drains
+    /// them into the flight recorder under this invoker's entity id
+    /// after each event it forwards here. Always empty when telemetry
+    /// is off.
+    pub(crate) tel: Vec<(SimTime, u64, SpanKind)>,
 }
 
 impl InvokerState {
@@ -205,7 +213,15 @@ impl InvokerState {
             prewarm_hits: 0,
             wasted_prewarms: 0,
             idle_mib_secs: 0.0,
+            tel_enabled: false,
+            tel: Vec::new(),
         }
+    }
+
+    /// Turns span collection on or off (default: off). Set at
+    /// construction time, alongside [`InvokerState::set_policy`].
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.tel_enabled = enabled;
     }
 
     /// Installs the container lifecycle policy (default:
@@ -389,6 +405,10 @@ impl InvokerState {
         }
         self.idle_mib_secs += now.saturating_since(c.last_used).as_secs_f64() * c.memory_mb as f64;
         self.warm_starts += 1;
+        if self.tel_enabled {
+            self.tel
+                .push((now, invocation.id, SpanKind::ExecBegin { cold: false }));
+        }
         self.ps.add(
             JobId(cid),
             invocation.duration.as_secs_f64() * invocation.cpu_demand,
@@ -427,6 +447,10 @@ impl InvokerState {
         );
         self.memory_used += invocation.memory_mb;
         self.cold_starts += 1;
+        if self.tel_enabled {
+            self.tel
+                .push((now, invocation.id, SpanKind::ColdStartBegin));
+        }
         self.starting.insert(cid, invocation);
         self.starting_cap += invocation.cpu_demand;
         cal.schedule(
@@ -464,6 +488,10 @@ impl InvokerState {
             .expect("starting container exists");
         c.state = ContainerState::Busy;
         self.ps.advance(now);
+        if self.tel_enabled {
+            self.tel
+                .push((now, invocation.id, SpanKind::ExecBegin { cold: true }));
+        }
         self.ps.add(
             JobId(cid),
             invocation.duration.as_secs_f64() * invocation.cpu_demand + cfg.cold_start_cpu_secs,

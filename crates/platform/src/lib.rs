@@ -15,9 +15,16 @@ pub mod invoker;
 pub mod mailbox;
 pub mod metrics;
 pub mod shard;
+pub mod telemetry;
 pub mod world;
 
+/// Re-export of the telemetry crate so downstream crates (core, bench)
+/// reach the flight recorder, span taxonomy, and exporters without a
+/// direct dependency edge.
+pub use hrv_telemetry as tel;
+
 pub use config::{PlatformConfig, ResourceMonitorConfig, VmTemplate};
+pub use hrv_telemetry::{FlightConfig, TelemetryConfig};
 pub use metrics::{MetricsCollector, Outcome, RunMetrics};
 pub use shard::ShardedSimulation;
 pub use world::{ClusterSpec, PlatformWorld, SimOutput, Simulation};

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use hrv_telemetry::{CounterId, CounterRegistry, LatencyAttribution, PhaseRecord, PhaseTotals};
 use hrv_trace::stats::{percentile_unsorted, Cdf, LogHistogram, OnlineStats};
 use hrv_trace::time::{SimDuration, SimTime};
 
@@ -379,6 +380,21 @@ pub struct MetricsCollector {
     /// Stale invoker-side events (startup/completion races with eviction
     /// teardown) that were dropped rather than processed.
     pub dropped_completions: u64,
+    /// Named-counter registry mirroring the reliability and prewarm
+    /// counters above (the `note_*` accessors and
+    /// [`MetricsCollector::set_coldstart_totals`] dual-write both views,
+    /// so legacy field readers and registry readers always agree).
+    pub counters: CounterRegistry,
+    /// Per-invocation latency phase rows (telemetry-enabled runs with the
+    /// record sink on; empty otherwise).
+    pub phases: Vec<PhaseRecord>,
+    /// Constant-memory phase sums, maintained whenever telemetry is on —
+    /// the streaming tier's view of the attribution.
+    pub phase_totals: PhaseTotals,
+    /// Whether [`MetricsCollector::set_coldstart_totals`] ran on this
+    /// collector — the assign-once guard that keeps shard merges from
+    /// double-counting the invoker-summed totals.
+    coldstart_installed: bool,
     record_sink: bool,
 }
 
@@ -399,6 +415,10 @@ impl Default for MetricsCollector {
             migrations: 0,
             quarantines: 0,
             dropped_completions: 0,
+            counters: CounterRegistry::new(),
+            phases: Vec::new(),
+            phase_totals: PhaseTotals::default(),
+            coldstart_installed: false,
             record_sink: true,
         }
     }
@@ -440,29 +460,48 @@ impl MetricsCollector {
     }
 
     /// Counts one re-dispatch attempt (a `Redispatch` event firing).
+    /// Thin wrapper over the counter registry; the legacy streaming field
+    /// is dual-written so existing readers see identical values.
     pub fn note_retry(&mut self) {
         self.streaming.retries += 1;
+        self.counters.incr(CounterId::Retries);
     }
 
     /// Counts one destroyed in-flight invocation salvaged into the retry
     /// path instead of being recorded as a failure.
     pub fn note_redispatch(&mut self) {
         self.streaming.redispatches += 1;
+        self.counters.incr(CounterId::Redispatches);
     }
 
     /// Counts one invoker entering quarantine.
     pub fn note_quarantine(&mut self) {
         self.quarantines += 1;
+        self.counters.incr(CounterId::Quarantines);
     }
 
     /// Accumulates time an invoker spent quarantined.
     pub fn note_quarantine_span(&mut self, span: SimDuration) {
         self.streaming.quarantine_secs += span.as_secs_f64();
+        self.counters
+            .add(CounterId::QuarantineMicros, span.as_micros());
+    }
+
+    /// Folds one invocation's phase split into the collector: the
+    /// streaming sums always, the per-invocation row only when the record
+    /// sink is on (mirroring [`MetricsCollector::push`]).
+    pub fn push_phase(&mut self, phase: PhaseRecord) {
+        self.phase_totals.add(&phase);
+        if self.record_sink {
+            self.phases.push(phase);
+        }
     }
 
     /// Installs the fleet-wide cold-start policy totals (summed at the
     /// invokers, like `dropped_completions`) — assignment, not addition,
-    /// so per-shard merges cannot double-count.
+    /// so per-shard merges cannot double-count. Must run exactly once per
+    /// merged collector, *after* all shard merges; debug builds assert
+    /// both directions (here and in [`MetricsCollector::merge`]).
     pub fn set_coldstart_totals(
         &mut self,
         prewarm_spawns: u64,
@@ -470,10 +509,20 @@ impl MetricsCollector {
         wasted_prewarms: u64,
         idle_mib_secs: f64,
     ) {
+        debug_assert!(
+            !self.coldstart_installed,
+            "cold-start totals assigned twice on one collector"
+        );
+        self.coldstart_installed = true;
         self.streaming.prewarm_spawns = prewarm_spawns;
         self.streaming.prewarm_hits = prewarm_hits;
         self.streaming.wasted_prewarms = wasted_prewarms;
         self.streaming.idle_mib_secs = idle_mib_secs;
+        self.counters
+            .assign(CounterId::PrewarmSpawns, prewarm_spawns);
+        self.counters.assign(CounterId::PrewarmHits, prewarm_hits);
+        self.counters
+            .assign(CounterId::WastedPrewarms, wasted_prewarms);
     }
 
     /// Invocation conservation: every arrival the controller accepted must
@@ -510,8 +559,16 @@ impl MetricsCollector {
     /// [`MetricsCollector::canonicalize_records`] afterwards to restore
     /// the shard-count-invariant record order.
     pub fn merge(&mut self, other: MetricsCollector) {
+        debug_assert!(
+            !self.coldstart_installed && !other.coldstart_installed,
+            "cold-start totals installed before shard merge (they are \
+             fleet-wide sums assigned once, after all merges)"
+        );
         self.records.extend(other.records);
         self.samples.extend(other.samples);
+        self.phases.extend(other.phases);
+        self.phase_totals.merge(&other.phase_totals);
+        self.counters.merge(&other.counters);
         self.streaming.merge(&other.streaming);
         self.arrivals += other.arrivals;
         self.warm_starts += other.warm_starts;
@@ -547,6 +604,7 @@ impl MetricsCollector {
         self.records
             .sort_by_key(|r| (r.finished, r.id, outcome_rank(r.outcome)));
         self.samples.sort_by_key(|s| s.at);
+        self.phases.sort_by_key(|p| (p.finished, p.id));
     }
 
     /// Records a utilization sample.
@@ -632,6 +690,13 @@ impl MetricsCollector {
                 completed as f64 / span.as_secs_f64()
             },
             latency,
+            phases: LatencyAttribution::from_rows(
+                self.phases
+                    .iter()
+                    .filter(|p| p.arrival >= warmup)
+                    .copied()
+                    .collect(),
+            ),
         }
     }
 
@@ -681,6 +746,9 @@ pub struct RunMetrics {
     pub throughput_rps: f64,
     /// End-to-end latency distribution of completed invocations.
     pub latency: Option<Cdf>,
+    /// Additive phase decomposition of the latency distribution
+    /// (telemetry-enabled runs with the record sink; `None` otherwise).
+    pub phases: Option<LatencyAttribution>,
 }
 
 impl RunMetrics {

@@ -366,6 +366,9 @@ fn merge_outputs(results: Vec<(PlatformWorld, RunStats)>) -> SimOutput {
         let mut peer = w;
         let peer_metrics = std::mem::take(&mut peer.metrics);
         w0.metrics.merge(peer_metrics);
+        w0.tel
+            .recorder
+            .merge(std::mem::take(&mut peer.tel.recorder));
     }
     w0.metrics.dropped_completions = dropped;
     w0.metrics
@@ -374,6 +377,7 @@ fn merge_outputs(results: Vec<(PlatformWorld, RunStats)>) -> SimOutput {
     SimOutput {
         cold_starts,
         warm_starts,
+        recorder: std::mem::take(&mut w0.tel.recorder),
         collector: std::mem::take(&mut w0.metrics),
         run: RunStats {
             events,

@@ -13,12 +13,15 @@ use hrv_trace::harvest::{VmEnd, VmTrace};
 use hrv_trace::stream::{ArrivalStream, SortedTraceStream};
 use hrv_trace::time::{SimDuration, SimTime};
 
+use hrv_telemetry::{FlightRecorder, PhaseRecord, SpanKind, NO_INVOCATION};
+
 use crate::config::{PlatformConfig, VmTemplate};
 use crate::controller::{Controller, RouteOutcome};
 use crate::event::{CompletionReport, Event, InvokerIndex, LossCause};
 use crate::invoker::{InvokerState, RunningInvocation};
 use crate::mailbox::{invoker_entity, EntityId, Envelope, ShardPlan, CONTROLLER};
 use crate::metrics::{InvocationRecord, MetricsCollector, Outcome, UtilizationSample};
+use crate::telemetry::TelemetrySink;
 
 /// The VMs a simulation starts from.
 #[derive(Debug, Clone)]
@@ -121,6 +124,9 @@ pub struct PlatformWorld {
     quarantine_since: BTreeMap<InvokerIndex, SimTime>,
     /// Consecutive straggler strikes per invoker.
     straggler_strikes: HashMap<InvokerIndex, u32>,
+    /// Flight recorder + phase-attribution bookkeeping (a strict no-op
+    /// under [`hrv_telemetry::TelemetryConfig::Off`]).
+    pub(crate) tel: TelemetrySink,
 }
 
 impl std::fmt::Debug for PlatformWorld {
@@ -237,6 +243,7 @@ impl PlatformWorld {
             let index = i as InvokerIndex;
             let mut invoker = InvokerState::new(index, vm.memory_mb);
             invoker.set_policy(cfg.coldstart.build());
+            invoker.set_telemetry(cfg.telemetry.enabled());
             invokers.push(invoker);
             slots.push(SlotSource::Trace(vm.clone()));
             if !plan.owns_invoker(index) {
@@ -326,6 +333,7 @@ impl PlatformWorld {
         } else {
             MetricsCollector::streaming_only()
         };
+        let tel = TelemetrySink::new(&cfg.telemetry);
         PlatformWorld {
             controller: Controller::new(policy, seed),
             retry_budget: cfg.recovery.retry_budget,
@@ -346,6 +354,7 @@ impl PlatformWorld {
             pending_redispatch: BTreeMap::new(),
             quarantine_since: BTreeMap::new(),
             straggler_strikes: HashMap::new(),
+            tel,
         }
     }
 
@@ -461,6 +470,12 @@ impl PlatformWorld {
                 return;
             }
         };
+        self.tel.record(
+            CONTROLLER,
+            now,
+            invocation.id,
+            SpanKind::DispatchSent { invoker: invoker.0 },
+        );
         self.send(
             now,
             CONTROLLER,
@@ -469,8 +484,16 @@ impl PlatformWorld {
             Event::Deliver {
                 invoker: invoker.0,
                 invocation,
+                sent_at: now,
             },
         );
+    }
+
+    /// Flushes an invoker's buffered span events into the recorder (a
+    /// no-op for disabled runs: the buffer never fills).
+    fn drain_tel(&mut self, idx: InvokerIndex) {
+        self.tel
+            .drain(invoker_entity(idx), &mut self.invokers[idx as usize].tel);
     }
 
     /// An invocation's placement was destroyed (`cause` says how). With
@@ -508,6 +531,14 @@ impl PlatformWorld {
             if cause != LossCause::DispatchDrop {
                 self.metrics.note_redispatch();
             }
+            self.tel.record(
+                CONTROLLER,
+                now,
+                inv.id,
+                SpanKind::Retry {
+                    attempt: attempt + 1,
+                },
+            );
             self.pending_redispatch.insert(inv.id, inv);
             cal.schedule(
                 now + detection + backoff,
@@ -525,6 +556,8 @@ impl PlatformWorld {
         } else {
             Outcome::FailedEviction
         };
+        self.tel.record(CONTROLLER, now, inv.id, SpanKind::Lost);
+        self.tel.take_hop(inv.id);
         self.metrics.push(InvocationRecord {
             id: inv.id,
             arrival: inv.arrival,
@@ -551,6 +584,8 @@ impl PlatformWorld {
         cal: &mut impl EventCalendar<Event>,
     ) {
         self.metrics.arrivals += 1;
+        self.tel
+            .record(CONTROLLER, now, invocation.id, SpanKind::Arrival);
         // Feed the next arrival lazily to keep the calendar small.
         if let Some(next) = self.arrivals.next_invocation() {
             cal.schedule(next.arrival, Event::Arrival(next));
@@ -566,6 +601,7 @@ impl PlatformWorld {
         now: SimTime,
         idx: InvokerIndex,
         inv: Invocation,
+        sent_at: SimTime,
         cal: &mut impl EventCalendar<Event>,
     ) {
         if !self.invokers[idx as usize].alive {
@@ -586,7 +622,11 @@ impl PlatformWorld {
             );
             return;
         }
+        self.tel
+            .record(invoker_entity(idx), now, inv.id, SpanKind::Delivered);
+        self.tel.note_hop(inv.id, sent_at, now);
         self.invokers[idx as usize].deliver(now, inv, cal, &self.cfg);
+        self.drain_tel(idx);
     }
 
     fn finish_records(
@@ -603,6 +643,49 @@ impl PlatformWorld {
                 self.metrics.cold_starts += 1;
             } else {
                 self.metrics.warm_starts += 1;
+            }
+            if self.tel.enabled() {
+                self.tel.record(
+                    invoker_entity(idx),
+                    now,
+                    inv.id,
+                    SpanKind::Completed { cold: run.cold },
+                );
+                if let Some(hop) = self.tel.take_hop(inv.id) {
+                    // Additive phase split in integer microseconds. The
+                    // queue phase is the residual, which is exact: the
+                    // other four tile [arrival, sent], [sent, delivered],
+                    // [start, start + cold_delay], and [exec_start, now],
+                    // leaving exactly the invoker-local wait.
+                    let total_us = now.since(inv.arrival).as_micros();
+                    let sched_us = hop.sent_at.since(inv.arrival).as_micros();
+                    let bus_us = hop.delivered_at.since(hop.sent_at).as_micros();
+                    let coldstart_us = if run.cold {
+                        self.cfg.cold_start_delay.as_micros()
+                    } else {
+                        0
+                    };
+                    let exec_us = now.since(run.exec_start).as_micros();
+                    let queue_us =
+                        total_us.saturating_sub(sched_us + bus_us + coldstart_us + exec_us);
+                    debug_assert_eq!(
+                        sched_us + bus_us + queue_us + coldstart_us + exec_us,
+                        total_us,
+                        "phase components must tile invocation {}'s latency",
+                        inv.id
+                    );
+                    self.metrics.push_phase(PhaseRecord {
+                        id: inv.id,
+                        arrival: inv.arrival,
+                        finished: now,
+                        cold: run.cold,
+                        sched_us,
+                        bus_us,
+                        queue_us,
+                        coldstart_us,
+                        exec_us,
+                    });
+                }
             }
             self.metrics.push(InvocationRecord {
                 id: inv.id,
@@ -665,6 +748,12 @@ impl PlatformWorld {
         cause: LossCause,
     ) {
         for run in work.started {
+            self.tel.record(
+                invoker_entity(idx),
+                now,
+                run.invocation.id,
+                SpanKind::WorkDestroyed { exec_started: true },
+            );
             self.send(
                 now,
                 invoker_entity(idx),
@@ -679,6 +768,14 @@ impl PlatformWorld {
             );
         }
         for inv in work.queued {
+            self.tel.record(
+                invoker_entity(idx),
+                now,
+                inv.id,
+                SpanKind::WorkDestroyed {
+                    exec_started: false,
+                },
+            );
             self.send(
                 now,
                 invoker_entity(idx),
@@ -775,6 +872,8 @@ impl PlatformWorld {
             return;
         }
         self.metrics.note_retry();
+        self.tel
+            .record(CONTROLLER, now, inv.id, SpanKind::Redispatch);
         match self.controller.route(now, inv) {
             RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, id, inv),
             RouteOutcome::Queued => self.arm_retry(cal),
@@ -827,11 +926,13 @@ impl PlatformWorld {
             let i = self.invokers.len() as InvokerIndex;
             let mut filler = InvokerState::new(i, template.memory_mb);
             filler.set_policy(self.cfg.coldstart.build());
+            filler.set_telemetry(self.cfg.telemetry.enabled());
             self.invokers.push(filler);
             self.slots.push(SlotSource::Monitor(template));
         }
         let mut invoker = InvokerState::new(idx, template.memory_mb);
         invoker.set_policy(self.cfg.coldstart.build());
+        invoker.set_telemetry(self.cfg.telemetry.enabled());
         self.invokers[idx as usize] = invoker;
         self.slots[idx as usize] = SlotSource::Monitor(template);
         self.on_deploy(now, idx, cal);
@@ -979,6 +1080,8 @@ impl PlatformWorld {
     /// Marks everything still in flight as censored (call after the run).
     pub fn censor_remaining(&mut self, now: SimTime) {
         for q in self.controller.drain_queue() {
+            self.tel
+                .record(CONTROLLER, now, q.invocation.id, SpanKind::Censored);
             self.metrics.push(InvocationRecord {
                 id: q.invocation.id,
                 arrival: q.invocation.arrival,
@@ -991,6 +1094,7 @@ impl PlatformWorld {
             });
         }
         for id in self.controller.inflight_ids() {
+            self.tel.record(CONTROLLER, now, id, SpanKind::Censored);
             self.metrics.push(InvocationRecord {
                 id,
                 arrival: now,
@@ -1004,6 +1108,7 @@ impl PlatformWorld {
         }
         // Invocations still waiting on a scheduled re-dispatch.
         for (_, inv) in std::mem::take(&mut self.pending_redispatch) {
+            self.tel.record(CONTROLLER, now, inv.id, SpanKind::Censored);
             self.metrics.push(InvocationRecord {
                 id: inv.id,
                 arrival: inv.arrival,
@@ -1033,9 +1138,11 @@ impl World for PlatformWorld {
             Event::Deliver {
                 invoker,
                 invocation,
-            } => self.on_deliver(now, invoker, invocation, cal),
+                sent_at,
+            } => self.on_deliver(now, invoker, invocation, sent_at, cal),
             Event::StartupDone { invoker, container } => {
                 self.invokers[invoker as usize].startup_done(now, container, cal, &self.cfg);
+                self.drain_tel(invoker);
             }
             Event::Completion { invoker } => {
                 let finished = self.invokers[invoker as usize].completion_tick(now, cal, &self.cfg);
@@ -1057,9 +1164,11 @@ impl World for PlatformWorld {
                     );
                 }
                 self.finish_records(now, invoker, finished);
+                self.drain_tel(invoker);
             }
             Event::KeepAliveExpired { invoker, container } => {
                 self.invokers[invoker as usize].keepalive_expired(now, container, cal);
+                self.drain_tel(invoker);
             }
             Event::Prewarm {
                 invoker,
@@ -1069,9 +1178,11 @@ impl World for PlatformWorld {
             } => {
                 self.invokers[invoker as usize]
                     .start_prewarm(now, function, memory_mb, ttl, cal, &self.cfg);
+                self.drain_tel(invoker);
             }
             Event::PrewarmReady { invoker, container } => {
                 self.invokers[invoker as usize].prewarm_ready(now, container, cal, &self.cfg);
+                self.drain_tel(invoker);
             }
             Event::Ping { invoker } => {
                 if self.invokers[invoker as usize].alive {
@@ -1122,7 +1233,16 @@ impl World for PlatformWorld {
             } => self.on_deploy_notice(now, invoker, cpus, memory_mb, from_monitor, cal),
             Event::SpawnVm { invoker, template } => self.on_spawn_vm(now, invoker, template, cal),
             Event::VmCpu { invoker, cpus } => {
+                if self.invokers[invoker as usize].alive {
+                    self.tel.record(
+                        invoker_entity(invoker),
+                        now,
+                        NO_INVOCATION,
+                        SpanKind::Resize { cpus },
+                    );
+                }
                 self.invokers[invoker as usize].resize(now, cpus, cal, &self.cfg);
+                self.drain_tel(invoker);
             }
             Event::VmWarn { invoker } => {
                 self.invokers[invoker as usize].warn(now);
@@ -1144,6 +1264,7 @@ impl World for PlatformWorld {
             Event::FaultCrash { invoker } => self.on_crash(now, invoker, cal),
             Event::FaultStraggler { invoker, factor } => {
                 self.invokers[invoker as usize].set_derate(now, factor, cal, &self.cfg);
+                self.drain_tel(invoker);
             }
             Event::FaultViewFreeze { frozen } => self.view_frozen = frozen,
             Event::Redispatch { invocation } => self.on_redispatch(now, invocation, cal),
@@ -1156,6 +1277,8 @@ impl World for PlatformWorld {
                     self.schedule_delivery(now, cal, id, inv);
                 }
                 for q in rejected {
+                    self.tel
+                        .record(CONTROLLER, now, q.invocation.id, SpanKind::Rejected);
                     self.metrics.push(InvocationRecord {
                         id: q.invocation.id,
                         arrival: q.invocation.arrival,
@@ -1194,6 +1317,24 @@ pub struct SimOutput {
     pub cold_starts: u64,
     /// Fleet-wide warm starts (invoker-counted).
     pub warm_starts: u64,
+    /// Merged flight recorder (empty under `TelemetryConfig::Off`).
+    pub recorder: FlightRecorder,
+}
+
+impl SimOutput {
+    /// [`MetricsCollector::assert_conservation`] with a flight-recorder
+    /// dump on failure: if the invocation-conservation invariant is about
+    /// to fail, the recorder's trailing events land under
+    /// [`hrv_telemetry::dump::DEFAULT_DUMP_DIR`] (CI uploads that
+    /// directory as an artifact) before the panic fires.
+    pub fn assert_conservation(&self) {
+        let (arrived, resolved) = self.collector.conservation();
+        if arrived != resolved {
+            let n = hrv_telemetry::FlightConfig::default().dump_last as usize;
+            hrv_telemetry::dump::write_default("conservation", &self.recorder, n);
+        }
+        self.collector.assert_conservation();
+    }
 }
 
 impl Simulation {
@@ -1270,6 +1411,7 @@ impl Simulation {
         SimOutput {
             cold_starts: self.world.total_cold_starts(),
             warm_starts: self.world.total_warm_starts(),
+            recorder: std::mem::take(&mut self.world.tel.recorder),
             collector: self.world.metrics,
             run,
         }

@@ -1,0 +1,199 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! Renders the flight recorder plus per-invocation phase rows in the
+//! [Trace Event Format] consumed by `chrome://tracing` and
+//! [ui.perfetto.dev]: a JSON object with a `traceEvents` array of
+//! complete (`"ph": "X"`) events. Two process groups:
+//!
+//! * **pid 0 — platform entities.** One track per entity (tid 0 is the
+//!   controller, tid i + 1 is invoker i) carrying the recorded span
+//!   events as zero-duration slices.
+//! * **pid 1 — invocations.** One track per invocation id with nested
+//!   slices: an outer end-to-end slice and the additive phase slices
+//!   (sched / bus / queue / coldstart / exec) inside it.
+//!
+//! Timestamps are simulation microseconds verbatim — the format's `ts`
+//! unit — so a trace is byte-identical across machines and shard counts.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribution::PhaseRecord;
+use crate::recorder::FlightRecorder;
+use crate::span::NO_INVOCATION;
+
+/// One trace event (always a complete `"X"` slice here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Slice name shown in the UI.
+    pub name: String,
+    /// Event category (filterable in the UI).
+    pub cat: String,
+    /// Phase type; this exporter only emits `"X"` (complete) events.
+    pub ph: String,
+    /// Start, microseconds.
+    pub ts: u64,
+    /// Duration, microseconds (zero for instant-like span marks).
+    pub dur: u64,
+    /// Process group: 0 = platform entities, 1 = invocations.
+    pub pid: u32,
+    /// Track within the group.
+    pub tid: u64,
+    pub args: TraceArgs,
+}
+
+/// Event arguments shown in the UI's detail pane.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceArgs {
+    /// Invocation id, when the event is invocation-scoped.
+    pub invocation: Option<u64>,
+    /// Whether the invocation cold-started (outer invocation slices).
+    pub cold: Option<bool>,
+}
+
+/// The top-level trace file object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct TraceFile {
+    pub traceEvents: Vec<TraceEvent>,
+}
+
+/// Process group for platform entities.
+const PID_ENTITIES: u32 = 0;
+/// Process group for per-invocation phase slices.
+const PID_INVOCATIONS: u32 = 1;
+
+/// Builds the trace file from the recorder's canonical event order plus
+/// the per-invocation phase rows.
+pub fn trace_file(recorder: &FlightRecorder, phases: &[PhaseRecord]) -> TraceFile {
+    let mut events = Vec::new();
+
+    for ev in recorder.canonical_events() {
+        events.push(TraceEvent {
+            name: ev.kind.label().to_string(),
+            cat: "span".to_string(),
+            ph: "X".to_string(),
+            ts: ev.at.as_micros(),
+            dur: 0,
+            pid: PID_ENTITIES,
+            tid: ev.entity as u64,
+            args: TraceArgs {
+                invocation: (ev.invocation != NO_INVOCATION).then_some(ev.invocation),
+                cold: None,
+            },
+        });
+    }
+
+    let mut rows: Vec<&PhaseRecord> = phases.iter().collect();
+    rows.sort_by_key(|r| (r.arrival, r.id));
+    for r in rows {
+        let start = r.arrival.as_micros();
+        events.push(TraceEvent {
+            name: format!("inv {}", r.id),
+            cat: "invocation".to_string(),
+            ph: "X".to_string(),
+            ts: start,
+            dur: r.total_us(),
+            pid: PID_INVOCATIONS,
+            tid: r.id,
+            args: TraceArgs {
+                invocation: Some(r.id),
+                cold: Some(r.cold),
+            },
+        });
+        let mut t = start;
+        for (label, dur) in [
+            ("sched", r.sched_us),
+            ("bus", r.bus_us),
+            ("queue", r.queue_us),
+            ("coldstart", r.coldstart_us),
+            ("exec", r.exec_us),
+        ] {
+            if dur > 0 {
+                events.push(TraceEvent {
+                    name: label.to_string(),
+                    cat: "phase".to_string(),
+                    ph: "X".to_string(),
+                    ts: t,
+                    dur,
+                    pid: PID_INVOCATIONS,
+                    tid: r.id,
+                    args: TraceArgs {
+                        invocation: Some(r.id),
+                        cold: None,
+                    },
+                });
+            }
+            t += dur;
+        }
+    }
+
+    TraceFile {
+        traceEvents: events,
+    }
+}
+
+/// Renders the trace as a JSON string ready for `chrome://tracing` or
+/// ui.perfetto.dev.
+pub fn render(recorder: &FlightRecorder, phases: &[PhaseRecord]) -> String {
+    serde_json::to_string(&trace_file(recorder, phases)).expect("trace serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+    use hrv_trace::time::SimTime;
+
+    fn sample_inputs() -> (FlightRecorder, Vec<PhaseRecord>) {
+        let mut rec = FlightRecorder::new(16);
+        rec.record(0, SimTime::from_micros(10), 1, SpanKind::Arrival);
+        rec.record(2, SimTime::from_micros(2_010), 1, SpanKind::Delivered);
+        let phases = vec![PhaseRecord {
+            id: 1,
+            arrival: SimTime::from_micros(10),
+            finished: SimTime::from_micros(152_010),
+            cold: false,
+            sched_us: 0,
+            bus_us: 2_000,
+            queue_us: 0,
+            coldstart_us: 0,
+            exec_us: 150_000,
+        }];
+        (rec, phases)
+    }
+
+    #[test]
+    fn trace_round_trips_and_nests_phases() {
+        let (rec, phases) = sample_inputs();
+        let json = render(&rec, &phases);
+        let parsed: TraceFile = serde_json::from_str(&json).unwrap();
+        // 2 span marks + 1 outer invocation slice + 2 nonzero phases.
+        assert_eq!(parsed.traceEvents.len(), 5);
+        let outer = parsed
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "invocation")
+            .unwrap();
+        let phase_total: u64 = parsed
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "phase")
+            .map(|e| e.dur)
+            .sum();
+        assert_eq!(outer.dur, phase_total, "phases tile the outer slice");
+        assert_eq!(parsed, trace_file(&rec, &phases));
+    }
+
+    #[test]
+    fn zero_duration_phases_are_skipped() {
+        let (rec, phases) = sample_inputs();
+        let file = trace_file(&rec, &phases);
+        assert!(file
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "phase")
+            .all(|e| e.dur > 0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Lifecycle span events.
+//!
+//! A span event is one point on an invocation's path through the
+//! platform, stamped with the simulation time at which the owning entity
+//! processed it. Events carry a per-entity sequence number assigned at
+//! record time; since every entity's events are processed in canonical
+//! calendar order on exactly one shard, `(at, entity, seq)` is a total
+//! order that does not depend on the shard count.
+
+use hrv_trace::time::SimTime;
+
+/// Sentinel for spans that are not tied to a single invocation (e.g.
+/// harvest resizes of a whole VM).
+pub const NO_INVOCATION: u64 = u64::MAX;
+
+/// What happened at this point of the lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The controller accepted an invocation from the arrival stream.
+    Arrival,
+    /// The load balancer chose an invoker and the controller put the
+    /// invocation on the bus. Recorded on the controller entity; the
+    /// target rides in the payload because it is not the recorder.
+    DispatchSent { invoker: u32 },
+    /// The invoker took the invocation off the bus into its local queue.
+    /// (The invoker is the recording entity for this and the following
+    /// invoker-side kinds, so it is not repeated in the payload.)
+    Delivered,
+    /// A cold container began its startup delay.
+    ColdStartBegin,
+    /// The invocation started executing (post-startup for cold starts).
+    ExecBegin { cold: bool },
+    /// The invocation finished and a completion record was emitted.
+    Completed { cold: bool },
+    /// The harvest controller resized an invoker's CPU allocation; an
+    /// execution-window boundary for everything running there.
+    Resize { cpus: u32 },
+    /// In-flight or queued work was destroyed by an eviction or crash.
+    WorkDestroyed { exec_started: bool },
+    /// The controller re-queued the invocation for another attempt.
+    Retry { attempt: u32 },
+    /// The load balancer re-dispatched destroyed work.
+    Redispatch,
+    /// The retry budget was exhausted mid-recovery; the invocation was
+    /// rejected.
+    Rejected,
+    /// The invocation was lost (no recovery configured).
+    Lost,
+    /// Still in flight when the simulation horizon closed.
+    Censored,
+}
+
+impl SpanKind {
+    /// Short stable label (dump lines, Perfetto event names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Arrival => "arrival",
+            SpanKind::DispatchSent { .. } => "dispatch_sent",
+            SpanKind::Delivered => "delivered",
+            SpanKind::ColdStartBegin => "cold_start_begin",
+            SpanKind::ExecBegin { .. } => "exec_begin",
+            SpanKind::Completed { .. } => "completed",
+            SpanKind::Resize { .. } => "resize",
+            SpanKind::WorkDestroyed { .. } => "work_destroyed",
+            SpanKind::Retry { .. } => "retry",
+            SpanKind::Redispatch => "redispatch",
+            SpanKind::Rejected => "rejected",
+            SpanKind::Lost => "lost",
+            SpanKind::Censored => "censored",
+        }
+    }
+}
+
+/// One recorded lifecycle point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulation time at which the owning entity processed the event.
+    pub at: SimTime,
+    /// Recording entity (0 = controller, i + 1 = invoker i), matching the
+    /// platform's mailbox entity ids.
+    pub entity: u32,
+    /// Per-entity record sequence; assigned in the entity's deterministic
+    /// processing order.
+    pub seq: u64,
+    /// Invocation id, or [`NO_INVOCATION`] for entity-scoped events.
+    pub invocation: u64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+impl SpanEvent {
+    /// The canonical merge key: total across entities, shard-invariant.
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.entity, self.seq)
+    }
+}

@@ -147,6 +147,32 @@ fn sharded_run(seed: u64, shards: u32) -> SimOutput {
 /// The byte-identity contract: records, event counts, and start counters
 /// must not depend on how the cluster is partitioned.
 fn assert_shard_invariant(a: &SimOutput, b: &SimOutput, label: &str) {
+    let same = a.run.events == b.run.events
+        && a.collector.records == b.collector.records
+        && a.collector.arrivals == b.collector.arrivals
+        && a.cold_starts == b.cold_starts
+        && a.warm_starts == b.warm_starts
+        && a.collector.dropped_completions == b.collector.dropped_completions;
+    if !same {
+        // Post-mortem before the asserts below name the field: dump both
+        // runs' flight recorders (CI uploads target/flight_recorder/ on
+        // failure; empty dumps carry a rerun-with-telemetry hint).
+        let slug: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let n = harvest_faas::hrv_platform::FlightConfig::default().dump_last as usize;
+        harvest_faas::hrv_platform::tel::dump::write_default(
+            &format!("determinism-{slug}-baseline"),
+            &a.recorder,
+            n,
+        );
+        harvest_faas::hrv_platform::tel::dump::write_default(
+            &format!("determinism-{slug}-sharded"),
+            &b.recorder,
+            n,
+        );
+    }
     assert_eq!(a.run.events, b.run.events, "event counts diverged: {label}");
     assert_eq!(
         a.collector.records, b.collector.records,
