@@ -24,12 +24,17 @@
 //! 7. **telemetry_overhead** — the same replay with the flight recorder
 //!    and latency attribution enabled, reported as the on/off event-rate
 //!    ratio (CI gates the enabled run at ≥ 0.7× the disabled rate);
-//! 8. **sharded_replay** — the same platform model driven by the
-//!    deterministic multi-core `ShardedSimulation` at 1, 2 and 4 shards
-//!    on a wide fleet with relaxed messaging latencies (50 ms bus, 5 s
-//!    pings), reporting per-shard-count event rates and the multi-core
-//!    speedup (only meaningful on a multi-core machine; the JSON records
-//!    the core count so gates can condition on it);
+//! 8. **sharded_replay** — the paper-scale partitioned controller driven
+//!    by the deterministic multi-core `ShardedSimulation` at 1, 2 and 4
+//!    shards: a 1 600-invoker fleet (102 400 hash-ring members), the
+//!    full `F_large` offered volume (~10.5 k req/s), four controller
+//!    replicas with live migration and fleet-wide sampling enabled, and
+//!    relaxed messaging latencies (50 ms bus, 5 s pings). Reports
+//!    per-shard-count event and placement rates, the multi-core speedup
+//!    (only meaningful on a multi-core machine; the JSON records the
+//!    core count so gates can condition on it), and a
+//!    `controller_occupancy` section with per-replica placement and
+//!    envelope counts whose max/min placement ratio is gated at ≤ 2.0;
 //! 9. **scale** — the full-volume `F_large` streaming drain (default
 //!    10⁸ invocations; override with `PERFSMOKE_SCALE_INVOCATIONS` for
 //!    CI-sized runs) plus a constant-memory full-platform replay, both
@@ -399,69 +404,120 @@ struct ShardRow {
     shards: u32,
     wall_secs: f64,
     events_per_sec: f64,
+    placements_per_sec: f64,
 }
 
-/// Multi-core sharded replay: a wide harvest fleet (1024 invokers whose
-/// CPU allocations wobble every 100 ms, the paper's harvest-VM dynamics
-/// at high resolution) with relaxed messaging latencies — 50 ms bus hop,
+/// One controller replica's occupancy (shard-count-invariant, so reported
+/// once for the whole probe).
+struct OccRow {
+    replica: u32,
+    placements: u64,
+    envelopes: u64,
+}
+
+/// How many invokers the paper-scale sharded replay deploys. At the hash
+/// ring's default 64 vnodes per member this is 102 400 ring members —
+/// past the issue's 100 k floor.
+const SHARDED_REPLAY_INVOKERS: u64 = 1_600;
+
+/// Paper-scale multi-core sharded replay: a 1 600-invoker harvest fleet
+/// (102 400 hash-ring members at 64 vnodes each) whose CPU allocations
+/// wobble every 100 ms, fed the full `F_large` offered volume
+/// (910 M invocations/day ≈ 10.5 k req/s across 20 809 apps) for one
+/// simulated minute, with relaxed messaging latencies — 50 ms bus hop,
 /// 5 s pings — so the conservative lookahead window is wide enough for
-/// shards to batch useful work between barriers. The wobble events are
-/// invoker-local (processor-sharing capacity recomputes that never touch
-/// the controller), so the work profile is the embarrassingly parallel
-/// one sharding targets. Runs the identical simulation at 1, 2 and 4
-/// shards (byte-identity is asserted via total event counts) and reports
-/// the event rate per shard count.
-fn bench_sharded_replay() -> (u64, Vec<ShardRow>) {
+/// shards to batch useful work between barriers. The controller runs as
+/// four partitioned replicas (each owning a quarter of the function
+/// space and consuming its own arrivals directly on its home shard),
+/// with live migration and fleet-wide utilization sampling enabled — the
+/// two features that used to pin these runs to one shard; one VM in
+/// fifty is evicted mid-run so migration does real work inside the
+/// measured window. Runs the identical simulation at 1, 2 and 4 shards
+/// (byte-identity is asserted via total event counts and per-replica
+/// occupancy) and reports event and placement rates per shard count,
+/// plus the replica-occupancy rows with the max/min placement ratio
+/// gated at ≤ 2.0.
+fn bench_sharded_replay() -> (u64, Vec<ShardRow>, Vec<OccRow>) {
     use harvest_faas::hrv_trace::harvest::{CpuChange, VmEnd, VmTrace};
-    let horizon = SimDuration::from_mins(4);
-    let tail = horizon + SimDuration::from_mins(2);
-    let cfg = PlatformConfig {
+    let horizon = SimDuration::from_secs(60);
+    let tail = horizon + SimDuration::from_secs(60);
+    let mut cfg = PlatformConfig {
         bus_latency: SimDuration::from_millis(50),
         ping_interval: SimDuration::from_secs(5),
         ..PlatformConfig::default()
     };
-    let build = || {
-        let seeds = SeedFactory::new(76);
-        let spec = WorkloadSpec::paper_fsmall().scaled(200, 200.0);
-        let trace =
-            Workload::generate(&spec, &seeds).invocations(horizon, &seeds.child("arrivals"));
-        // Each invoker's allocation wobbles 4↔2↔6 CPUs every 100 ms with
-        // a per-invoker phase offset, so harvest churn is dense and
-        // unsynchronized — like the paper's Figure 2 at fleet scale.
-        let vms = (0..1024u64)
-            .map(|i| {
-                let phase = i * 7_000 % 100_000;
-                let changes = (1..tail.as_micros() / 100_000)
-                    .map(|step| CpuChange {
-                        at: SimTime::from_micros(step * 100_000 + phase),
-                        cpus: [4, 2, 6, 4][(step % 4) as usize],
-                    })
-                    .collect();
-                VmTrace {
-                    deploy: SimTime::ZERO,
-                    end: SimTime::ZERO + tail,
-                    ended: VmEnd::Censored,
-                    base_cpus: 2,
-                    max_cpus: 6,
-                    initial_cpus: 4,
-                    memory_mb: 32 * 1024,
-                    cpu_changes: changes,
-                }
-            })
-            .collect();
-        (ClusterSpec::from_traces(vms), trace)
-    };
+    cfg.sharding.replicas = 4;
+    cfg.migration.enabled = true;
+    cfg.sample_interval = SimDuration::from_secs(5);
+    let seeds = SeedFactory::new(76);
+    let spec = WorkloadSpec::paper_flarge_scaled(20_809).scaled(20_809, 910_000_000.0 / 86_400.0);
+    let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds.child("arrivals"));
+    // Each invoker's allocation wobbles 4↔2↔6 CPUs every 100 ms with
+    // a per-invoker phase offset, so harvest churn is dense and
+    // unsynchronized — like the paper's Figure 2 at fleet scale.
+    let vms: Vec<VmTrace> = (0..SHARDED_REPLAY_INVOKERS)
+        .map(|i| {
+            let phase = i * 7_000 % 100_000;
+            let changes = (1..tail.as_micros() / 100_000)
+                .map(|step| CpuChange {
+                    at: SimTime::from_micros(step * 100_000 + phase),
+                    cpus: [4, 2, 6, 4][(step % 4) as usize],
+                })
+                .collect();
+            let (end, ended) = if i % 50 == 17 {
+                (SimTime::ZERO + SimDuration::from_secs(40), VmEnd::Evicted)
+            } else {
+                (SimTime::ZERO + tail, VmEnd::Censored)
+            };
+            VmTrace {
+                deploy: SimTime::ZERO,
+                end,
+                ended,
+                base_cpus: 2,
+                max_cpus: 6,
+                initial_cpus: 4,
+                memory_mb: 32 * 1024,
+                cpu_changes: changes,
+            }
+        })
+        .collect();
+    let cluster = ClusterSpec::from_traces(vms);
     let mut rows = Vec::new();
     let mut events: Option<u64> = None;
+    let mut occupancy: Option<Vec<OccRow>> = None;
     for shards in [1u32, 2, 4] {
-        let (_, rate, (secs, ev)) = best_of(3, || {
-            let (cluster, trace) = build();
-            let sim =
-                ShardedSimulation::new(cluster, trace, PolicyKind::Mws, cfg.clone(), 76, shards);
+        let (_, rate, (secs, ev, occ)) = best_of(3, || {
+            let sim = ShardedSimulation::new(
+                cluster.clone(),
+                trace.clone(),
+                PolicyKind::Mws,
+                cfg.clone(),
+                76,
+                shards,
+            );
             let start = Instant::now();
             let out = sim.run(tail);
             let secs = start.elapsed().as_secs_f64();
-            (secs, out.run.events as f64 / secs, (secs, out.run.events))
+            let occ: Vec<OccRow> = out
+                .collector
+                .replica_occupancy
+                .iter()
+                .map(|r| OccRow {
+                    replica: r.replica,
+                    placements: r.placements,
+                    envelopes: r.envelopes,
+                })
+                .collect();
+            assert!(
+                out.collector.migrations > 0,
+                "probe evictions produced no migrations — the migration \
+                 path idled through the measured window"
+            );
+            (
+                secs,
+                out.run.events as f64 / secs,
+                (secs, out.run.events, occ),
+            )
         });
         match events {
             None => events = Some(ev),
@@ -470,13 +526,47 @@ fn bench_sharded_replay() -> (u64, Vec<ShardRow>) {
                 "shard count changed the event count: the byte-identity contract broke"
             ),
         }
+        let total_placements: u64 = occ.iter().map(|o| o.placements).sum();
+        match &occupancy {
+            None => occupancy = Some(occ),
+            Some(prev) => {
+                let same = prev.len() == occ.len()
+                    && prev.iter().zip(&occ).all(|(a, b)| {
+                        a.replica == b.replica
+                            && a.placements == b.placements
+                            && a.envelopes == b.envelopes
+                    });
+                assert!(
+                    same,
+                    "shard count changed replica occupancy: the byte-identity contract broke"
+                );
+            }
+        }
         rows.push(ShardRow {
             shards,
             wall_secs: secs,
             events_per_sec: rate,
+            placements_per_sec: total_placements as f64 / secs,
         });
     }
-    (events.expect("at least one shard count ran"), rows)
+    let occupancy = occupancy.expect("at least one shard count ran");
+    let max_p = occupancy.iter().map(|o| o.placements).max().unwrap_or(0);
+    let min_p = occupancy
+        .iter()
+        .map(|o| o.placements)
+        .min()
+        .unwrap_or(0)
+        .max(1);
+    assert!(
+        max_p as f64 / min_p as f64 <= 2.0,
+        "partitioned placement is skewed: replica placements {max_p} vs {min_p} \
+         (max/min > 2.0)"
+    );
+    (
+        events.expect("at least one shard count ran"),
+        rows,
+        occupancy,
+    )
 }
 
 fn main() {
@@ -523,8 +613,11 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    eprintln!("perfsmoke: sharded replay at 1/2/4 shards ({cores} cores, best of 3)...");
-    let (sharded_events, sharded_rows) = bench_sharded_replay();
+    eprintln!(
+        "perfsmoke: paper-scale sharded replay at 1/2/4 shards \
+         ({cores} cores, 4 controller replicas, best of 3)..."
+    );
+    let (sharded_events, sharded_rows, occupancy_rows) = bench_sharded_replay();
 
     let (scale_gen, scale_plat) = bench_scale(scale_invocations);
 
@@ -562,14 +655,46 @@ fn main() {
             sharded_rows_json.push_str(",\n");
         }
         sharded_rows_json.push_str(&format!(
-            "      {{ \"shards\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0} }}",
-            r.shards, r.wall_secs, r.events_per_sec
+            "      {{ \"shards\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"placements_per_sec\": {:.0} }}",
+            r.shards, r.wall_secs, r.events_per_sec, r.placements_per_sec
         ));
     }
+    let ring_members = SHARDED_REPLAY_INVOKERS * 64;
     let sharded_json = format!(
-        "  \"sharded_replay\": {{ \"cores\": {cores}, \"horizon_secs\": 360, \
+        "  \"sharded_replay\": {{ \"cores\": {cores}, \"horizon_secs\": 120, \
+         \"invokers\": {SHARDED_REPLAY_INVOKERS}, \"ring_members\": {ring_members}, \
+         \"replicas\": 4, \"offered_rps\": 10532, \
          \"sim_events\": {sharded_events}, \"speedup\": {sharded_speedup:.2}, \
          \"rows\": [\n{sharded_rows_json}\n    ] }}",
+    );
+    let max_placements = occupancy_rows
+        .iter()
+        .map(|o| o.placements)
+        .max()
+        .unwrap_or(0);
+    let min_placements = occupancy_rows
+        .iter()
+        .map(|o| o.placements)
+        .min()
+        .unwrap_or(0)
+        .max(1);
+    let placement_ratio = max_placements as f64 / min_placements as f64;
+    let mut occupancy_rows_json = String::new();
+    for (i, o) in occupancy_rows.iter().enumerate() {
+        if i > 0 {
+            occupancy_rows_json.push_str(",\n");
+        }
+        occupancy_rows_json.push_str(&format!(
+            "      {{ \"replica\": {}, \"placements\": {}, \"envelopes\": {} }}",
+            o.replica, o.placements, o.envelopes
+        ));
+    }
+    let occupancy_json = format!(
+        "  \"controller_occupancy\": {{ \"replicas\": {}, \
+         \"max_min_placement_ratio\": {placement_ratio:.3}, \
+         \"rows\": [\n{occupancy_rows_json}\n    ] }}",
+        occupancy_rows.len(),
     );
     let scale_json = format!(
         "  \"scale\": {{\n    \"generator\": {{ \"n_apps\": 20809, \
@@ -614,7 +739,7 @@ fn main() {
          \"completed_invocations\": {replay_completed} }},\n  \
          \"telemetry_overhead\": {{ \"off_events_per_sec\": {tel_off_rate:.0}, \
          \"on_events_per_sec\": {tel_on_rate:.0}, \
-         \"on_over_off\": {telemetry_ratio:.3} }},\n{sharded_json},\n{scale_json}\n}}\n",
+         \"on_over_off\": {telemetry_ratio:.3} }},\n{sharded_json},\n{occupancy_json},\n{scale_json}\n}}\n",
         mws_cache.hits,
         mws_cache.misses,
         mws_cache.hit_rate(),
@@ -645,6 +770,13 @@ fn main() {
         );
     }
     eprintln!("sharded replay speedup on {cores} cores: {sharded_speedup:.2}x");
+    for o in &occupancy_rows {
+        eprintln!(
+            "controller replica {}: {:>8} placements, {:>8} envelopes",
+            o.replica, o.placements, o.envelopes
+        );
+    }
+    eprintln!("controller occupancy max/min placement ratio: {placement_ratio:.3}");
     eprintln!(
         "telemetry overhead: off {tel_off_rate:.0} ev/s, on {tel_on_rate:.0} ev/s \
          (on/off = {telemetry_ratio:.3})"

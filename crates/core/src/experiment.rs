@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use hrv_fault::FaultSpec;
 use hrv_lb::policy::PolicyKind;
 use hrv_platform::config::PlatformConfig;
-use hrv_platform::tel::PhaseComponents;
+use hrv_platform::tel::{CounterId, CounterRegistry, PhaseComponents};
 use hrv_platform::world::{ClusterSpec, Simulation};
 use hrv_platform::ShardedSimulation;
 use hrv_trace::faas::Invocation;
@@ -229,16 +229,29 @@ impl SweepConfig {
     }
 }
 
-/// Shards actually usable for a platform configuration: features that
-/// read or move state across the whole fleet at one instant (live
-/// migration, utilization sampling) pin the run to one shard. Results
-/// are byte-identical either way — only the core count changes.
-fn effective_shards(platform: &PlatformConfig, shards: u32) -> u32 {
-    if platform.migration.enabled || !platform.sample_interval.is_zero() {
-        1
-    } else {
-        shards.max(1)
+/// Shards actually usable for a platform configuration. Live migration
+/// and utilization sampling are envelope-based and shard-aware
+/// (owner-resolved migration, per-invoker sample rows coalesced after
+/// the merge), so multi-shard requests no longer degrade for them; only
+/// the floor of one shard remains. The streaming driver is the one
+/// surface that still degrades — [`run_point_streaming`] reports it via
+/// [`note_shard_degrade`].
+fn effective_shards(_platform: &PlatformConfig, shards: u32) -> u32 {
+    shards.max(1)
+}
+
+/// Makes a degraded shard request visible: warns on stderr and bumps the
+/// `shard_degrades` counter. Returns whether a degrade happened.
+fn note_shard_degrade(counters: &mut CounterRegistry, requested: u32, effective: u32) -> bool {
+    if requested <= effective {
+        return false;
     }
+    eprintln!(
+        "warning: requested {requested} shards degraded to {effective} \
+         (driver runs a single world)"
+    );
+    counters.incr(CounterId::ShardDegrades);
+    true
 }
 
 /// Runs one simulation point and reduces it to a [`SweepPoint`].
@@ -329,7 +342,10 @@ pub fn run_point_streaming(
         platform,
         seeds.seed_for("platform"),
     );
-    let out = sim.run(cfg.duration + SimDuration::from_mins(3));
+    let mut out = sim.run(cfg.duration + SimDuration::from_mins(3));
+    // The streaming pipeline drives one world on one core; a multi-shard
+    // request quietly ran solo. Surface that instead of hiding it.
+    note_shard_degrade(&mut out.collector.counters, cfg.shards, 1);
     let s = &out.collector.streaming;
     SweepPoint {
         rps,
@@ -731,17 +747,45 @@ mod tests {
     }
 
     #[test]
-    fn incompatible_features_fall_back_to_one_shard() {
+    fn migration_and_sampling_run_at_the_requested_shard_count() {
+        // Both used to pin the run to one shard; they are envelope-based
+        // now and keep the full count.
         let mut migrating = PlatformConfig::default();
         migrating.migration.enabled = true;
-        assert_eq!(effective_shards(&migrating, 8), 1);
+        assert_eq!(effective_shards(&migrating, 8), 8);
         let sampling = PlatformConfig {
             sample_interval: SimDuration::from_secs(1),
             ..PlatformConfig::default()
         };
-        assert_eq!(effective_shards(&sampling, 8), 1);
+        assert_eq!(effective_shards(&sampling, 8), 8);
         assert_eq!(effective_shards(&PlatformConfig::default(), 8), 8);
         assert_eq!(effective_shards(&PlatformConfig::default(), 0), 1);
+    }
+
+    #[test]
+    fn degraded_shard_requests_warn_and_count() {
+        let mut counters = CounterRegistry::new();
+        assert!(!note_shard_degrade(&mut counters, 1, 1));
+        assert_eq!(counters.get(CounterId::ShardDegrades), 0);
+        assert!(note_shard_degrade(&mut counters, 4, 1));
+        assert_eq!(counters.get(CounterId::ShardDegrades), 1);
+    }
+
+    #[test]
+    fn streaming_driver_counts_its_shard_degrade() {
+        let cfg = SweepConfig {
+            n_functions: 5,
+            duration: SimDuration::from_mins(1),
+            warmup: SimDuration::ZERO,
+            shards: 4,
+            ..SweepConfig::quick()
+        };
+        let cluster = ClusterSpec::regular(2, 8, 32 * 1024, SimDuration::from_mins(5));
+        // The degrade is observable through the warning + counter path
+        // exercised above; here we only check the run still completes
+        // (the counter lives on the internal collector).
+        let point = run_point_streaming(&cluster, PolicyKind::Mws, 1.0, &cfg);
+        assert!(point.arrivals > 0);
     }
 
     #[test]

@@ -248,6 +248,11 @@ impl StatsRegistry {
         }
     }
 
+    /// Number of controllers this registry scales local rates by.
+    pub fn controllers(&self) -> u32 {
+        self.controllers
+    }
+
     /// Records a function arrival.
     pub fn record_arrival(&mut self, f: FunctionId, now: SimTime) {
         self.stats

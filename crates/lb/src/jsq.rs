@@ -87,6 +87,10 @@ impl LoadBalancer for Jsq {
         }
     }
 
+    fn fresh(&self) -> Box<dyn LoadBalancer> {
+        Box::new(Jsq::new(self.metric, self.sample_d))
+    }
+
     fn place(
         &mut self,
         _now: SimTime,

@@ -12,10 +12,12 @@ pub mod estimate;
 pub mod hashring;
 pub mod jsq;
 pub mod mws;
+pub mod ownership;
 pub mod policy;
 pub mod simple;
 pub mod vanilla;
 pub mod view;
 
+pub use ownership::{owned_arc, owner_of};
 pub use policy::{LoadBalancer, PolicyKind};
 pub use view::{ClusterView, InvokerId, InvokerView, LoadWeights};

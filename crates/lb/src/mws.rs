@@ -442,6 +442,12 @@ impl LoadBalancer for Mws {
         "MWS"
     }
 
+    fn fresh(&self) -> Box<dyn LoadBalancer> {
+        let mut m = Mws::new(self.weights, self.stats.controllers());
+        m.set_caching(self.cache_enabled);
+        Box::new(m)
+    }
+
     fn place(
         &mut self,
         now: SimTime,

@@ -1,0 +1,158 @@
+//! Function → controller-replica ownership for the partitioned placement
+//! path.
+//!
+//! A replicated controller partitions *functions*, not ring members: every
+//! replica keeps the full [`crate::hashring::HashRing`], but each function
+//! is placed by exactly one replica — the one whose arc of the 64-bit hash
+//! space contains the function's ring-walk start
+//! ([`HashRing::function_hash`]). Partitioning by walk start preserves the
+//! MWS locality argument: a replica owns a contiguous arc, so the worker
+//! sets of its functions cluster on neighbouring ring positions.
+//!
+//! The map is a *total, deterministic* function of `(replica count,
+//! function id)` alone. It does not read ring membership, so it is
+//! trivially stable under invoker join/leave (any epoch): ownership never
+//! migrates between replicas mid-run, which is what lets a replica's
+//! per-function state (MWS arrival-rate estimates, covering-set cache,
+//! learned run times) live privately with no handoff protocol.
+
+use hrv_trace::faas::FunctionId;
+
+use crate::hashring::HashRing;
+
+/// The replica owning `function` out of `replicas` controller replicas.
+///
+/// Maps the function's 64-bit walk-start hash onto `[0, replicas)` by
+/// fixed-point multiplication — an exact arc partition of the hash space
+/// with no modulo bias. Always 0 when `replicas == 1`.
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero.
+pub fn owner_of(replicas: u32, function: FunctionId) -> u32 {
+    assert!(replicas >= 1, "need at least one replica");
+    let h = HashRing::function_hash(function);
+    ((u128::from(h) * u128::from(replicas)) >> 64) as u32
+}
+
+/// The half-open arc `[start, end)` of the 64-bit hash space owned by
+/// `replica` (for `replica == replicas - 1` the arc is `[start, 2^64)`,
+/// reported as `end == u64::MAX` inclusive via [`ArcRange::contains`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcRange {
+    /// First hash of the arc.
+    pub start: u64,
+    /// One past the last hash of the arc, saturating at `u64::MAX` for
+    /// the final replica (whose arc is closed at the top).
+    pub end: u64,
+    /// Whether `end` itself belongs to the arc (final replica only).
+    pub closed: bool,
+}
+
+impl ArcRange {
+    /// Whether `hash` falls in this arc.
+    pub fn contains(&self, hash: u64) -> bool {
+        hash >= self.start && (hash < self.end || (self.closed && hash == self.end))
+    }
+}
+
+/// The hash arc owned by `replica` — the ring partition iterator's bounds.
+///
+/// # Panics
+///
+/// Panics unless `replica < replicas` and `replicas >= 1`.
+pub fn owned_arc(replicas: u32, replica: u32) -> ArcRange {
+    assert!(replicas >= 1, "need at least one replica");
+    assert!(replica < replicas, "replica {replica} of {replicas}");
+    let width = |r: u32| -> u64 {
+        // Inverse of the fixed-point map: smallest h with
+        // (h * replicas) >> 64 == r is ceil(r * 2^64 / replicas).
+        let num = u128::from(r) << 64;
+        let den = u128::from(replicas);
+        num.div_ceil(den) as u64
+    };
+    let start = width(replica);
+    if replica + 1 == replicas {
+        ArcRange {
+            start,
+            end: u64::MAX,
+            closed: true,
+        }
+    } else {
+        ArcRange {
+            start,
+            end: width(replica + 1),
+            closed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_trace::faas::AppId;
+
+    fn f(app: u32, func: u32) -> FunctionId {
+        FunctionId {
+            app: AppId(app),
+            func,
+        }
+    }
+
+    #[test]
+    fn single_replica_owns_everything() {
+        for app in 0..500u32 {
+            assert_eq!(owner_of(1, f(app, app % 7)), 0);
+        }
+    }
+
+    #[test]
+    fn owner_matches_arc() {
+        for replicas in [1u32, 2, 3, 4, 8, 13] {
+            for app in 0..500u32 {
+                let func = f(app, 0);
+                let owner = owner_of(replicas, func);
+                assert!(owner < replicas);
+                let arc = owned_arc(replicas, owner);
+                assert!(
+                    arc.contains(HashRing::function_hash(func)),
+                    "fn {app} owner {owner}/{replicas} outside its arc"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arcs_tile_the_hash_space() {
+        for replicas in [1u32, 2, 4, 8] {
+            let arcs: Vec<ArcRange> = (0..replicas).map(|r| owned_arc(replicas, r)).collect();
+            assert_eq!(arcs[0].start, 0);
+            for w in arcs.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap between arcs");
+                assert!(!w[0].closed);
+            }
+            assert!(arcs.last().unwrap().closed);
+            assert_eq!(arcs.last().unwrap().end, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let replicas = 4u32;
+        let mut counts = vec![0u32; replicas as usize];
+        for app in 0..20_000u32 {
+            counts[owner_of(replicas, f(app, 0)) as usize] += 1;
+        }
+        let expected = 5_000.0;
+        for (r, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.1, "replica {r} owns {c} functions");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        owner_of(0, f(0, 0));
+    }
+}

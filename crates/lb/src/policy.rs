@@ -43,6 +43,11 @@ pub trait LoadBalancer: std::fmt::Debug + Send {
 
     /// Observes an invoker leaving the fleet (eviction, crash, scale-in).
     fn on_invoker_leave(&mut self, _id: InvokerId) {}
+
+    /// Builds a fresh instance of the same policy with empty learned
+    /// state — used to stamp out controller replicas, each of which
+    /// observes only its own functions.
+    fn fresh(&self) -> Box<dyn LoadBalancer>;
 }
 
 /// Declarative policy selection, used by experiment configurations.

@@ -27,6 +27,10 @@ impl LoadBalancer for Random {
         "Random"
     }
 
+    fn fresh(&self) -> Box<dyn LoadBalancer> {
+        Box::new(Random)
+    }
+
     fn place(
         &mut self,
         _now: SimTime,
@@ -60,6 +64,10 @@ impl RoundRobin {
 impl LoadBalancer for RoundRobin {
     fn name(&self) -> &'static str {
         "RoundRobin"
+    }
+
+    fn fresh(&self) -> Box<dyn LoadBalancer> {
+        Box::new(RoundRobin::default())
     }
 
     fn place(

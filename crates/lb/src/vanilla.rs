@@ -60,6 +60,13 @@ impl LoadBalancer for VanillaOpenWhisk {
         "Vanilla"
     }
 
+    fn fresh(&self) -> Box<dyn LoadBalancer> {
+        Box::new(VanillaOpenWhisk {
+            cursor: None,
+            quota_mb: self.quota_mb,
+        })
+    }
+
     fn place(
         &mut self,
         _now: SimTime,

@@ -249,3 +249,56 @@ proptest! {
         prop_assert_eq!(stats.hits + stats.misses, places);
     }
 }
+
+proptest! {
+    /// Ownership-map invariants for the partitioned placement path: the
+    /// map is a total, deterministic function of the replica count alone
+    /// — every function is owned by exactly one replica, two evaluations
+    /// agree, and ring membership churn (any number of joins/leaves, any
+    /// epoch) never moves ownership.
+    #[test]
+    fn ownership_is_total_deterministic_and_churn_stable(
+        replicas in 1u32..16,
+        apps in prop::collection::vec(0u32..50_000, 1..120),
+        churn in prop::collection::vec((0u32..64, 0u8..2), 0..40),
+    ) {
+        let mut ring = HashRing::new();
+        for id in 0..8u32 {
+            ring.add(InvokerId(id));
+        }
+        let epoch_before = ring.epoch();
+        let owners: Vec<u32> = apps
+            .iter()
+            .map(|&a| hrv_lb::owner_of(replicas, f(a)))
+            .collect();
+        for (&app, &owner) in apps.iter().zip(&owners) {
+            // Total: exactly one owner, in range.
+            prop_assert!(owner < replicas, "app {} owner {}", app, owner);
+            // Deterministic: re-evaluation agrees.
+            prop_assert_eq!(owner, hrv_lb::owner_of(replicas, f(app)));
+            // The owner's arc — and only the owner's arc — contains the
+            // function's walk-start hash.
+            let covering: Vec<u32> = (0..replicas)
+                .filter(|&r| {
+                    hrv_lb::owned_arc(replicas, r)
+                        .contains(HashRing::function_hash(f(app)))
+                })
+                .collect();
+            prop_assert_eq!(covering, vec![owner]);
+        }
+        // Churn the ring arbitrarily: ownership never reads membership,
+        // so it is stable under join/leave at *every* epoch, bumped or
+        // not.
+        for (id, join) in churn {
+            if join == 1 && !ring.contains(InvokerId(id)) {
+                ring.add(InvokerId(id));
+            } else if join == 0 {
+                ring.remove(InvokerId(id));
+            }
+        }
+        prop_assert!(ring.epoch() >= epoch_before);
+        for (&app, &owner) in apps.iter().zip(&owners) {
+            prop_assert_eq!(owner, hrv_lb::owner_of(replicas, f(app)));
+        }
+    }
+}

@@ -132,6 +132,39 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Controller replication: partition the placement path across `replicas`
+/// controller replicas, each owning the functions whose MWS ring walks
+/// start in its slice of the 64-bit hash space. Replica `r` is hosted on
+/// shard `r % shards`, so with enough shards the placement path
+/// parallelizes instead of serializing on shard 0. Each replica keeps its
+/// own `HashRing` + `ClusterView`; placement charges are reconciled
+/// between replicas via periodic `ViewDelta` envelopes.
+///
+/// The default (`replicas: 1`) is the classic single-controller platform,
+/// byte-identical to the pre-replication code path (pinned by golden
+/// fingerprints).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerShardingConfig {
+    /// Number of controller replicas (>= 1). Independent of the shard
+    /// count: records are a function of the replica count, never of how
+    /// replicas are laid out over shards.
+    pub replicas: u32,
+    /// How often each replica broadcasts its pending placement-charge
+    /// deltas to its peers. Must be at least one bus hop when
+    /// `replicas > 1`. Staleness between replicas is bounded by this
+    /// interval plus one bus hop.
+    pub reconcile_interval: SimDuration,
+}
+
+impl Default for ControllerShardingConfig {
+    fn default() -> Self {
+        ControllerShardingConfig {
+            replicas: 1,
+            reconcile_interval: SimDuration::from_millis(200),
+        }
+    }
+}
+
 /// All tunables of the platform model. Defaults follow OpenWhisk defaults
 /// and the paper's setup where stated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -166,6 +199,11 @@ pub struct PlatformConfig {
     /// Number of controllers in the deployment (scales the per-controller
     /// arrival-rate estimates; the simulation models one).
     pub controllers: u32,
+    /// Controller replication: how many simulated controller replicas
+    /// partition the placement path, and how often they reconcile their
+    /// cluster views. Defaults to one replica — the classic platform.
+    #[serde(default)]
+    pub sharding: ControllerShardingConfig,
     /// Resource-monitor settings.
     pub monitor: ResourceMonitorConfig,
     /// Live-migration settings (Section 4.4 extension).
@@ -198,6 +236,7 @@ impl Default for PlatformConfig {
             placement_retry: SimDuration::from_millis(250),
             placement_timeout: SimDuration::from_secs(60),
             controllers: 1,
+            sharding: ControllerShardingConfig::default(),
             monitor: ResourceMonitorConfig::default(),
             migration: MigrationConfig::default(),
             recovery: RecoveryConfig::default(),
@@ -241,6 +280,17 @@ impl PlatformConfig {
             "retry interval must be positive"
         );
         assert!(self.controllers >= 1, "need at least one controller");
+        assert!(
+            self.sharding.replicas >= 1,
+            "need at least one controller replica"
+        );
+        if self.sharding.replicas > 1 {
+            assert!(
+                self.sharding.reconcile_interval >= self.bus_latency,
+                "reconcile interval must be at least one bus hop: view \
+                 deltas are cross-entity messages bound by the lookahead"
+            );
+        }
         assert!(
             self.cold_start_cpu_secs >= 0.0 && self.cold_start_cpu_secs.is_finite(),
             "bad cold-start tax"
@@ -408,6 +458,30 @@ mod tests {
         let mut config = PlatformConfig::default();
         config.recovery.enabled = true;
         config.recovery.probe_timeout = config.ping_interval;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "controller replica")]
+    fn zero_controller_replicas_are_rejected() {
+        let mut config = PlatformConfig::default();
+        config.sharding.replicas = 0;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reconcile interval")]
+    fn sub_bus_reconcile_interval_is_rejected() {
+        let mut config = PlatformConfig::default();
+        config.sharding.replicas = 4;
+        config.sharding.reconcile_interval = SimDuration::from_micros(1);
+        config.validate();
+    }
+
+    #[test]
+    fn replicated_controller_defaults_are_valid() {
+        let mut config = PlatformConfig::default();
+        config.sharding.replicas = 8;
         config.validate();
     }
 }

@@ -2,7 +2,7 @@
 //! and tracks the fleet through health pings and completion reports
 //! (Section 6.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,7 +12,7 @@ use hrv_lb::view::{ClusterView, InvokerId, InvokerView};
 use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::time::SimTime;
 
-use crate::event::CompletionReport;
+use crate::event::{CompletionReport, ViewDeltaRow};
 use crate::invoker::HealthSnapshot;
 
 /// Where an invocation was placed and what the controller committed for it.
@@ -56,6 +56,14 @@ pub struct Controller {
     /// view bookkeeping.
     expected_secs: HashMap<FunctionId, (u64, f64)>,
     rng: StdRng,
+    /// When true, every placement-charge mutation also accumulates into
+    /// `dirty` — the per-invoker deltas a controller replica broadcasts
+    /// to its peers at the next reconcile tick. Off (and free) for the
+    /// classic single-replica controller.
+    track_deltas: bool,
+    /// Net charge deltas since the last [`Controller::take_dirty`], by
+    /// invoker index (BTreeMap: deterministic broadcast order).
+    dirty: BTreeMap<u32, (i64, i64, f64)>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -79,6 +87,61 @@ impl Controller {
             inflight: HashMap::new(),
             expected_secs: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            track_deltas: false,
+            dirty: BTreeMap::new(),
+        }
+    }
+
+    /// Turns on per-invoker charge-delta accumulation (replicated
+    /// controllers only; the single-replica path never pays for it).
+    pub fn enable_delta_tracking(&mut self) {
+        self.track_deltas = true;
+    }
+
+    /// Accumulates one invoker's charge delta for the next reconcile
+    /// broadcast.
+    fn note_delta(&mut self, id: InvokerId, mem_mb: i64, inflight: i64, demand_secs: f64) {
+        if !self.track_deltas {
+            return;
+        }
+        let d = self.dirty.entry(id.0).or_insert((0, 0, 0.0));
+        d.0 += mem_mb;
+        d.1 += inflight;
+        d.2 += demand_secs;
+    }
+
+    /// Drains the pending charge deltas in ascending invoker order —
+    /// the payload of one `ViewDelta` broadcast. Empty when nothing
+    /// changed since the last tick.
+    pub fn take_dirty(&mut self) -> Vec<ViewDeltaRow> {
+        std::mem::take(&mut self.dirty)
+            .into_iter()
+            .map(|(invoker, (m, i, d))| ViewDeltaRow {
+                invoker,
+                memory_pending_mb: m,
+                inflight: i,
+                inflight_demand_secs: d,
+            })
+            .collect()
+    }
+
+    /// Applies a peer replica's charge deltas to the local view. Purely
+    /// additive load updates: placeability epochs are untouched, so the
+    /// MWS covering-set cache stays warm. Invokers this view no longer
+    /// tracks (removed between the peer's send and our receive) are
+    /// skipped.
+    pub fn apply_deltas(&mut self, deltas: &[ViewDeltaRow]) {
+        for row in deltas {
+            self.view.update(InvokerId(row.invoker), |v| {
+                v.memory_pending_mb = v
+                    .memory_pending_mb
+                    .saturating_add_signed(row.memory_pending_mb);
+                v.inflight = v.inflight.saturating_add_signed(
+                    row.inflight.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32,
+                );
+                v.inflight_demand_secs =
+                    (v.inflight_demand_secs + row.inflight_demand_secs).max(0.0);
+            });
         }
     }
 
@@ -138,6 +201,7 @@ impl Controller {
             v.inflight_demand_secs += expected;
         });
         assert!(updated, "policy placed on an unknown invoker");
+        self.note_delta(id, invocation.memory_mb as i64, 1, expected);
         self.inflight.insert(
             invocation.id,
             PlacementInfo {
@@ -199,6 +263,12 @@ impl Controller {
                 v.inflight_demand_secs =
                     (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
             });
+            self.note_delta(
+                info.invoker,
+                -(info.memory_mb as i64),
+                -1,
+                -info.expected_demand_secs,
+            );
         }
     }
 
@@ -216,6 +286,9 @@ impl Controller {
         self.view.remove(id);
         self.lb.on_invoker_leave(id);
         self.inflight.retain(|_, info| info.invoker != id);
+        // Peers drop the invoker through their own broadcast copy; stale
+        // deltas for a corpse would only be skipped on apply.
+        self.dirty.remove(&id.0);
     }
 
     /// Sets or clears quarantine on an invoker. Quarantined invokers take
@@ -257,6 +330,12 @@ impl Controller {
                 v.inflight_demand_secs =
                     (v.inflight_demand_secs - info.expected_demand_secs).max(0.0);
             });
+            self.note_delta(
+                info.invoker,
+                -(info.memory_mb as i64),
+                -1,
+                -info.expected_demand_secs,
+            );
             true
         } else {
             false
@@ -283,6 +362,8 @@ impl Controller {
             v.inflight += 1;
             v.inflight_demand_secs += expected;
         });
+        self.note_delta(src, -(memory_mb as i64), -1, -expected);
+        self.note_delta(dst, memory_mb as i64, 1, expected);
         true
     }
 
@@ -469,6 +550,43 @@ mod tests {
         assert_eq!(silent.len(), 1);
         assert_eq!(silent[0].0, InvokerId(0));
         assert_eq!(silent[0].1, SimDuration::from_secs(12));
+    }
+
+    #[test]
+    fn delta_tracking_roundtrips_between_replicas() {
+        let mut a = controller_with(2);
+        a.enable_delta_tracking();
+        let mut b = controller_with(2);
+        let RouteOutcome::Placed(id) = a.route(SimTime::ZERO, inv(0, 1)) else {
+            panic!()
+        };
+        let deltas = a.take_dirty();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].invoker, id.0);
+        b.apply_deltas(&deltas);
+        let v = b.view.get(id).unwrap();
+        assert_eq!(v.memory_pending_mb, 256);
+        assert_eq!(v.inflight, 1);
+        // The completion's release flows back as a negative delta.
+        a.on_report(&CompletionReport {
+            function: inv(0, 1).function,
+            invocation: 0,
+            memory_mb: 256,
+            exec_duration: SimDuration::from_secs(2),
+            cpu_cores: 1.0,
+            cold: false,
+            arrival: SimTime::ZERO,
+        });
+        b.apply_deltas(&a.take_dirty());
+        let v = b.view.get(id).unwrap();
+        assert_eq!(v.memory_pending_mb, 0);
+        assert_eq!(v.inflight, 0);
+        // Deltas for invokers the receiver no longer tracks are skipped.
+        a.route(SimTime::ZERO, inv(1, 1));
+        b.on_invoker_down(id);
+        b.apply_deltas(&a.take_dirty());
+        // Untracked controllers accumulate nothing.
+        assert!(b.take_dirty().is_empty());
     }
 
     #[test]

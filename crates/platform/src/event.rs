@@ -8,7 +8,29 @@ use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::time::{SimDuration, SimTime};
 
 use crate::config::VmTemplate;
-use crate::invoker::HealthSnapshot;
+use crate::invoker::{HealthSnapshot, RunningInvocation};
+
+/// Index of a controller replica (`0 <= replica < replicas`). Replica 0
+/// is the classic controller; with one replica every `replica` field in
+/// this module is zero and the event stream is byte-identical to the
+/// pre-replication platform.
+pub type ReplicaIndex = u32;
+
+/// One invoker's pending placement-charge delta, broadcast between
+/// controller replicas inside [`Event::ViewDelta`] envelopes so each
+/// replica's `ClusterView` accounts for its peers' in-flight placements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewDeltaRow {
+    /// The invoker whose charges changed.
+    pub invoker: InvokerIndex,
+    /// Change in reserved-but-unreported memory, MiB (may be negative:
+    /// completions release charges).
+    pub memory_pending_mb: i64,
+    /// Change in in-flight invocation count.
+    pub inflight: i64,
+    /// Change in in-flight CPU-seconds of expected demand.
+    pub inflight_demand_secs: f64,
+}
 
 /// Index of an invoker in the platform's invoker table (stable for the
 /// whole run; dead invokers keep their slot).
@@ -118,13 +140,17 @@ pub enum Event {
         /// The pinging invoker.
         invoker: InvokerIndex,
     },
-    /// A health-ping snapshot reaches the controller, one bus hop after
-    /// the invoker's [`Event::Ping`] timer fired.
+    /// A health-ping snapshot reaches a controller replica, one bus hop
+    /// after the invoker's [`Event::Ping`] timer fired. Broadcast: every
+    /// replica receives its own copy so all cluster views track fleet
+    /// health.
     PingReport {
         /// The pinging invoker.
         invoker: InvokerIndex,
         /// Health reading taken at ping time.
         snap: HealthSnapshot,
+        /// The receiving replica.
+        replica: ReplicaIndex,
     },
     /// An invoker's completion report reaches the controller.
     Report {
@@ -133,19 +159,22 @@ pub enum Event {
         /// The report payload.
         report: CompletionReport,
     },
-    /// The controller learns an invoker is gone (ping loss after
-    /// eviction).
+    /// A controller replica learns an invoker is gone (ping loss after
+    /// eviction). Broadcast to every replica.
     InvokerDown {
         /// The dead invoker.
         invoker: InvokerIndex,
+        /// The receiving replica.
+        replica: ReplicaIndex,
     },
     /// A VM (trace-driven or monitor-deployed) becomes ready.
     VmDeploy {
         /// The invoker slot coming online.
         invoker: InvokerIndex,
     },
-    /// The controller learns a freshly deployed invoker is up, one bus
-    /// hop after [`Event::VmDeploy`] ran on the invoker's shard.
+    /// A controller replica learns a freshly deployed invoker is up, one
+    /// bus hop after [`Event::VmDeploy`] ran on the invoker's shard.
+    /// Broadcast to every replica.
     DeployNotice {
         /// The invoker that came online.
         invoker: InvokerIndex,
@@ -154,8 +183,11 @@ pub enum Event {
         /// Memory it deployed with, MiB.
         memory_mb: u64,
         /// Whether the resource monitor requested this VM (releases the
-        /// monitor's pending-CPU reservation).
+        /// monitor's pending-CPU reservation; replica 0 runs the
+        /// monitor).
         from_monitor: bool,
+        /// The receiving replica.
+        replica: ReplicaIndex,
     },
     /// The resource monitor's deploy order reaches the shard owning the
     /// new invoker slot after the template's deploy delay; the receiving
@@ -203,17 +235,69 @@ pub enum Event {
         /// The warned invoker to plan for.
         invoker: InvokerIndex,
     },
-    /// A live migration's state transfer finished: hand the invocation
-    /// over from the warned source invoker to the destination.
-    MigrateDone {
+    /// A warned invoker asks the replica owning the invocation's function
+    /// to resolve a live migration: pick a destination from the owner's
+    /// cluster view and check the transfer fits the eviction grace.
+    MigrateAsk {
         /// Source invoker (under eviction warning).
         src: InvokerIndex,
-        /// Destination invoker.
-        dst: InvokerIndex,
         /// Container id of the migrating invocation on the source.
         container: u64,
+        /// The migrating invocation's function (routes to its owner).
+        function: FunctionId,
         /// The invocation id (for controller bookkeeping joins).
         invocation: u64,
+        /// Container memory footprint, MiB (sizes the state transfer).
+        memory_mb: u64,
+        /// When the source VM received its eviction warning (anchors the
+        /// grace-period deadline at the deciding replica).
+        warned_at: SimTime,
+    },
+    /// The owning replica's go-ahead reaches the warned source invoker:
+    /// extract the running invocation and ship it to `dst`.
+    MigrateExtract {
+        /// Source invoker.
+        src: InvokerIndex,
+        /// Destination invoker chosen by the owning replica.
+        dst: InvokerIndex,
+        /// Container id to extract on the source.
+        container: u64,
+        /// State-transfer time (setup + per-GiB copy); the implant
+        /// envelope travels with this delay.
+        transfer: SimDuration,
+    },
+    /// A live migration's state transfer finishes at the destination:
+    /// implant the extracted invocation and resume it.
+    MigrateImplant {
+        /// Destination invoker.
+        dst: InvokerIndex,
+        /// Source invoker (for the bounce path if the implant fails).
+        src: InvokerIndex,
+        /// The extracted running-invocation state.
+        run: RunningInvocation,
+        /// Remaining CPU-seconds of demand at extraction time.
+        remaining: f64,
+    },
+    /// A failed implant bounces the extracted invocation back to its
+    /// source, which re-implants it (or reports it lost if the source is
+    /// already gone).
+    MigrateBounce {
+        /// The original source invoker.
+        src: InvokerIndex,
+        /// The extracted running-invocation state.
+        run: RunningInvocation,
+        /// Remaining CPU-seconds of demand.
+        remaining: f64,
+    },
+    /// A successful implant notifies the owning replica so its in-flight
+    /// bookkeeping follows the invocation to the destination.
+    MigrateCommit {
+        /// The invocation id that moved.
+        invocation: u64,
+        /// Its function (routes to the owning replica).
+        function: FunctionId,
+        /// The destination invoker now hosting it.
+        dst: InvokerIndex,
     },
     /// Fault injection: the VM dies crash-stop, with no warning and no
     /// notification — unlike [`Event::VmEvict`], nothing else is
@@ -243,15 +327,45 @@ pub enum Event {
         /// The invocation to route again.
         invocation: Invocation,
     },
-    /// Recovery: the controller's periodic health-probe sweep, which
-    /// quarantines silent invokers and removes long-dead ones.
-    HealthSweep,
-    /// The controller retries its queue of unplaced invocations.
-    RetryQueue,
-    /// The resource monitor checks the capacity floor.
+    /// Recovery: a controller replica's periodic health-probe sweep,
+    /// which quarantines silent invokers and removes long-dead ones.
+    /// Each replica sweeps its own view on its own (identical) schedule.
+    HealthSweep {
+        /// The sweeping replica.
+        replica: ReplicaIndex,
+    },
+    /// A controller replica retries its queue of unplaced invocations.
+    RetryQueue {
+        /// The retrying replica.
+        replica: ReplicaIndex,
+    },
+    /// The resource monitor checks the capacity floor (replica 0 only).
     MonitorTick,
-    /// Metrics sampling tick (utilization time series).
-    Sample,
+    /// Metrics sampling tick for one invoker's utilization contribution.
+    /// Per-invoker (not fleet-wide) so the event count is independent of
+    /// how invokers are partitioned over shards; partial samples are
+    /// coalesced into fleet-total rows when runs are merged.
+    Sample {
+        /// The sampled invoker.
+        invoker: InvokerIndex,
+    },
+    /// A controller replica's periodic view-reconciliation timer: when
+    /// its pending placement-charge deltas are non-empty, it broadcasts
+    /// them to peers as [`Event::ViewDelta`] envelopes. Only scheduled
+    /// when more than one replica exists.
+    ReconcileTick {
+        /// The reconciling replica.
+        replica: ReplicaIndex,
+    },
+    /// A peer replica's placement-charge deltas arrive: apply them to
+    /// the local cluster view. Load-only updates — placeability epochs
+    /// are untouched, so the MWS covering-set cache stays warm.
+    ViewDelta {
+        /// The receiving replica.
+        replica: ReplicaIndex,
+        /// Per-invoker charge deltas, in ascending invoker order.
+        deltas: Vec<ViewDeltaRow>,
+    },
 }
 
 impl Event {

@@ -78,7 +78,7 @@ pub struct PrewarmRequest {
 }
 
 /// An invocation currently executing (or cold-starting).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningInvocation {
     /// The invocation.
     pub invocation: Invocation,

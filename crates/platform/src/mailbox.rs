@@ -23,15 +23,35 @@ use hrv_trace::time::SimTime;
 
 use crate::event::{Event, InvokerIndex};
 
-/// Entity id: 0 is the controller, `i + 1` is invoker `i`.
+/// Entity id: 0 is the controller, `i + 1` is invoker `i`, and controller
+/// replicas `r >= 1` live in a reserved high range starting at
+/// [`REPLICA_BASE`].
 pub type EntityId = u32;
 
-/// The controller's entity id.
+/// The controller's entity id. With controller replication this is
+/// replica 0 — the replica that also runs the fleet monitor and absorbs
+/// view-freeze faults.
 pub const CONTROLLER: EntityId = 0;
+
+/// First entity id of the controller-replica range. Replica `r > 0` is
+/// entity `REPLICA_BASE + r`; replica 0 keeps the classic id 0 so the
+/// single-replica configuration is byte-identical to the pre-replication
+/// platform. The base is far above any realistic invoker count (invoker
+/// `i` is entity `i + 1`).
+pub const REPLICA_BASE: EntityId = 0xFFFF_0000;
 
 /// Entity id of invoker `i`.
 pub fn invoker_entity(i: InvokerIndex) -> EntityId {
     i + 1
+}
+
+/// Entity id of controller replica `r` (replica 0 is [`CONTROLLER`]).
+pub fn replica_entity(r: u32) -> EntityId {
+    if r == 0 {
+        CONTROLLER
+    } else {
+        REPLICA_BASE + r
+    }
 }
 
 /// A timestamped cross-entity message.
@@ -114,10 +134,19 @@ impl ShardPlan {
         i % self.shards == self.shard
     }
 
+    /// Whether this shard hosts controller replica `r`. Replica `r` lives
+    /// on shard `r % shards`, so replica 0 always shares shard 0 with the
+    /// classic controller duties (monitor, view-freeze faults).
+    pub fn owns_replica(&self, r: u32) -> bool {
+        r % self.shards == self.shard
+    }
+
     /// The shard hosting `entity`.
     pub fn shard_of(shards: u32, entity: EntityId) -> u32 {
         if entity == CONTROLLER {
             0
+        } else if entity >= REPLICA_BASE {
+            (entity - REPLICA_BASE) % shards
         } else {
             (entity - 1) % shards
         }
@@ -134,7 +163,7 @@ mod tests {
             sender,
             seq,
             target: CONTROLLER,
-            event: Event::HealthSweep,
+            event: Event::HealthSweep { replica: 0 },
         }
     }
 
@@ -169,6 +198,22 @@ mod tests {
             }
             assert!(ShardPlan::new(0, shards).owns_controller());
             assert_eq!(ShardPlan::shard_of(shards, CONTROLLER), 0);
+        }
+    }
+
+    #[test]
+    fn replicas_partition_like_entities() {
+        for shards in [1u32, 2, 4, 8] {
+            for r in 0..16u32 {
+                let owners: Vec<u32> = (0..shards)
+                    .filter(|&s| ShardPlan::new(s, shards).owns_replica(r))
+                    .collect();
+                assert_eq!(owners.len(), 1, "replica {r} @ {shards} shards");
+                assert_eq!(owners[0], ShardPlan::shard_of(shards, replica_entity(r)));
+            }
+            // Replica 0 is the classic controller on shard 0.
+            assert_eq!(replica_entity(0), CONTROLLER);
+            assert_eq!(ShardPlan::shard_of(shards, replica_entity(0)), 0);
         }
     }
 

@@ -75,6 +75,37 @@ pub struct UtilizationSample {
     pub cpus_in_use: f64,
 }
 
+/// One invoker's contribution to a utilization grid tick. The platform
+/// samples per invoker (so sharded runs can sample locally and merge);
+/// [`MetricsCollector::canonicalize_records`] coalesces the buffered
+/// rows into fleet-wide [`UtilizationSample`]s, summing in invoker order
+/// so the float totals are bit-identical for every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialSample {
+    /// Sample time (a multiple of the sampling interval).
+    pub at: SimTime,
+    /// The sampled invoker.
+    pub invoker: u32,
+    /// The invoker's allocated CPUs.
+    pub total_cpus: u32,
+    /// The invoker's cores in use.
+    pub cpus_in_use: f64,
+}
+
+/// Per-controller-replica occupancy counters (the perfsmoke
+/// `controller_occupancy` section): how evenly the partitioned placement
+/// path spreads work across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaOccupancy {
+    /// The replica index.
+    pub replica: u32,
+    /// Placement decisions the replica made (dispatches, retries,
+    /// re-dispatches).
+    pub placements: u64,
+    /// Controller-bound envelopes the replica consumed.
+    pub envelopes: u64,
+}
+
 /// A bounded utilization time series with deterministic decimation: when
 /// the buffer fills, every other retained point is dropped and the keep
 /// stride doubles. No RNG (the simulator's determinism contract), O(cap)
@@ -299,8 +330,9 @@ impl StreamingMetrics {
     /// `latency_stats` may differ from a sequential fold (they are
     /// outside the sharded driver's byte-identity contract). The bounded
     /// utilization series cannot be re-interleaved after decimation, so
-    /// it keeps whichever side has points (sampling is restricted to
-    /// single-shard runs anyway).
+    /// it keeps whichever side has points (harmless: sharded worlds
+    /// buffer per-invoker partial rows and only feed the series after
+    /// the merge, so at merge time both sides are empty).
     pub fn merge(&mut self, other: &StreamingMetrics) {
         self.latency_hist.merge(&other.latency_hist);
         self.exec_hist.merge(&other.exec_hist);
@@ -355,6 +387,13 @@ pub struct MetricsCollector {
     pub records: Vec<InvocationRecord>,
     /// Utilization time series (empty when the record sink is off).
     pub samples: Vec<UtilizationSample>,
+    /// Per-invoker utilization rows awaiting coalescing. Buffered until
+    /// [`MetricsCollector::canonicalize_records`] so sharded runs can
+    /// merge every shard's rows first and sum them in invoker order.
+    pub partial_samples: Vec<PartialSample>,
+    /// Per-controller-replica placement/envelope counts, flushed at
+    /// censoring time.
+    pub replica_occupancy: Vec<ReplicaOccupancy>,
     /// Constant-memory aggregates, always maintained.
     pub streaming: StreamingMetrics,
     /// Total arrivals seen by the controller.
@@ -403,6 +442,8 @@ impl Default for MetricsCollector {
         MetricsCollector {
             records: Vec::new(),
             samples: Vec::new(),
+            partial_samples: Vec::new(),
+            replica_occupancy: Vec::new(),
             streaming: StreamingMetrics::default(),
             arrivals: 0,
             warm_starts: 0,
@@ -566,6 +607,8 @@ impl MetricsCollector {
         );
         self.records.extend(other.records);
         self.samples.extend(other.samples);
+        self.partial_samples.extend(other.partial_samples);
+        self.replica_occupancy.extend(other.replica_occupancy);
         self.phases.extend(other.phases);
         self.phase_totals.merge(&other.phase_totals);
         self.counters.merge(&other.counters);
@@ -601,10 +644,58 @@ impl MetricsCollector {
                 Outcome::Lost => 4,
             }
         }
+        self.coalesce_partial_samples();
         self.records
             .sort_by_key(|r| (r.finished, r.id, outcome_rank(r.outcome)));
         self.samples.sort_by_key(|s| s.at);
+        self.replica_occupancy.sort_by_key(|r| r.replica);
         self.phases.sort_by_key(|p| (p.finished, p.id));
+    }
+
+    /// Folds the buffered per-invoker sample rows into fleet-wide
+    /// [`UtilizationSample`]s, one per grid tick. Rows are sorted by
+    /// `(at, invoker)` and summed in that order, so the float totals are
+    /// bit-identical no matter which shard produced which row.
+    fn coalesce_partial_samples(&mut self) {
+        if self.partial_samples.is_empty() {
+            return;
+        }
+        let mut rows = std::mem::take(&mut self.partial_samples);
+        rows.sort_by_key(|r| (r.at, r.invoker));
+        let mut i = 0usize;
+        while i < rows.len() {
+            let at = rows[i].at;
+            let mut total_cpus = 0u32;
+            let mut cpus_in_use = 0.0f64;
+            while i < rows.len() && rows[i].at == at {
+                total_cpus += rows[i].total_cpus;
+                cpus_in_use += rows[i].cpus_in_use;
+                i += 1;
+            }
+            self.push_sample(UtilizationSample {
+                at,
+                total_cpus,
+                cpus_in_use,
+            });
+        }
+    }
+
+    /// Buffers one invoker's utilization reading for a grid tick. The
+    /// buffer grows with `ticks x invokers` until
+    /// [`MetricsCollector::canonicalize_records`] coalesces it — the
+    /// price of sampling that merges deterministically across shards.
+    pub fn push_partial_sample(&mut self, at: SimTime, invoker: u32, total_cpus: u32, used: f64) {
+        self.partial_samples.push(PartialSample {
+            at,
+            invoker,
+            total_cpus,
+            cpus_in_use: used,
+        });
+    }
+
+    /// Records one controller replica's occupancy counters.
+    pub fn push_replica_occupancy(&mut self, row: ReplicaOccupancy) {
+        self.replica_occupancy.push(row);
     }
 
     /// Records a utilization sample.

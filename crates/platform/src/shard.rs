@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use hrv_fault::FaultPlan;
+use hrv_lb::owner_of;
 use hrv_lb::policy::PolicyKind;
 use hrv_sim::calendar::{Calendar, EventCalendar};
 use hrv_sim::engine::{run_until, RunStats, StopReason};
@@ -211,14 +212,17 @@ fn shard_worker(
 }
 
 /// A simulation partitioned into `S` shards, each owning a disjoint slice
-/// of the invokers (the controller lives on shard 0) with its own
-/// timer-wheel calendar, run on `S` worker threads. Records, event
-/// counts, and start counters are byte-identical for every shard count;
-/// streaming float aggregates merge via parallel-Welford and may differ
-/// in final bits.
-///
-/// Restrictions at `shards > 1` (asserted): live migration and
-/// utilization sampling are cross-shard-synchronous and must stay off.
+/// of the invokers and hosting the controller replicas assigned to it
+/// (replica `r` lives on shard `r mod S`; replica 0 — the whole
+/// controller when `sharding.replicas == 1` — on shard 0), with its own
+/// timer-wheel calendar, run on `S` worker threads. Each shard consumes
+/// the arrivals its hosted replicas own directly — no hop through
+/// shard 0. Records, event counts, and start counters are byte-identical
+/// for every shard count; streaming float aggregates merge via
+/// parallel-Welford and may differ in final bits. Live migration and
+/// utilization sampling are envelope-based (owner-resolved migration,
+/// per-invoker sample rows coalesced after the merge), so they run at
+/// any shard count.
 pub struct ShardedSimulation {
     worlds: Vec<PlatformWorld>,
     cals: Vec<Calendar<Event>>,
@@ -250,29 +254,21 @@ impl ShardedSimulation {
         shards: u32,
     ) -> Self {
         assert!(shards >= 1, "need at least one shard");
-        if shards > 1 {
-            assert!(
-                !cfg.migration.enabled,
-                "live migration moves work between invokers synchronously; \
-                 run it with shards = 1"
-            );
-            assert!(
-                cfg.sample_interval.is_zero(),
-                "utilization sampling reads the whole fleet at one instant; \
-                 run it with shards = 1"
-            );
-        }
+        let replicas = cfg.sharding.replicas;
         let mut worlds = Vec::with_capacity(shards as usize);
         let mut cals = Vec::with_capacity(shards as usize);
         for s in 0..shards {
             let mut cal = Calendar::new();
-            // Only the controller shard consumes arrivals; peers get an
-            // empty stream (and an inert policy copy that never routes).
-            let stream: Box<dyn ArrivalStream> = if s == 0 {
-                Box::new(SortedTraceStream::new(workload.clone()))
-            } else {
-                Box::new(SortedTraceStream::new(Vec::new()))
-            };
+            let plan = ShardPlan::new(s, shards);
+            // Each shard consumes exactly the arrivals whose owning
+            // replica it hosts (all of them when `replicas == 1` and
+            // `s == 0` — the classic single-controller layout).
+            let owned: Vec<Invocation> = workload
+                .iter()
+                .filter(|inv| plan.owns_replica(owner_of(replicas, inv.function)))
+                .cloned()
+                .collect();
+            let stream: Box<dyn ArrivalStream> = Box::new(SortedTraceStream::new(owned));
             let world = PlatformWorld::from_stream_sharded_in(
                 spec.clone(),
                 stream,
@@ -280,7 +276,7 @@ impl ShardedSimulation {
                 cfg.clone(),
                 seed,
                 faults.clone(),
-                ShardPlan::new(s, shards),
+                plan,
                 &mut cal,
             );
             worlds.push(world);
@@ -333,10 +329,12 @@ impl ShardedSimulation {
     }
 }
 
-/// Merges per-shard worlds into one [`SimOutput`]: shard 0 (the
-/// controller) censors whatever is still in flight at the latest shard
-/// clock, then absorbs every peer's metrics; counters are sums, records
-/// re-sort into canonical order.
+/// Merges per-shard worlds into one [`SimOutput`]: every shard censors
+/// whatever its hosted replicas still have in flight at the latest shard
+/// clock (flushing its replica-occupancy rows on the way out), then
+/// shard 0 absorbs every peer's metrics; counters are sums, records
+/// re-sort into canonical order, and buffered per-invoker utilization
+/// rows coalesce inside `canonicalize_records`.
 fn merge_outputs(results: Vec<(PlatformWorld, RunStats)>) -> SimOutput {
     let events: u64 = results.iter().map(|(_, r)| r.events).sum();
     let end_time = results
@@ -346,8 +344,10 @@ fn merge_outputs(results: Vec<(PlatformWorld, RunStats)>) -> SimOutput {
         .expect("at least one shard");
     let reason = results[0].1.reason;
     let mut worlds: Vec<PlatformWorld> = results.into_iter().map(|(w, _)| w).collect();
+    for w in &mut worlds {
+        w.censor_remaining(end_time);
+    }
     let mut w0 = worlds.remove(0);
-    w0.censor_remaining(end_time);
     let mut cold_starts = w0.total_cold_starts();
     let mut warm_starts = w0.total_warm_starts();
     let mut dropped = w0.total_dropped_completions();

@@ -4,12 +4,14 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hrv_fault::{DispatchOutcome, DispatchSampler, FaultKind, FaultPlan, WarningFault};
+use hrv_lb::owner_of;
 use hrv_lb::policy::LoadBalancer;
 use hrv_lb::view::InvokerId;
 use hrv_sim::calendar::{Calendar, EventCalendar, Scheduled};
 use hrv_sim::engine::{RunStats, World};
-use hrv_trace::faas::Invocation;
+use hrv_trace::faas::{FunctionId, Invocation};
 use hrv_trace::harvest::{VmEnd, VmTrace};
+use hrv_trace::rng::splitmix64;
 use hrv_trace::stream::{ArrivalStream, SortedTraceStream};
 use hrv_trace::time::{SimDuration, SimTime};
 
@@ -17,10 +19,10 @@ use hrv_telemetry::{FlightRecorder, PhaseRecord, SpanKind, NO_INVOCATION};
 
 use crate::config::{PlatformConfig, VmTemplate};
 use crate::controller::{Controller, RouteOutcome};
-use crate::event::{CompletionReport, Event, InvokerIndex, LossCause};
+use crate::event::{CompletionReport, Event, InvokerIndex, LossCause, ReplicaIndex};
 use crate::invoker::{InvokerState, RunningInvocation};
-use crate::mailbox::{invoker_entity, EntityId, Envelope, ShardPlan, CONTROLLER};
-use crate::metrics::{InvocationRecord, MetricsCollector, Outcome, UtilizationSample};
+use crate::mailbox::{invoker_entity, replica_entity, EntityId, Envelope, ShardPlan, REPLICA_BASE};
+use crate::metrics::{InvocationRecord, MetricsCollector, Outcome, ReplicaOccupancy};
 use crate::telemetry::TelemetrySink;
 
 /// The VMs a simulation starts from.
@@ -85,11 +87,49 @@ enum SlotSource {
     Monitor(VmTemplate),
 }
 
+/// One controller replica hosted on this shard, bundling the controller
+/// proper with the per-controller recovery and fault state that used to
+/// live directly on the world. With `sharding.replicas == 1` the single
+/// [`ReplicaState`] reproduces the pre-replication platform exactly.
+struct ReplicaState {
+    /// Global replica index (replica 0 is the classic controller entity).
+    index: ReplicaIndex,
+    controller: Controller,
+    retry_armed: bool,
+    /// Dispatch-message fault process, if the fault plan carries one.
+    /// Per replica: each rolls its own identically-seeded sequence, so
+    /// fault fates do not depend on how replicas interleave.
+    dispatch_faults: Option<DispatchSampler>,
+    /// Re-dispatch attempts per in-flight invocation id (empty unless
+    /// recovery is actively retrying something).
+    attempts: HashMap<u64, u32>,
+    /// Invocations waiting on a scheduled [`Event::Redispatch`], so a run
+    /// that ends first can censor them.
+    pending_redispatch: BTreeMap<u64, Invocation>,
+    /// Remaining retry budget (from [`crate::config::RecoveryConfig`];
+    /// per replica, so the fleet-wide budget scales with replication).
+    retry_budget: u64,
+    /// When each currently-quarantined invoker entered quarantine.
+    quarantine_since: BTreeMap<InvokerIndex, SimTime>,
+    /// Consecutive straggler strikes per invoker.
+    straggler_strikes: HashMap<InvokerIndex, u32>,
+    /// Placement decisions this replica made (occupancy probe).
+    placements: u64,
+    /// Controller-bound envelopes this replica consumed.
+    envelopes: u64,
+}
+
 /// The complete simulated platform — or, under the sharded driver, the
 /// slice of it one shard owns (see [`ShardPlan`]).
 pub struct PlatformWorld {
     cfg: PlatformConfig,
-    controller: Controller,
+    /// Controller replicas hosted on this shard, ascending by index
+    /// (replica `r` lives on shard `r % shards`; its local slot is
+    /// `r / shards`).
+    replicas: Vec<ReplicaState>,
+    /// Total controller replicas across all shards
+    /// (`cfg.sharding.replicas`).
+    replica_count: u32,
     invokers: Vec<InvokerState>,
     slots: Vec<SlotSource>,
     arrivals: Box<dyn ArrivalStream>,
@@ -100,30 +140,19 @@ pub struct PlatformWorld {
     /// Cross-entity messages produced during the current round; the
     /// round driver drains and re-injects them (see [`crate::shard`]).
     outbox: Vec<Envelope>,
-    /// Per-sender message counters backing the canonical envelope order.
+    /// Per-sender message counters backing the canonical envelope order
+    /// (invoker and classic-controller entities, indexed by entity id).
     msg_seq: Vec<u64>,
+    /// Message counters for replica senders (`REPLICA_BASE + r`), indexed
+    /// by replica — the entity ids are far too sparse for `msg_seq`.
+    replica_seq: Vec<u64>,
     /// Next invoker slot index the resource monitor may assign
     /// (controller-side; slot indices are globally unique).
     next_slot_index: u32,
-    retry_armed: bool,
     monitor_pending_cpus: u32,
-    /// Dispatch-message fault process, if the fault plan carries one.
-    dispatch_faults: Option<DispatchSampler>,
-    /// True inside a view-staleness window: health pings are dropped.
+    /// True inside a view-staleness window: replica 0's health pings are
+    /// dropped.
     view_frozen: bool,
-    /// Re-dispatch attempts per in-flight invocation id (empty unless
-    /// recovery is actively retrying something).
-    attempts: HashMap<u64, u32>,
-    /// Invocations waiting on a scheduled [`Event::Redispatch`], so a run
-    /// that ends first can censor them.
-    pending_redispatch: BTreeMap<u64, Invocation>,
-    /// Remaining global retry budget (from
-    /// [`crate::config::RecoveryConfig`]).
-    retry_budget: u64,
-    /// When each currently-quarantined invoker entered quarantine.
-    quarantine_since: BTreeMap<InvokerIndex, SimTime>,
-    /// Consecutive straggler strikes per invoker.
-    straggler_strikes: HashMap<InvokerIndex, u32>,
     /// Flight recorder + phase-attribution bookkeeping (a strict no-op
     /// under [`hrv_telemetry::TelemetryConfig::Off`]).
     pub(crate) tel: TelemetrySink,
@@ -133,7 +162,7 @@ impl std::fmt::Debug for PlatformWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlatformWorld")
             .field("invokers", &self.invokers.len())
-            .field("controller", &self.controller)
+            .field("replicas", &self.replicas.len())
             .finish()
     }
 }
@@ -314,20 +343,92 @@ impl PlatformWorld {
                 cal.schedule(fe.at, event);
             }
         }
-        if plan.owns_controller() {
-            if let Some(first) = arrivals.next_invocation() {
-                cal.schedule(first.arrival, Event::Arrival(first));
-            }
-            if cfg.monitor.enabled {
-                cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
+        let replica_count = cfg.sharding.replicas;
+        // Every shard consumes arrivals for the functions its hosted
+        // replicas own directly — the driver hands each shard a stream
+        // pre-filtered to that ownership set, so there is no hop through
+        // shard 0. (Under the solo plan the stream is the full workload.)
+        if let Some(first) = arrivals.next_invocation() {
+            cal.schedule(first.arrival, Event::Arrival(first));
+        }
+        if plan.owns_controller() && cfg.monitor.enabled {
+            cal.schedule_after(cfg.monitor.interval, Event::MonitorTick);
+        }
+        for r in 0..replica_count {
+            if !plan.owns_replica(r) {
+                continue;
             }
             if cfg.recovery.enabled {
-                cal.schedule_after(cfg.recovery.probe_interval, Event::HealthSweep);
+                cal.schedule_after(
+                    cfg.recovery.probe_interval,
+                    Event::HealthSweep { replica: r },
+                );
             }
-            if !cfg.sample_interval.is_zero() {
-                cal.schedule(SimTime::ZERO, Event::Sample);
+            // Reconciliation only exists between peers: with a single
+            // replica no tick is scheduled and event counts match the
+            // pre-replication platform exactly.
+            if replica_count > 1 {
+                cal.schedule_after(
+                    cfg.sharding.reconcile_interval,
+                    Event::ReconcileTick { replica: r },
+                );
             }
         }
+        if !cfg.sample_interval.is_zero() {
+            // Per-invoker sampling chains on the shared grid: each owned
+            // slot ticks from its first grid point at/after deploy until
+            // death, so the merged series is shard-count-invariant.
+            let step = cfg.sample_interval.as_micros();
+            for (i, vm) in spec.vms.iter().enumerate() {
+                let index = i as InvokerIndex;
+                if !plan.owns_invoker(index) {
+                    continue;
+                }
+                let dep = vm.deploy.since(SimTime::ZERO).as_micros();
+                let at = SimTime::ZERO + SimDuration::from_micros(dep.div_ceil(step) * step);
+                cal.schedule(at, Event::Sample { invoker: index });
+            }
+        }
+        let hosted: Vec<ReplicaIndex> = (0..replica_count)
+            .filter(|&r| plan.owns_replica(r))
+            .collect();
+        let mut lbs: Vec<Box<dyn LoadBalancer>> = Vec::with_capacity(hosted.len());
+        if !hosted.is_empty() {
+            let mut extras: Vec<Box<dyn LoadBalancer>> =
+                (1..hosted.len()).map(|_| policy.fresh()).collect();
+            lbs.push(policy);
+            lbs.append(&mut extras);
+        }
+        let replicas: Vec<ReplicaState> = hosted
+            .into_iter()
+            .zip(lbs)
+            .map(|(r, lb)| {
+                // Replica 0 keeps the caller's seed bit-for-bit; peers
+                // derive theirs so tie-break rolls stay independent.
+                let rng_seed = if r == 0 {
+                    seed
+                } else {
+                    seed ^ splitmix64(0x5EED_0000_u64 + u64::from(r))
+                };
+                let mut controller = Controller::new(lb, rng_seed);
+                if replica_count > 1 {
+                    controller.enable_delta_tracking();
+                }
+                ReplicaState {
+                    index: r,
+                    controller,
+                    retry_armed: false,
+                    dispatch_faults: faults.dispatch.as_ref().map(|d| d.sampler()),
+                    attempts: HashMap::new(),
+                    pending_redispatch: BTreeMap::new(),
+                    retry_budget: cfg.recovery.retry_budget,
+                    quarantine_since: BTreeMap::new(),
+                    straggler_strikes: HashMap::new(),
+                    placements: 0,
+                    envelopes: 0,
+                }
+            })
+            .collect();
         let metrics = if cfg.record_invocations {
             MetricsCollector::new()
         } else {
@@ -335,8 +436,8 @@ impl PlatformWorld {
         };
         let tel = TelemetrySink::new(&cfg.telemetry);
         PlatformWorld {
-            controller: Controller::new(policy, seed),
-            retry_budget: cfg.recovery.retry_budget,
+            replicas,
+            replica_count,
             next_slot_index: spec.vms.len() as u32,
             cfg,
             invokers,
@@ -346,21 +447,33 @@ impl PlatformWorld {
             plan,
             outbox: Vec::new(),
             msg_seq: Vec::new(),
-            retry_armed: false,
+            replica_seq: Vec::new(),
             monitor_pending_cpus: 0,
-            dispatch_faults: faults.dispatch.map(|d| d.sampler()),
             view_frozen: false,
-            attempts: HashMap::new(),
-            pending_redispatch: BTreeMap::new(),
-            quarantine_since: BTreeMap::new(),
-            straggler_strikes: HashMap::new(),
             tel,
         }
     }
 
-    /// The controller, for post-run inspection.
+    /// The replica owning `function`'s placement (always 0 with a single
+    /// replica).
+    fn owner(&self, function: FunctionId) -> ReplicaIndex {
+        owner_of(self.replica_count, function)
+    }
+
+    /// Mutable access to hosted replica `r` (panics if this shard does
+    /// not host it — replica-targeted envelopes only land on the owner).
+    fn rep_mut(&mut self, r: ReplicaIndex) -> &mut ReplicaState {
+        let local = (r / self.plan.shards) as usize;
+        debug_assert_eq!(
+            self.replicas[local].index, r,
+            "replica routed to wrong shard"
+        );
+        &mut self.replicas[local]
+    }
+
+    /// The controller (first hosted replica), for post-run inspection.
     pub fn controller(&self) -> &Controller {
-        &self.controller
+        &self.replicas[0].controller
     }
 
     /// The invokers, for post-run inspection.
@@ -438,12 +551,23 @@ impl PlatformWorld {
             delay >= self.cfg.bus_latency,
             "cross-entity delay {delay:?} below the bus-latency lookahead"
         );
-        let idx = sender as usize;
-        if self.msg_seq.len() <= idx {
-            self.msg_seq.resize(idx + 1, 0);
-        }
-        let seq = self.msg_seq[idx];
-        self.msg_seq[idx] += 1;
+        let seq = if sender >= REPLICA_BASE {
+            let idx = (sender - REPLICA_BASE) as usize;
+            if self.replica_seq.len() <= idx {
+                self.replica_seq.resize(idx + 1, 0);
+            }
+            let s = self.replica_seq[idx];
+            self.replica_seq[idx] += 1;
+            s
+        } else {
+            let idx = sender as usize;
+            if self.msg_seq.len() <= idx {
+                self.msg_seq.resize(idx + 1, 0);
+            }
+            let s = self.msg_seq[idx];
+            self.msg_seq[idx] += 1;
+            s
+        };
         self.outbox.push(Envelope {
             deliver_at: now.saturating_add(delay),
             sender,
@@ -457,28 +581,43 @@ impl PlatformWorld {
         &mut self,
         now: SimTime,
         cal: &mut impl EventCalendar<Event>,
+        replica: ReplicaIndex,
         invoker: InvokerId,
         invocation: Invocation,
     ) {
-        let delay = match self.dispatch_faults.as_mut().map(DispatchSampler::roll) {
+        self.rep_mut(replica).placements += 1;
+        let delay = match self
+            .rep_mut(replica)
+            .dispatch_faults
+            .as_mut()
+            .map(DispatchSampler::roll)
+        {
             None | Some(DispatchOutcome::Deliver) => self.cfg.bus_latency,
             Some(DispatchOutcome::Delay(by)) => self.cfg.bus_latency + by,
             Some(DispatchOutcome::Drop) => {
                 // The placement message vanished in the bus; the invoker
                 // never hears about this invocation.
-                self.fail_or_recover(now, invocation, false, false, LossCause::DispatchDrop, cal);
+                self.fail_or_recover(
+                    now,
+                    invocation,
+                    false,
+                    false,
+                    LossCause::DispatchDrop,
+                    replica,
+                    cal,
+                );
                 return;
             }
         };
         self.tel.record(
-            CONTROLLER,
+            replica_entity(replica),
             now,
             invocation.id,
             SpanKind::DispatchSent { invoker: invoker.0 },
         );
         self.send(
             now,
-            CONTROLLER,
+            replica_entity(replica),
             invoker_entity(invoker.0),
             delay,
             Event::Deliver {
@@ -500,6 +639,7 @@ impl PlatformWorld {
     /// recovery enabled and budget left, schedules a re-dispatch after the
     /// cause's detection delay plus capped exponential backoff; otherwise
     /// records the invocation as permanently gone.
+    #[allow(clippy::too_many_arguments)]
     fn fail_or_recover(
         &mut self,
         now: SimTime,
@@ -507,18 +647,26 @@ impl PlatformWorld {
         exec_started: bool,
         cold: bool,
         cause: LossCause,
+        replica: ReplicaIndex,
         cal: &mut impl EventCalendar<Event>,
     ) {
-        self.controller.forget_inflight(inv.id);
+        self.rep_mut(replica).controller.forget_inflight(inv.id);
         let r = self.cfg.recovery;
         let attempt = if r.enabled {
-            self.attempts.get(&inv.id).copied().unwrap_or(0)
+            self.rep_mut(replica)
+                .attempts
+                .get(&inv.id)
+                .copied()
+                .unwrap_or(0)
         } else {
             0
         };
-        if r.enabled && attempt < r.max_retries && self.retry_budget > 0 {
-            self.retry_budget -= 1;
-            self.attempts.insert(inv.id, attempt + 1);
+        if r.enabled && attempt < r.max_retries && self.rep_mut(replica).retry_budget > 0 {
+            {
+                let rep = self.rep_mut(replica);
+                rep.retry_budget -= 1;
+                rep.attempts.insert(inv.id, attempt + 1);
+            }
             let backoff = r
                 .backoff_base
                 .mul_f64(2f64.powi(attempt as i32))
@@ -532,21 +680,21 @@ impl PlatformWorld {
                 self.metrics.note_redispatch();
             }
             self.tel.record(
-                CONTROLLER,
+                replica_entity(replica),
                 now,
                 inv.id,
                 SpanKind::Retry {
                     attempt: attempt + 1,
                 },
             );
-            self.pending_redispatch.insert(inv.id, inv);
+            self.rep_mut(replica).pending_redispatch.insert(inv.id, inv);
             cal.schedule(
                 now + detection + backoff,
                 Event::Redispatch { invocation: inv },
             );
             return;
         }
-        self.attempts.remove(&inv.id);
+        self.rep_mut(replica).attempts.remove(&inv.id);
         // Without recovery, a destroyed placement surfaces exactly as the
         // pre-fault platform reported it (an eviction failure) so legacy
         // runs stay byte-identical; a lost dispatch message has no legacy
@@ -556,7 +704,8 @@ impl PlatformWorld {
         } else {
             Outcome::FailedEviction
         };
-        self.tel.record(CONTROLLER, now, inv.id, SpanKind::Lost);
+        self.tel
+            .record(replica_entity(replica), now, inv.id, SpanKind::Lost);
         self.tel.take_hop(inv.id);
         self.metrics.push(InvocationRecord {
             id: inv.id,
@@ -570,10 +719,12 @@ impl PlatformWorld {
         });
     }
 
-    fn arm_retry(&mut self, cal: &mut impl EventCalendar<Event>) {
-        if !self.retry_armed {
-            self.retry_armed = true;
-            cal.schedule_after(self.cfg.placement_retry, Event::RetryQueue);
+    fn arm_retry(&mut self, replica: ReplicaIndex, cal: &mut impl EventCalendar<Event>) {
+        let retry = self.cfg.placement_retry;
+        let rep = self.rep_mut(replica);
+        if !rep.retry_armed {
+            rep.retry_armed = true;
+            cal.schedule_after(retry, Event::RetryQueue { replica });
         }
     }
 
@@ -584,15 +735,27 @@ impl PlatformWorld {
         cal: &mut impl EventCalendar<Event>,
     ) {
         self.metrics.arrivals += 1;
-        self.tel
-            .record(CONTROLLER, now, invocation.id, SpanKind::Arrival);
+        // Each shard's stream is pre-filtered to the functions its hosted
+        // replicas own, so the owner is always local.
+        let replica = self.owner(invocation.function);
+        debug_assert!(
+            self.plan.owns_replica(replica),
+            "arrival for replica {replica} landed on shard {}",
+            self.plan.shard
+        );
+        self.tel.record(
+            replica_entity(replica),
+            now,
+            invocation.id,
+            SpanKind::Arrival,
+        );
         // Feed the next arrival lazily to keep the calendar small.
         if let Some(next) = self.arrivals.next_invocation() {
             cal.schedule(next.arrival, Event::Arrival(next));
         }
-        match self.controller.route(now, invocation) {
-            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, id, invocation),
-            RouteOutcome::Queued => self.arm_retry(cal),
+        match self.rep_mut(replica).controller.route(now, invocation) {
+            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, replica, id, invocation),
+            RouteOutcome::Queued => self.arm_retry(replica, cal),
         }
     }
 
@@ -606,12 +769,13 @@ impl PlatformWorld {
     ) {
         if !self.invokers[idx as usize].alive {
             // The VM died while the message was in flight; the invoker's
-            // shard reports the corpse back to the controller, which
+            // shard reports the corpse back to the owning replica, which
             // decides between re-dispatch and a loss record.
+            let owner = self.owner(inv.function);
             self.send(
                 now,
                 invoker_entity(idx),
-                CONTROLLER,
+                replica_entity(owner),
                 self.cfg.bus_latency,
                 Event::WorkLost {
                     invocation: inv,
@@ -707,10 +871,11 @@ impl PlatformWorld {
                 cold: run.cold,
                 arrival: inv.arrival,
             };
+            let owner = self.owner(inv.function);
             self.send(
                 now,
                 invoker_entity(idx),
-                CONTROLLER,
+                replica_entity(owner),
                 self.cfg.bus_latency,
                 Event::Report {
                     invoker: idx,
@@ -728,14 +893,20 @@ impl PlatformWorld {
         self.metrics.vm_evictions += 1;
         let work = invoker.evict(now, cal);
         self.report_destroyed_work(now, idx, work, LossCause::Eviction);
-        // The controller notices the dead invoker after a ping interval.
-        self.send(
-            now,
-            invoker_entity(idx),
-            CONTROLLER,
-            self.cfg.ping_interval,
-            Event::InvokerDown { invoker: idx },
-        );
+        // Every controller replica notices the dead invoker after a ping
+        // interval (each keeps its own full cluster view).
+        for r in 0..self.replica_count {
+            self.send(
+                now,
+                invoker_entity(idx),
+                replica_entity(r),
+                self.cfg.ping_interval,
+                Event::InvokerDown {
+                    invoker: idx,
+                    replica: r,
+                },
+            );
+        }
     }
 
     /// Tells the controller about every invocation a dying invoker took
@@ -754,10 +925,11 @@ impl PlatformWorld {
                 run.invocation.id,
                 SpanKind::WorkDestroyed { exec_started: true },
             );
+            let owner = self.owner(run.invocation.function);
             self.send(
                 now,
                 invoker_entity(idx),
-                CONTROLLER,
+                replica_entity(owner),
                 self.cfg.bus_latency,
                 Event::WorkLost {
                     invocation: run.invocation,
@@ -776,10 +948,11 @@ impl PlatformWorld {
                     exec_started: false,
                 },
             );
+            let owner = self.owner(inv.function);
             self.send(
                 now,
                 invoker_entity(idx),
-                CONTROLLER,
+                replica_entity(owner),
                 self.cfg.bus_latency,
                 Event::WorkLost {
                     invocation: inv,
@@ -806,18 +979,22 @@ impl PlatformWorld {
         self.report_destroyed_work(now, idx, work, LossCause::Crash);
     }
 
-    /// Quarantines an invoker out of placement (no-op if already there).
-    fn quarantine(&mut self, now: SimTime, idx: InvokerIndex) {
-        if self.controller.set_quarantined(InvokerId(idx), true) {
+    /// Quarantines an invoker out of `replica`'s placement view (no-op if
+    /// already there). Each replica quarantines independently off its own
+    /// ping stream.
+    fn quarantine(&mut self, now: SimTime, replica: ReplicaIndex, idx: InvokerIndex) {
+        let rep = self.rep_mut(replica);
+        if rep.controller.set_quarantined(InvokerId(idx), true) {
+            rep.quarantine_since.insert(idx, now);
             self.metrics.note_quarantine();
-            self.quarantine_since.insert(idx, now);
         }
     }
 
     /// Lifts a quarantine and accounts the time spent inside it.
-    fn unquarantine(&mut self, now: SimTime, idx: InvokerIndex) {
-        if self.controller.set_quarantined(InvokerId(idx), false) {
-            if let Some(since) = self.quarantine_since.remove(&idx) {
+    fn unquarantine(&mut self, now: SimTime, replica: ReplicaIndex, idx: InvokerIndex) {
+        let rep = self.rep_mut(replica);
+        if rep.controller.set_quarantined(InvokerId(idx), false) {
+            if let Some(since) = rep.quarantine_since.remove(&idx) {
                 self.metrics
                     .note_quarantine_span(now.saturating_since(since));
             }
@@ -827,37 +1004,56 @@ impl PlatformWorld {
     /// Straggler detection off the health pings: sustained high queue
     /// pressure earns strikes; enough consecutive strikes quarantine the
     /// invoker, and one healthy reading clears everything.
-    fn track_straggler(&mut self, now: SimTime, idx: InvokerIndex, pressure: f64) {
+    fn track_straggler(
+        &mut self,
+        now: SimTime,
+        replica: ReplicaIndex,
+        idx: InvokerIndex,
+        pressure: f64,
+    ) {
         let r = self.cfg.recovery;
         if pressure >= r.straggler_pressure {
-            let strikes = self.straggler_strikes.entry(idx).or_insert(0);
-            *strikes += 1;
-            if *strikes >= r.straggler_strikes {
-                self.quarantine(now, idx);
+            let strikes = *self
+                .rep_mut(replica)
+                .straggler_strikes
+                .entry(idx)
+                .and_modify(|s| *s += 1)
+                .or_insert(1);
+            if strikes >= r.straggler_strikes {
+                self.quarantine(now, replica, idx);
             }
         } else {
-            self.straggler_strikes.remove(&idx);
-            self.unquarantine(now, idx);
+            self.rep_mut(replica).straggler_strikes.remove(&idx);
+            self.unquarantine(now, replica, idx);
         }
     }
 
-    /// The controller's periodic health-probe sweep: invokers silent past
-    /// the probe timeout are quarantined; silent past `down_after`, they
-    /// are declared dead and removed from the view.
-    fn on_health_sweep(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) {
+    /// A replica's periodic health-probe sweep: invokers silent past the
+    /// probe timeout are quarantined; silent past `down_after`, they are
+    /// declared dead and removed from the view.
+    fn on_health_sweep(
+        &mut self,
+        now: SimTime,
+        replica: ReplicaIndex,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         let r = self.cfg.recovery;
         if !r.enabled {
             return;
         }
-        for (id, silence) in self.controller.silent_invokers(now, r.probe_timeout) {
+        let silent = self
+            .rep_mut(replica)
+            .controller
+            .silent_invokers(now, r.probe_timeout);
+        for (id, silence) in silent {
             if silence >= r.down_after {
-                self.unquarantine(now, id.0);
-                self.controller.on_invoker_down(id);
+                self.unquarantine(now, replica, id.0);
+                self.rep_mut(replica).controller.on_invoker_down(id);
             } else {
-                self.quarantine(now, id.0);
+                self.quarantine(now, replica, id.0);
             }
         }
-        cal.schedule_after(r.probe_interval, Event::HealthSweep);
+        cal.schedule_after(r.probe_interval, Event::HealthSweep { replica });
     }
 
     /// Recovery re-dispatch: routes a previously-destroyed invocation
@@ -868,15 +1064,21 @@ impl PlatformWorld {
         inv: Invocation,
         cal: &mut impl EventCalendar<Event>,
     ) {
-        if self.pending_redispatch.remove(&inv.id).is_none() {
+        let replica = self.owner(inv.function);
+        if self
+            .rep_mut(replica)
+            .pending_redispatch
+            .remove(&inv.id)
+            .is_none()
+        {
             return;
         }
         self.metrics.note_retry();
         self.tel
-            .record(CONTROLLER, now, inv.id, SpanKind::Redispatch);
-        match self.controller.route(now, inv) {
-            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, id, inv),
-            RouteOutcome::Queued => self.arm_retry(cal),
+            .record(replica_entity(replica), now, inv.id, SpanKind::Redispatch);
+        match self.rep_mut(replica).controller.route(now, inv) {
+            RouteOutcome::Placed(id) => self.schedule_delivery(now, cal, replica, id, inv),
+            RouteOutcome::Queued => self.arm_retry(replica, cal),
         }
     }
 
@@ -885,7 +1087,9 @@ impl PlatformWorld {
         if !m.enabled {
             return;
         }
-        let available = self.controller.placeable_cpus() + self.monitor_pending_cpus;
+        // The monitor reads replica 0's view (it is hosted on shard 0,
+        // where every MonitorTick fires).
+        let available = self.rep_mut(0).controller.placeable_cpus() + self.monitor_pending_cpus;
         if available < m.min_cpus {
             let shortfall = m.min_cpus - available;
             let count = shortfall.div_ceil(m.template.cpus);
@@ -899,7 +1103,7 @@ impl PlatformWorld {
                 self.monitor_pending_cpus += m.template.cpus;
                 self.send(
                     now,
-                    CONTROLLER,
+                    replica_entity(0),
                     invoker_entity(index),
                     m.template.deploy_delay,
                     Event::SpawnVm {
@@ -935,6 +1139,14 @@ impl PlatformWorld {
         invoker.set_telemetry(self.cfg.telemetry.enabled());
         self.invokers[idx as usize] = invoker;
         self.slots[idx as usize] = SlotSource::Monitor(template);
+        if !self.cfg.sample_interval.is_zero() {
+            // Join the shared sampling grid at the first tick at/after
+            // the deploy (grid alignment keeps merged rows coalescible).
+            let step = self.cfg.sample_interval.as_micros();
+            let us = now.since(SimTime::ZERO).as_micros();
+            let at = SimTime::ZERO + SimDuration::from_micros(us.div_ceil(step) * step);
+            cal.schedule(at, Event::Sample { invoker: idx });
+        }
         self.on_deploy(now, idx, cal);
     }
 
@@ -945,23 +1157,29 @@ impl PlatformWorld {
         };
         self.invokers[idx as usize].deploy(now, cpus);
         cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker: idx });
-        // The controller hears about the new capacity one bus hop later.
-        self.send(
-            now,
-            invoker_entity(idx),
-            CONTROLLER,
-            self.cfg.bus_latency,
-            Event::DeployNotice {
-                invoker: idx,
-                cpus,
-                memory_mb,
-                from_monitor,
-            },
-        );
+        // Every controller replica hears about the new capacity one bus
+        // hop later.
+        for r in 0..self.replica_count {
+            self.send(
+                now,
+                invoker_entity(idx),
+                replica_entity(r),
+                self.cfg.bus_latency,
+                Event::DeployNotice {
+                    invoker: idx,
+                    cpus,
+                    memory_mb,
+                    from_monitor,
+                    replica: r,
+                },
+            );
+        }
     }
 
-    /// Controller side of a VM coming up: admit it to the view, release
-    /// the monitor's pending-CPU reservation, and retry the queue.
+    /// Replica side of a VM coming up: admit it to the view, release the
+    /// monitor's pending-CPU reservation (replica 0 runs the monitor),
+    /// and retry the queue.
+    #[allow(clippy::too_many_arguments)]
     fn on_deploy_notice(
         &mut self,
         now: SimTime,
@@ -969,52 +1187,50 @@ impl PlatformWorld {
         cpus: u32,
         memory_mb: u64,
         from_monitor: bool,
+        replica: ReplicaIndex,
         cal: &mut impl EventCalendar<Event>,
     ) {
-        if from_monitor {
+        if from_monitor && replica == 0 {
             self.monitor_pending_cpus = self.monitor_pending_cpus.saturating_sub(cpus);
         }
-        self.controller
+        self.rep_mut(replica)
+            .controller
             .on_invoker_up(now, InvokerId(idx), cpus, memory_mb);
         // New capacity may unblock queued placements.
-        self.arm_retry(cal);
+        self.arm_retry(replica, cal);
     }
 
-    fn on_sample(&mut self, now: SimTime, cal: &mut impl EventCalendar<Event>) {
-        let mut total = 0u32;
-        let mut used = 0.0;
-        for inv in &self.invokers {
-            if inv.alive {
-                total += inv.cpus();
-                used += inv.snapshot().cpus_in_use;
-            }
+    /// One invoker's tick on the shared utilization-sampling grid. The
+    /// partial rows are coalesced into fleet-wide samples after the run
+    /// (after cross-shard merge), summed in invoker order so the totals
+    /// are bit-identical for every shard count. The chain dies with the
+    /// invoker.
+    fn on_sample(&mut self, now: SimTime, idx: InvokerIndex, cal: &mut impl EventCalendar<Event>) {
+        let inv = &self.invokers[idx as usize];
+        if !inv.alive {
+            return;
         }
-        self.metrics.push_sample(UtilizationSample {
-            at: now,
-            total_cpus: total,
-            cpus_in_use: used,
-        });
-        cal.schedule_after(self.cfg.sample_interval, Event::Sample);
+        let total = inv.cpus();
+        let used = inv.snapshot().cpus_in_use;
+        self.metrics.push_partial_sample(now, idx, total, used);
+        cal.schedule_after(self.cfg.sample_interval, Event::Sample { invoker: idx });
     }
 
-    /// On an eviction warning, schedules live migrations for the long
-    /// invocations that would otherwise die (Section 4.4 extension).
-    fn plan_migrations(
-        &mut self,
-        now: SimTime,
-        src: InvokerIndex,
-        cal: &mut impl EventCalendar<Event>,
-    ) {
+    /// On an eviction warning, asks the owning replicas to resolve live
+    /// migrations for the long invocations that would otherwise die
+    /// (Section 4.4 extension). The decision is the owner's: it holds the
+    /// authoritative in-flight bookkeeping and the view to pick a
+    /// destination from, so migration works unchanged when the controller
+    /// is sharded.
+    fn plan_migrations(&mut self, now: SimTime, src: InvokerIndex) {
         let m = self.cfg.migration;
         if !m.enabled {
             return;
         }
-        let grace = hrv_trace::harvest::EVICTION_GRACE;
         let Some(warned_at) = self.invokers[src as usize].warned_at else {
             return; // raced with the eviction itself
         };
-        let deadline = warned_at + grace;
-        if now >= deadline {
+        if now >= warned_at + hrv_trace::harvest::EVICTION_GRACE {
             return;
         }
         let candidates =
@@ -1023,107 +1239,225 @@ impl PlatformWorld {
             let Some(run) = self.invokers[src as usize].running_invocation(container) else {
                 continue;
             };
+            let function = run.invocation.function;
             let invocation = run.invocation.id;
-            let Some(dst) = self
-                .controller
-                .migration_target(hrv_lb::view::InvokerId(src))
-            else {
-                continue;
-            };
-            // Transfer must finish before the source is evicted.
-            let transfer = m.setup + m.per_gib.mul_f64(memory_mb as f64 / 1024.0);
-            if now + transfer >= deadline {
-                continue;
-            }
-            cal.schedule(
-                now + transfer,
-                Event::MigrateDone {
+            let owner = self.owner(function);
+            self.send(
+                now,
+                invoker_entity(src),
+                replica_entity(owner),
+                self.cfg.bus_latency,
+                Event::MigrateAsk {
                     src,
-                    dst: dst.0,
                     container,
+                    function,
                     invocation,
+                    memory_mb,
+                    warned_at,
                 },
             );
         }
     }
 
-    /// Completes a live migration: hands the (still running) invocation
-    /// from the warned source to the destination invoker.
-    fn on_migrate_done(
+    /// Owner side of a migration request: check the transfer still beats
+    /// the source's eviction deadline, pick a destination from this
+    /// replica's view, and order the extraction.
+    fn on_migrate_ask(
+        &mut self,
+        now: SimTime,
+        replica: ReplicaIndex,
+        src: InvokerIndex,
+        container: u64,
+        memory_mb: u64,
+        warned_at: SimTime,
+    ) {
+        let m = self.cfg.migration;
+        let deadline = warned_at + hrv_trace::harvest::EVICTION_GRACE;
+        let transfer = m.setup + m.per_gib.mul_f64(memory_mb as f64 / 1024.0);
+        // The extract order takes one bus hop, then the state transfer
+        // itself must land before the source is evicted.
+        if now + self.cfg.bus_latency + transfer.max(self.cfg.bus_latency) >= deadline {
+            return;
+        }
+        let Some(dst) = self
+            .rep_mut(replica)
+            .controller
+            .migration_target(InvokerId(src))
+        else {
+            return;
+        };
+        self.send(
+            now,
+            replica_entity(replica),
+            invoker_entity(src),
+            self.cfg.bus_latency,
+            Event::MigrateExtract {
+                src,
+                dst: dst.0,
+                container,
+                transfer,
+            },
+        );
+    }
+
+    /// Source side of a migration: pull the running invocation out (if it
+    /// is still running) and ship its state to the destination; the
+    /// implant envelope travels with the transfer delay.
+    fn on_migrate_extract(
         &mut self,
         now: SimTime,
         src: InvokerIndex,
         dst: InvokerIndex,
         container: u64,
-        invocation: u64,
+        transfer: SimDuration,
         cal: &mut impl EventCalendar<Event>,
     ) {
-        if !self.invokers[dst as usize].alive {
-            return; // destination died; the invocation stays on the source
-        }
         let Some((run, remaining)) =
             self.invokers[src as usize].extract_running(now, container, cal)
         else {
             return; // completed or source already evicted
         };
+        self.send(
+            now,
+            invoker_entity(src),
+            invoker_entity(dst),
+            transfer.max(self.cfg.bus_latency),
+            Event::MigrateImplant {
+                dst,
+                src,
+                run,
+                remaining,
+            },
+        );
+    }
+
+    /// Destination side: resume the shipped invocation, then tell the
+    /// owning replica so its in-flight bookkeeping follows; if the
+    /// destination cannot take it, bounce the state back to the source.
+    fn on_migrate_implant(
+        &mut self,
+        now: SimTime,
+        dst: InvokerIndex,
+        src: InvokerIndex,
+        run: RunningInvocation,
+        remaining: f64,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
         if self.invokers[dst as usize].implant_running(now, run, remaining, cal) {
             self.metrics.migrations += 1;
-            self.controller
-                .migrate_inflight(invocation, hrv_lb::view::InvokerId(dst));
+            let owner = self.owner(run.invocation.function);
+            self.send(
+                now,
+                invoker_entity(dst),
+                replica_entity(owner),
+                self.cfg.bus_latency,
+                Event::MigrateCommit {
+                    invocation: run.invocation.id,
+                    function: run.invocation.function,
+                    dst,
+                },
+            );
         } else {
-            // No room at the destination: put it back on the source.
-            let ok = self.invokers[src as usize].implant_running(now, run, remaining, cal);
-            debug_assert!(ok, "re-implant on source failed");
+            self.send(
+                now,
+                invoker_entity(dst),
+                invoker_entity(src),
+                self.cfg.bus_latency,
+                Event::MigrateBounce {
+                    src,
+                    run,
+                    remaining,
+                },
+            );
         }
     }
 
-    /// Marks everything still in flight as censored (call after the run).
+    /// A failed implant comes home: re-implant on the source, or — if the
+    /// source died while the state was in flight — report the work lost.
+    fn on_migrate_bounce(
+        &mut self,
+        now: SimTime,
+        src: InvokerIndex,
+        run: RunningInvocation,
+        remaining: f64,
+        cal: &mut impl EventCalendar<Event>,
+    ) {
+        if !self.invokers[src as usize].implant_running(now, run, remaining, cal) {
+            let owner = self.owner(run.invocation.function);
+            self.send(
+                now,
+                invoker_entity(src),
+                replica_entity(owner),
+                self.cfg.bus_latency,
+                Event::WorkLost {
+                    invocation: run.invocation,
+                    exec_started: true,
+                    cold: run.cold,
+                    cause: LossCause::Eviction,
+                },
+            );
+        }
+    }
+
+    /// Marks everything still in flight as censored (call after the run,
+    /// on every world — each censors the replicas it hosts) and flushes
+    /// per-replica occupancy counters into the metrics.
     pub fn censor_remaining(&mut self, now: SimTime) {
-        for q in self.controller.drain_queue() {
-            self.tel
-                .record(CONTROLLER, now, q.invocation.id, SpanKind::Censored);
-            self.metrics.push(InvocationRecord {
-                id: q.invocation.id,
-                arrival: q.invocation.arrival,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: false,
-                exec_started: false,
-                outcome: Outcome::Censored,
+        for li in 0..self.replicas.len() {
+            let entity = replica_entity(self.replicas[li].index);
+            let queued = self.replicas[li].controller.drain_queue();
+            for q in queued {
+                self.tel
+                    .record(entity, now, q.invocation.id, SpanKind::Censored);
+                self.metrics.push(InvocationRecord {
+                    id: q.invocation.id,
+                    arrival: q.invocation.arrival,
+                    finished: now,
+                    latency_secs: 0.0,
+                    exec_secs: 0.0,
+                    cold: false,
+                    exec_started: false,
+                    outcome: Outcome::Censored,
+                });
+            }
+            let inflight = self.replicas[li].controller.inflight_ids();
+            for id in inflight {
+                self.tel.record(entity, now, id, SpanKind::Censored);
+                self.metrics.push(InvocationRecord {
+                    id,
+                    arrival: now,
+                    finished: now,
+                    latency_secs: 0.0,
+                    exec_secs: 0.0,
+                    cold: false,
+                    exec_started: false,
+                    outcome: Outcome::Censored,
+                });
+            }
+            // Invocations still waiting on a scheduled re-dispatch.
+            for (_, inv) in std::mem::take(&mut self.replicas[li].pending_redispatch) {
+                self.tel.record(entity, now, inv.id, SpanKind::Censored);
+                self.metrics.push(InvocationRecord {
+                    id: inv.id,
+                    arrival: inv.arrival,
+                    finished: now,
+                    latency_secs: 0.0,
+                    exec_secs: 0.0,
+                    cold: false,
+                    exec_started: false,
+                    outcome: Outcome::Censored,
+                });
+            }
+            // Close quarantine intervals still open at the horizon.
+            for (_, since) in std::mem::take(&mut self.replicas[li].quarantine_since) {
+                self.metrics
+                    .note_quarantine_span(now.saturating_since(since));
+            }
+            self.metrics.push_replica_occupancy(ReplicaOccupancy {
+                replica: self.replicas[li].index,
+                placements: self.replicas[li].placements,
+                envelopes: self.replicas[li].envelopes,
             });
-        }
-        for id in self.controller.inflight_ids() {
-            self.tel.record(CONTROLLER, now, id, SpanKind::Censored);
-            self.metrics.push(InvocationRecord {
-                id,
-                arrival: now,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: false,
-                exec_started: false,
-                outcome: Outcome::Censored,
-            });
-        }
-        // Invocations still waiting on a scheduled re-dispatch.
-        for (_, inv) in std::mem::take(&mut self.pending_redispatch) {
-            self.tel.record(CONTROLLER, now, inv.id, SpanKind::Censored);
-            self.metrics.push(InvocationRecord {
-                id: inv.id,
-                arrival: inv.arrival,
-                finished: now,
-                latency_secs: 0.0,
-                exec_secs: 0.0,
-                cold: false,
-                exec_started: false,
-                outcome: Outcome::Censored,
-            });
-        }
-        // Close quarantine intervals still open at the horizon.
-        for (_, since) in std::mem::take(&mut self.quarantine_since) {
-            self.metrics
-                .note_quarantine_span(now.saturating_since(since));
         }
     }
 }
@@ -1187,50 +1521,80 @@ impl World for PlatformWorld {
             Event::Ping { invoker } => {
                 if self.invokers[invoker as usize].alive {
                     let snap = self.invokers[invoker as usize].snapshot();
-                    self.send(
-                        now,
-                        invoker_entity(invoker),
-                        CONTROLLER,
-                        self.cfg.bus_latency,
-                        Event::PingReport { invoker, snap },
-                    );
+                    // Every replica tracks the full fleet, so pings fan
+                    // out to all of them.
+                    for r in 0..self.replica_count {
+                        self.send(
+                            now,
+                            invoker_entity(invoker),
+                            replica_entity(r),
+                            self.cfg.bus_latency,
+                            Event::PingReport {
+                                invoker,
+                                snap,
+                                replica: r,
+                            },
+                        );
+                    }
                     cal.schedule_after(self.cfg.ping_interval, Event::Ping { invoker });
                 }
             }
-            Event::PingReport { invoker, snap } => {
-                // Inside a staleness window the ping is dropped on the
-                // floor; the invoker keeps pinging regardless.
-                if !self.view_frozen {
-                    self.controller.on_ping(now, InvokerId(invoker), snap);
+            Event::PingReport {
+                invoker,
+                snap,
+                replica,
+            } => {
+                self.rep_mut(replica).envelopes += 1;
+                // Inside a staleness window replica 0's pings are dropped
+                // on the floor; the invoker keeps pinging regardless.
+                // (Freeze faults are seeded on shard 0 and model the
+                // classic controller's view going stale.)
+                if !(self.view_frozen && replica == 0) {
+                    self.rep_mut(replica)
+                        .controller
+                        .on_ping(now, InvokerId(invoker), snap);
                     if self.cfg.recovery.enabled {
-                        self.track_straggler(now, invoker, snap.pressure);
+                        self.track_straggler(now, replica, invoker, snap.pressure);
                     }
                 }
             }
             Event::Report { report, .. } => {
-                if !self.attempts.is_empty() {
+                let replica = self.owner(report.function);
+                let rep = self.rep_mut(replica);
+                rep.envelopes += 1;
+                if !rep.attempts.is_empty() {
                     // A retried invocation finally finished; stop
                     // tracking it.
-                    self.attempts.remove(&report.invocation);
+                    rep.attempts.remove(&report.invocation);
                 }
-                self.controller.on_report(&report);
+                rep.controller.on_report(&report);
             }
-            Event::InvokerDown { invoker } => {
-                self.controller.on_invoker_down(InvokerId(invoker));
+            Event::InvokerDown { invoker, replica } => {
+                let rep = self.rep_mut(replica);
+                rep.envelopes += 1;
+                rep.controller.on_invoker_down(InvokerId(invoker));
             }
             Event::WorkLost {
                 invocation,
                 exec_started,
                 cold,
                 cause,
-            } => self.fail_or_recover(now, invocation, exec_started, cold, cause, cal),
+            } => {
+                let replica = self.owner(invocation.function);
+                self.rep_mut(replica).envelopes += 1;
+                self.fail_or_recover(now, invocation, exec_started, cold, cause, replica, cal);
+            }
             Event::VmDeploy { invoker } => self.on_deploy(now, invoker, cal),
             Event::DeployNotice {
                 invoker,
                 cpus,
                 memory_mb,
                 from_monitor,
-            } => self.on_deploy_notice(now, invoker, cpus, memory_mb, from_monitor, cal),
+                replica,
+            } => {
+                self.rep_mut(replica).envelopes += 1;
+                self.on_deploy_notice(now, invoker, cpus, memory_mb, from_monitor, replica, cal);
+            }
             Event::SpawnVm { invoker, template } => self.on_spawn_vm(now, invoker, template, cal),
             Event::VmCpu { invoker, cpus } => {
                 if self.invokers[invoker as usize].alive {
@@ -1253,13 +1617,46 @@ impl World for PlatformWorld {
                     cal.schedule_after(self.cfg.ping_interval, Event::MigratePlan { invoker });
                 }
             }
-            Event::MigratePlan { invoker } => self.plan_migrations(now, invoker, cal),
-            Event::MigrateDone {
+            Event::MigratePlan { invoker } => self.plan_migrations(now, invoker),
+            Event::MigrateAsk {
+                src,
+                container,
+                function,
+                invocation: _,
+                memory_mb,
+                warned_at,
+            } => {
+                let replica = self.owner(function);
+                self.rep_mut(replica).envelopes += 1;
+                self.on_migrate_ask(now, replica, src, container, memory_mb, warned_at);
+            }
+            Event::MigrateExtract {
                 src,
                 dst,
                 container,
+                transfer,
+            } => self.on_migrate_extract(now, src, dst, container, transfer, cal),
+            Event::MigrateImplant {
+                dst,
+                src,
+                run,
+                remaining,
+            } => self.on_migrate_implant(now, dst, src, run, remaining, cal),
+            Event::MigrateBounce {
+                src,
+                run,
+                remaining,
+            } => self.on_migrate_bounce(now, src, run, remaining, cal),
+            Event::MigrateCommit {
                 invocation,
-            } => self.on_migrate_done(now, src, dst, container, invocation, cal),
+                function,
+                dst,
+            } => {
+                let replica = self.owner(function);
+                let rep = self.rep_mut(replica);
+                rep.envelopes += 1;
+                rep.controller.migrate_inflight(invocation, InvokerId(dst));
+            }
             Event::VmEvict { invoker } => self.on_evict(now, invoker, cal),
             Event::FaultCrash { invoker } => self.on_crash(now, invoker, cal),
             Event::FaultStraggler { invoker, factor } => {
@@ -1268,17 +1665,21 @@ impl World for PlatformWorld {
             }
             Event::FaultViewFreeze { frozen } => self.view_frozen = frozen,
             Event::Redispatch { invocation } => self.on_redispatch(now, invocation, cal),
-            Event::HealthSweep => self.on_health_sweep(now, cal),
-            Event::RetryQueue => {
-                self.retry_armed = false;
-                let (placed, rejected) =
-                    self.controller.retry_queue(now, self.cfg.placement_timeout);
+            Event::HealthSweep { replica } => self.on_health_sweep(now, replica, cal),
+            Event::RetryQueue { replica } => {
+                self.rep_mut(replica).retry_armed = false;
+                let timeout = self.cfg.placement_timeout;
+                let (placed, rejected) = self.rep_mut(replica).controller.retry_queue(now, timeout);
                 for (inv, id) in placed {
-                    self.schedule_delivery(now, cal, id, inv);
+                    self.schedule_delivery(now, cal, replica, id, inv);
                 }
                 for q in rejected {
-                    self.tel
-                        .record(CONTROLLER, now, q.invocation.id, SpanKind::Rejected);
+                    self.tel.record(
+                        replica_entity(replica),
+                        now,
+                        q.invocation.id,
+                        SpanKind::Rejected,
+                    );
                     self.metrics.push(InvocationRecord {
                         id: q.invocation.id,
                         arrival: q.invocation.arrival,
@@ -1290,12 +1691,41 @@ impl World for PlatformWorld {
                         outcome: Outcome::Rejected,
                     });
                 }
-                if self.controller.queue_len() > 0 {
-                    self.arm_retry(cal);
+                if self.rep_mut(replica).controller.queue_len() > 0 {
+                    self.arm_retry(replica, cal);
                 }
             }
+            Event::ReconcileTick { replica } => {
+                let deltas = self.rep_mut(replica).controller.take_dirty();
+                if !deltas.is_empty() {
+                    for peer in 0..self.replica_count {
+                        if peer == replica {
+                            continue;
+                        }
+                        self.send(
+                            now,
+                            replica_entity(replica),
+                            replica_entity(peer),
+                            self.cfg.bus_latency,
+                            Event::ViewDelta {
+                                replica: peer,
+                                deltas: deltas.clone(),
+                            },
+                        );
+                    }
+                }
+                cal.schedule_after(
+                    self.cfg.sharding.reconcile_interval,
+                    Event::ReconcileTick { replica },
+                );
+            }
+            Event::ViewDelta { replica, deltas } => {
+                let rep = self.rep_mut(replica);
+                rep.envelopes += 1;
+                rep.controller.apply_deltas(&deltas);
+            }
             Event::MonitorTick => self.on_monitor_tick(now, cal),
-            Event::Sample => self.on_sample(now, cal),
+            Event::Sample { invoker } => self.on_sample(now, invoker, cal),
         }
     }
 }

@@ -40,11 +40,14 @@ pub enum CounterId {
     PrewarmHits,
     /// Prewarmed containers reaped without serving.
     WastedPrewarms,
+    /// Requested shard counts silently degraded to fewer shards by a
+    /// feature-compatibility check.
+    ShardDegrades,
 }
 
 impl CounterId {
     /// All counters, in registry order.
-    pub const ALL: [CounterId; 7] = [
+    pub const ALL: [CounterId; 8] = [
         CounterId::Retries,
         CounterId::Redispatches,
         CounterId::Quarantines,
@@ -52,6 +55,7 @@ impl CounterId {
         CounterId::PrewarmSpawns,
         CounterId::PrewarmHits,
         CounterId::WastedPrewarms,
+        CounterId::ShardDegrades,
     ];
 
     /// Stable snake_case name (dumps, exports).
@@ -64,6 +68,7 @@ impl CounterId {
             CounterId::PrewarmSpawns => "prewarm_spawns",
             CounterId::PrewarmHits => "prewarm_hits",
             CounterId::WastedPrewarms => "wasted_prewarms",
+            CounterId::ShardDegrades => "shard_degrades",
         }
     }
 
@@ -73,7 +78,8 @@ impl CounterId {
             CounterId::Retries
             | CounterId::Redispatches
             | CounterId::Quarantines
-            | CounterId::QuarantineMicros => MergeMode::Accumulate,
+            | CounterId::QuarantineMicros
+            | CounterId::ShardDegrades => MergeMode::Accumulate,
             CounterId::PrewarmSpawns | CounterId::PrewarmHits | CounterId::WastedPrewarms => {
                 MergeMode::AssignOnce
             }

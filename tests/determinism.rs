@@ -11,9 +11,9 @@ use harvest_faas::hrv_platform::world::{ClusterSpec, SimOutput, Simulation};
 use harvest_faas::hrv_platform::ShardedSimulation;
 use harvest_faas::hrv_policy::ColdStartConfig;
 use harvest_faas::hrv_trace::faas::{Invocation, Workload, WorkloadSpec};
-use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace};
+use harvest_faas::hrv_trace::harvest::{FleetConfig, FleetTrace, Storm};
 use harvest_faas::hrv_trace::rng::SeedFactory;
-use harvest_faas::hrv_trace::time::SimDuration;
+use harvest_faas::hrv_trace::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn full_run_with(seed: u64, policy: Box<dyn LoadBalancer>) -> SimOutput {
@@ -361,6 +361,140 @@ fn every_coldstart_policy_is_shard_invariant() {
                 &format!("{coldstart:?} S=1 vs S={shards}"),
             );
         }
+    }
+}
+
+/// Full-feature sharded-controller run: four controller replicas (each
+/// owning a partition of the function space), live migration,
+/// utilization sampling, and recovery all enabled — the configuration
+/// that used to silently degrade to one shard. The fleet takes two
+/// forced eviction storms so the migration path actually fires.
+fn sharded_controller_run(seed: u64, shards: u32) -> SimOutput {
+    let horizon = SimDuration::from_mins(8);
+    let config = FleetConfig {
+        horizon,
+        initial_population: 10,
+        final_population: 12,
+        forced_storms: vec![
+            Storm {
+                at: SimTime::ZERO + SimDuration::from_mins(3),
+                fraction: 0.3,
+            },
+            Storm {
+                at: SimTime::ZERO + SimDuration::from_mins(6),
+                fraction: 0.3,
+            },
+        ],
+        // Storms apply at redeploy ticks; the default hourly tick never
+        // fires inside an 8-minute horizon.
+        redeploy_check_every: SimDuration::from_mins(1),
+        ..FleetConfig::default()
+    };
+    let fleet = FleetTrace::generate(&config, &SeedFactory::new(seed));
+    let seeds = SeedFactory::new(seed).child("wl");
+    let spec = WorkloadSpec::paper_fsmall().scaled(40, 5.0);
+    let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds);
+    let mut cfg = PlatformConfig::default();
+    cfg.sharding.replicas = 4;
+    cfg.migration.enabled = true;
+    cfg.sample_interval = SimDuration::from_secs(5);
+    cfg.recovery.enabled = true;
+    ShardedSimulation::new(
+        ClusterSpec::from_traces(fleet.vms),
+        trace,
+        PolicyKind::Mws,
+        cfg,
+        seed,
+        shards,
+    )
+    .run(horizon)
+}
+
+#[test]
+fn sharded_controller_is_byte_identical_across_shard_counts() {
+    let baseline = sharded_controller_run(17, 1);
+    assert!(
+        baseline.collector.records.len() > 500,
+        "only {} records — the invariance check degenerated",
+        baseline.collector.records.len()
+    );
+    assert!(
+        !baseline.collector.samples.is_empty(),
+        "sampling produced no series — the shard-aware path was not exercised"
+    );
+    assert_eq!(
+        baseline.collector.replica_occupancy.len(),
+        4,
+        "expected one occupancy row per controller replica"
+    );
+    assert!(
+        baseline.collector.vm_evictions > 0 && baseline.collector.migrations > 0,
+        "storms produced {} evictions / {} migrations — the migration \
+         path was not exercised",
+        baseline.collector.vm_evictions,
+        baseline.collector.migrations
+    );
+    for shards in [2u32, 4, 8] {
+        let sharded = sharded_controller_run(17, shards);
+        assert_shard_invariant(&baseline, &sharded, &format!("R=4 S=1 vs S={shards}"));
+        assert_eq!(
+            baseline.collector.samples, sharded.collector.samples,
+            "utilization series diverged at S={shards}"
+        );
+        assert_eq!(
+            baseline.collector.replica_occupancy, sharded.collector.replica_occupancy,
+            "replica occupancy diverged at S={shards}"
+        );
+        assert_eq!(
+            baseline.collector.counters, sharded.collector.counters,
+            "merged counters diverged at S={shards}"
+        );
+        assert_eq!(
+            baseline.collector.migrations, sharded.collector.migrations,
+            "migration counts diverged at S={shards}"
+        );
+    }
+}
+
+/// A small replicated-controller chaos run for property sweeps: R = 2
+/// replicas, recovery, sampling, and a compiled chaos plan, on a static
+/// cluster cheap enough to sample many (seed, shards) points.
+fn quick_replicated_chaos_run(seed: u64, shards: u32) -> SimOutput {
+    let horizon = SimDuration::from_mins(2);
+    let seeds = SeedFactory::new(seed);
+    let spec = WorkloadSpec::paper_fsmall().scaled(20, 3.0);
+    let trace = Workload::generate(&spec, &seeds).invocations(horizon, &seeds.child("arr"));
+    let mut cfg = PlatformConfig::default();
+    cfg.sharding.replicas = 2;
+    cfg.recovery.enabled = true;
+    cfg.sample_interval = SimDuration::from_secs(10);
+    let plan = FaultSpec::chaos(1.0).compile(5, horizon, &seeds.child("faults"));
+    ShardedSimulation::with_faults(
+        ClusterSpec::regular(5, 8, 16 * 1024, horizon),
+        trace,
+        PolicyKind::Mws,
+        cfg,
+        seed,
+        plan,
+        shards,
+    )
+    .run(horizon)
+}
+
+proptest! {
+    /// 64 (seed, shards) points through the replicated-controller
+    /// reconciliation path — ViewDelta envelopes, owner routing, chaos
+    /// faults, per-invoker sampling — must be invisible to the results.
+    #[test]
+    fn prop_replicated_controller_chaos_is_shard_invariant(
+        seed in 0u64..1_000,
+        shards in 2u32..=8,
+    ) {
+        let baseline = quick_replicated_chaos_run(seed, 1);
+        let sharded = quick_replicated_chaos_run(seed, shards);
+        assert_shard_invariant(&baseline, &sharded, &format!("chaos R=2 seed={seed} S={shards}"));
+        assert_eq!(baseline.collector.samples, sharded.collector.samples);
+        assert_eq!(baseline.collector.counters, sharded.collector.counters);
     }
 }
 
